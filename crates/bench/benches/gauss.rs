@@ -1,0 +1,56 @@
+//! The paper's hottest scalar kernel: 6 x 6 Gaussian elimination ("over
+//! one million separate Gaussian-eliminations" per frame pair). Compares
+//! the fixed-size `solve6` against the general N x N path and sweeps N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sma_linalg::gauss::{solve, solve6};
+use sma_linalg::SMat;
+use std::hint::black_box;
+
+fn dominant(n: usize) -> (SMat, Vec<f64>) {
+    let mut m = SMat::zeros(n);
+    for r in 0..n {
+        for c in 0..n {
+            m.set(r, c, ((r * n + c) as f64 * 0.37).sin());
+        }
+        m.add(r, r, n as f64 + 2.0);
+    }
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+    (m, b)
+}
+
+fn bench_solve6(c: &mut Criterion) {
+    let (m, b) = dominant(6);
+    let mut a6 = [0.0f64; 36];
+    a6.copy_from_slice(m.as_slice());
+    let mut b6 = [0.0f64; 6];
+    b6.copy_from_slice(&b);
+
+    let mut g = c.benchmark_group("gauss6");
+    g.bench_function("solve6_fixed", |bch| {
+        bch.iter(|| {
+            let mut a = black_box(a6);
+            let mut rhs = black_box(b6);
+            solve6(&mut a, &mut rhs).unwrap();
+            black_box(rhs)
+        })
+    });
+    g.bench_function("solve_general_n6", |bch| {
+        bch.iter(|| black_box(solve(black_box(&m), black_box(&b)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gauss_by_n");
+    for n in [2usize, 4, 6, 8] {
+        let (m, b) = dominant(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(solve(black_box(&m), black_box(&b)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solve6, bench_sizes);
+criterion_main!(benches);

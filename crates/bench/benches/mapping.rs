@@ -1,0 +1,42 @@
+//! §3.2's data-mapping ablation: fold/unfold cost and the
+//! window-fetch mesh-transfer counts of hierarchical vs cut-and-stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maspar_sim::mapping::{DataMapping, FoldedImage, MappingKind};
+use sma_bench::wavy;
+use std::hint::black_box;
+
+fn bench_fold_unfold(c: &mut Criterion) {
+    let img = wavy(128, 128);
+    let h = DataMapping::new(MappingKind::Hierarchical, 128, 128, 16, 16);
+    let cs = DataMapping::new(MappingKind::CutAndStack, 128, 128, 16, 16);
+    let mut g = c.benchmark_group("fold_unfold_128");
+    g.bench_function("hierarchical_fold", |b| {
+        b.iter(|| black_box(FoldedImage::fold(black_box(&img), h)))
+    });
+    g.bench_function("cut_and_stack_fold", |b| {
+        b.iter(|| black_box(FoldedImage::fold(black_box(&img), cs)))
+    });
+    let folded = FoldedImage::fold(&img, h);
+    g.bench_function("hierarchical_unfold", |b| {
+        b.iter(|| black_box(folded.unfold()))
+    });
+    g.finish();
+}
+
+fn bench_window_transfers(c: &mut Criterion) {
+    let h = DataMapping::new(MappingKind::Hierarchical, 64, 64, 16, 16);
+    let cs = DataMapping::new(MappingKind::CutAndStack, 64, 64, 16, 16);
+    let mut g = c.benchmark_group("window_mesh_transfers_5x5");
+    g.sample_size(10);
+    g.bench_function("hierarchical", |b| {
+        b.iter(|| black_box(h.mean_window_mesh_transfers(2)))
+    });
+    g.bench_function("cut_and_stack", |b| {
+        b.iter(|| black_box(cs.mean_window_mesh_transfers(2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fold_unfold, bench_window_transfers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! §4.2's comparison, executed: snake read-out vs raster-scan
+//! bounding-box read-out on a folded image (the paper found raster
+//! faster and adopted it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maspar_sim::mapping::{DataMapping, FoldedImage, MappingKind};
+use maspar_sim::readout::{fetch_window_raster, fetch_window_snake};
+use sma_bench::wavy;
+use std::hint::black_box;
+
+fn folded(w: usize, np: usize) -> FoldedImage {
+    let img = wavy(w, w);
+    FoldedImage::fold(
+        &img,
+        DataMapping::new(MappingKind::Hierarchical, w, w, np, np),
+    )
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let f = folded(32, 8); // 4x4 px per PE, like the paper's folding
+    let mut g = c.benchmark_group("readout_32px_n2");
+    g.bench_function("snake", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            let stats = fetch_window_snake(black_box(&f), 2, |_, _, _, _, v| acc += v);
+            black_box((acc, stats))
+        })
+    });
+    g.bench_function("raster", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            let stats = fetch_window_raster(black_box(&f), 2, |_, _, _, _, v| acc += v);
+            black_box((acc, stats))
+        })
+    });
+    g.finish();
+}
+
+fn bench_window_scaling(c: &mut Criterion) {
+    let f = folded(48, 8);
+    let mut g = c.benchmark_group("readout_snake_by_window");
+    g.sample_size(10);
+    for n in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(2 * n + 1), &n, |b, &n| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                fetch_window_snake(black_box(&f), n, |_, _, _, _, v| acc += v);
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_window_scaling);
+criterion_main!(benches);

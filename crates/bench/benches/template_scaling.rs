@@ -1,0 +1,54 @@
+//! Fig. 4 as a criterion bench: real host time of one hypothesis
+//! evaluation as the z-template grows (the figure's x-axis). The
+//! quadratic-in-edge shape is what must reproduce; absolute values are
+//! host-specific (the paper's are SGI R8000/90 seconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sma_bench::shifted_frames;
+use sma_core::motion::evaluate_hypothesis;
+use sma_core::{MotionModel, SmaConfig};
+use std::hint::black_box;
+
+fn bench_template_scaling(c: &mut Criterion) {
+    let base = SmaConfig::small_test(MotionModel::SemiFluid);
+    let frames = shifted_frames(120, 120, 1.0, 0.0, &base);
+    let mut g = c.benchmark_group("fig4_hypothesis_by_template");
+    g.sample_size(10);
+    for nzt in [5usize, 10, 20, 40] {
+        let cfg = SmaConfig {
+            nzt,
+            nzs: 2,
+            ..base
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(2 * nzt + 1), &cfg, |b, cfg| {
+            b.iter(|| black_box(evaluate_hypothesis(black_box(&frames), cfg, 60, 60, 1, 0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_gap(c: &mut Criterion) {
+    // Continuous vs semi-fluid per-hypothesis cost at a fixed template:
+    // the sequential-rate ratio behind the paper's 397-day vs 41-hour
+    // projections.
+    let mut g = c.benchmark_group("fig4_model_gap_21x21");
+    g.sample_size(10);
+    for (name, model) in [
+        ("continuous", MotionModel::Continuous),
+        ("semifluid", MotionModel::SemiFluid),
+    ] {
+        let cfg = SmaConfig {
+            nzt: 10,
+            nzs: 2,
+            ..SmaConfig::small_test(model)
+        };
+        let frames = shifted_frames(80, 80, 1.0, 0.0, &cfg);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(evaluate_hypothesis(black_box(&frames), cfg, 40, 40, 1, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_template_scaling, bench_model_gap);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Ablation report for the §6 extensions: what each future-work feature
+//! buys, measured on controlled scenes.
+//!
+//! ```sh
+//! cargo run --release -p sma-bench --bin ext_ablations
+//! ```
+
+use sma_bench::wavy;
+use sma_core::ext::classify::{classify_and_clean, classify_by_height};
+use sma_core::ext::hierarchy::track_hierarchical;
+use sma_core::ext::regularize::vector_median_filter;
+use sma_core::ext::robust::{track_pixel_robust, RobustParams};
+use sma_core::motion::{track_pixel, SmaFrames};
+use sma_core::{MotionModel, SmaConfig};
+use sma_grid::warp::translate;
+use sma_grid::{BorderPolicy, FlowField, Grid, Vec2};
+use sma_stereo::coupled::refine_disparity_with_motion;
+
+fn main() {
+    println!("§6 extension ablations\n");
+
+    // --- Robust estimation under corruption ---------------------------
+    let cfg = SmaConfig::small_test(MotionModel::Continuous);
+    let before = wavy(30, 30);
+    let mut corrupted = before.clone();
+    for y in 10..13 {
+        for x in 10..13 {
+            corrupted.set(x, y, corrupted.at(x, y) + 25.0);
+        }
+    }
+    let frames = SmaFrames::prepare(&before, &corrupted, &before, &corrupted, &cfg);
+    // Compare at the true (zero) hypothesis so the metric isolates the
+    // Step-2 estimator rather than the hypothesis search.
+    let plain = sma_core::motion::evaluate_hypothesis(&frames, &cfg, 15, 15, 0, 0).unwrap();
+    let robust = sma_core::ext::robust::evaluate_hypothesis_robust(
+        &frames,
+        &cfg,
+        RobustParams::default(),
+        15,
+        15,
+        0,
+        0,
+    )
+    .unwrap();
+    let mag = |p: [f64; 6]| p.iter().map(|v| v.abs()).sum::<f64>();
+    println!("robust estimation (occluding block, truth = zero deformation):");
+    println!("  plain LSQ |params|  = {:.4}", mag(plain.0.params()));
+    println!(
+        "  Huber IRLS |params| = {:.4}  (smaller = closer to truth)",
+        mag(robust.0.params())
+    );
+    let _ = track_pixel_robust; // the tracker variant is exercised in unit tests
+    let _ = track_pixel;
+
+    // --- Hierarchical (adaptive search) vs flat -----------------------
+    let b = wavy(72, 72);
+    let a = translate(&b, -5.0, 0.0, BorderPolicy::Clamp);
+    let flat = track_hierarchical(&b, &a, &b, &a, &cfg, 1);
+    let hier = track_hierarchical(&b, &a, &b, &a, &cfg, 3);
+    let score = |f: &FlowField| {
+        let mut e = 0.0f32;
+        let mut n = 0;
+        for y in 24..48 {
+            for x in 24..48 {
+                e += (f.at(x, y) - Vec2::new(5.0, 0.0)).magnitude();
+                n += 1;
+            }
+        }
+        e / n as f32
+    };
+    println!("\nadaptive hierarchical search (5 px motion, +-2 px search window):");
+    println!(
+        "  flat (1 level):  mean error {:.3} px (search cannot reach the motion)",
+        score(&flat)
+    );
+    println!("  hierarchy (3):   mean error {:.3} px", score(&hier));
+
+    // --- Vector median post-processing ---------------------------------
+    let mut noisy = FlowField::uniform(20, 20, Vec2::new(1.0, 0.0));
+    for k in 0..8 {
+        noisy.set(2 + 2 * k, 3 + k, Vec2::new(-6.0, 7.0));
+    }
+    let cleaned = vector_median_filter(&noisy, 1);
+    let truth = FlowField::uniform(20, 20, Vec2::new(1.0, 0.0));
+    println!("\nvector median filter (8 impulse outliers on a uniform field):");
+    println!("  before: RMS {:.3} px", noisy.compare(&truth).rms_endpoint);
+    println!(
+        "  after:  RMS {:.3} px",
+        cleaned.compare(&truth).rms_endpoint
+    );
+
+    // --- Cloud-classification cleaning ---------------------------------
+    let heights = Grid::from_fn(20, 20, |x, _| if x < 10 { 2.0f32 } else { 8.0 });
+    let classes = classify_by_height(&heights, &[5.0]);
+    let mut layered = FlowField::from_fn(20, 20, |x, _| {
+        if x < 10 {
+            Vec2::new(1.5, 0.0)
+        } else {
+            Vec2::new(-1.5, 0.5)
+        }
+    });
+    layered.set(4, 4, Vec2::new(-1.5, 0.5)); // deck-0 pixel stuck on deck-1 motion
+    layered.set(14, 7, Vec2::new(1.5, 0.0)); // and vice versa
+    let (fixed, snapped) = classify_and_clean(&layered, &classes, 2, 1.0);
+    println!("\ncloud-classification post-processing (two decks, 2 cross-assigned pixels):");
+    println!("  snapped {snapped} outliers to their class medians");
+    println!("  deck-0 outlier now {:?}", fixed.at(4, 4));
+
+    // --- Coupled stereo-motion ------------------------------------------
+    let d0 = Grid::from_fn(48, 48, |x, y| {
+        ((x as f32 * 0.3).sin() + (y as f32 * 0.2).cos()) * 2.0 + 4.0
+    });
+    let flow = FlowField::uniform(48, 48, Vec2::new(2.0, 0.0));
+    let neg = FlowField::from_fn(48, 48, |x, y| -flow.at(x, y));
+    let d1_true = sma_grid::warp::warp_by_flow(&d0, &neg, BorderPolicy::Clamp);
+    let d1_noisy = Grid::from_fn(48, 48, |x, y| {
+        d1_true.at(x, y) + if (x * 7 + y * 13) % 2 == 0 { 0.5 } else { -0.5 }
+    });
+    let fused = refine_disparity_with_motion(&d0, &d1_noisy, &flow, 0.5);
+    println!("\ncoupled stereo-motion (alpha = 0.5 temporal prior):");
+    println!(
+        "  per-frame stereo RMS vs truth: {:.3}",
+        d1_noisy.rms_diff(&d1_true)
+    );
+    println!(
+        "  motion-coupled RMS vs truth:   {:.3}",
+        fused.rms_diff(&d1_true)
+    );
+}

@@ -1,0 +1,84 @@
+//! Regenerate **Fig. 4** — "Time to compute a single pixel
+//! correspondence for varying z-Template sizes" (sequential, 11 x 11 to
+//! 131 x 131) — twice:
+//!
+//! * the **SGI R8000/90 model** curve (the paper's machine), and
+//! * a **measured host curve**: our actual sequential implementation
+//!   timed per pixel at each template size (different absolute scale,
+//!   same quadratic-in-edge shape).
+//!
+//! The binary also reproduces §5.1's consistency remark: projecting the
+//! 121 x 121 per-pixel time over 512 x 512 pixels gives ~397 days,
+//! while a naive Fig. 4 reading "gives a slight underestimate ... due
+//! to the nonlinear scalability factor in the timing dependence on the
+//! z-Search window parameter".
+//!
+//! ```sh
+//! cargo run --release -p sma-bench --bin fig4_template_sweep
+//! ```
+
+use std::time::Instant;
+
+use sma_bench::shifted_frames;
+use sma_core::motion::evaluate_hypothesis;
+use sma_core::timing::SgiRates;
+use sma_core::{MotionModel, SmaConfig};
+
+fn main() {
+    let cfg_base = SmaConfig::hurricane_frederic();
+    let rates = SgiRates::default();
+
+    println!("Fig. 4 — sequential time per pixel correspondence vs z-Template size");
+    println!("  (13 x 13 z-search; semi-fluid model)\n");
+    println!(
+        "  {:>10} {:>18} {:>22}",
+        "template", "SGI model (s/px)", "host measured (ms/px)"
+    );
+
+    // The paper sweeps 11x11 .. 131x131. The SGI model covers the full
+    // range; host measurement uses a reduced hypothesis count per pixel
+    // (timing one hypothesis and scaling by 169) to keep the sweep fast.
+    let host_frames = shifted_frames(
+        168,
+        168,
+        1.0,
+        0.0,
+        &SmaConfig {
+            nz: 2,
+            ..SmaConfig::small_test(MotionModel::SemiFluid)
+        },
+    );
+    for nzt in [5usize, 10, 15, 20, 30, 40, 50, 60, 65] {
+        let side = 2 * nzt + 1;
+        let model_s = rates.per_pixel_seconds(&cfg_base, nzt);
+
+        // Host measurement: one hypothesis evaluation at this template
+        // size, center pixel, scaled to the 169-hypothesis pixel cost.
+        let cfg = SmaConfig {
+            nzt,
+            nzs: 6,
+            ..SmaConfig::hurricane_frederic()
+        };
+        let reps = if nzt <= 20 { 5 } else { 2 };
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let est = evaluate_hypothesis(&host_frames, &cfg, 84, 84, 1, 0);
+            assert!(est.is_some());
+        }
+        let per_hyp = t0.elapsed().as_secs_f64() / reps as f64;
+        let host_ms = per_hyp * 169.0 * 1e3;
+
+        println!("  {side:>6} x {side:<3} {model_s:>18.3} {host_ms:>22.1}");
+    }
+
+    // §5.1's projection consistency check.
+    let t121 = rates.per_pixel_seconds(&cfg_base, 60);
+    let days_from_fig4 = t121 * 512.0 * 512.0 / 86_400.0;
+    println!(
+        "\n  projecting the 121 x 121 point over 512 x 512 pixels: {days_from_fig4:.1} days \
+         (paper: 397.34 days total, 313 days from its Fig. 4 reading)"
+    );
+    // Quadratic-shape check: doubling the edge ~quadruples the time.
+    let r = rates.per_pixel_seconds(&cfg_base, 30) / rates.per_pixel_seconds(&cfg_base, 15);
+    println!("  shape: t(61x61)/t(31x31) = {r:.2} (quadratic in edge => ~3.9)");
+}

@@ -1,0 +1,73 @@
+//! Regenerate **Table 1** (Hurricane Frederic neighborhood sizes) and
+//! **Table 3** (GOES-9 neighborhood sizes).
+//!
+//! ```sh
+//! cargo run -p sma-bench --bin table1_3_configs
+//! ```
+
+use sma_core::{MotionModel, SmaConfig};
+
+fn print_config(title: &str, rows: &[(&str, String, usize)]) {
+    println!("\n{title}");
+    println!(
+        "  {:<24} {:<12} {:>22}",
+        "Neighborhood Type", "Variable", "Window Size in Pixels"
+    );
+    for (name, var, side) in rows {
+        println!("  {name:<24} {var:<12} {side:>11} x {side}");
+    }
+}
+
+fn main() {
+    // Table 1: Hurricane Frederic stereo time sequence (M x N = 512x512).
+    let f = SmaConfig::hurricane_frederic();
+    assert_eq!(f.model, MotionModel::SemiFluid);
+    print_config(
+        "Table 1 — neighborhood sizes, Hurricane Frederic (512 x 512, semi-fluid model)",
+        &[
+            ("Surface-fitting", format!("Nz  = {}", f.nz), 2 * f.nz + 1),
+            ("z-Search area", format!("Nzs = {}", f.nzs), 2 * f.nzs + 1),
+            ("z-Template", format!("NzT = {}", f.nzt), 2 * f.nzt + 1),
+            (
+                "Semi-fluid search",
+                format!("Nss = {}", f.nss),
+                2 * f.nss + 1,
+            ),
+            (
+                "Semi-fluid template",
+                format!("NsT = {}", f.nst),
+                2 * f.nst + 1,
+            ),
+        ],
+    );
+    println!(
+        "  per-pixel counts: {} hypotheses x {} template error terms; {} semi-fluid candidates x {} parameters",
+        f.hypotheses_per_pixel(),
+        f.terms_per_hypothesis(),
+        f.semifluid_search_window().area(),
+        f.semifluid_template_window().area()
+    );
+
+    // Table 3: GOES-9 datasets (M x N = 512x512, continuous model).
+    let g = SmaConfig::goes9_florida();
+    assert_eq!(g.model, MotionModel::Continuous);
+    print_config(
+        "Table 3 — neighborhood sizes, GOES-9 datasets (512 x 512, continuous model)",
+        &[
+            ("Search area", format!("Nzs = {}", g.nzs), 2 * g.nzs + 1),
+            ("Template", format!("NzT = {}", g.nzt), 2 * g.nzt + 1),
+            ("Surface-patch", format!("Nz  = {}", g.nz), 2 * g.nz + 1),
+        ],
+    );
+
+    // §5's Luis configuration, for completeness.
+    let l = SmaConfig::hurricane_luis();
+    print_config(
+        "§5 — Hurricane Luis run configuration (490 frames, continuous model)",
+        &[
+            ("z-Template", format!("NzT = {}", l.nzt), 2 * l.nzt + 1),
+            ("z-Search", format!("Nzs = {}", l.nzs), 2 * l.nzs + 1),
+            ("Surface-patch", format!("Nz  = {}", l.nz), 2 * l.nz + 1),
+        ],
+    );
+}

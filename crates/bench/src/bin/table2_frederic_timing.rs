@@ -1,0 +1,75 @@
+//! Regenerate **Table 2** — the per-subroutine timing of one Hurricane
+//! Frederic image pair on the MP-2 — plus the §5.1 headline numbers
+//! (397-day sequential projection, 1025x speed-up).
+//!
+//! The MP-2 rates are calibrated on this table (see
+//! `sma_core::timing::Mp2Rates` for the provenance of each constant),
+//! so the Table 2 rows close essentially exactly; the *validation* is
+//! Table 4 and the Luis run, which the same rates predict without
+//! re-calibration (see their binaries).
+//!
+//! ```sh
+//! cargo run -p sma-bench --bin table2_frederic_timing
+//! ```
+
+use sma_bench::print_row;
+use sma_core::timing::{paper, Mp2Rates, SgiRates, SmaWorkload};
+use sma_core::SmaConfig;
+
+fn main() {
+    let cfg = SmaConfig::hurricane_frederic();
+    let workload = SmaWorkload::from_config(&cfg, 512, 512);
+    println!("Table 2 — timing analysis for a single Hurricane Frederic image pair");
+    println!("  (512 x 512, semi-fluid model, unsegmented: Z = 2Nzs+1 = 13)\n");
+    println!(
+        "  workload: {} surface-fit GEs, {} semi-fluid mappings, {:.3e} hypothesis error terms",
+        workload.surface_fit_ges, workload.semifluid_mappings, workload.hyp_terms as f64
+    );
+
+    let b = Mp2Rates::default().breakdown(&workload);
+    println!(
+        "\n  {:<34} {:>14} {:>14} {:>8}",
+        "Subroutine", "modelled (s)", "paper (s)", "rel"
+    );
+    print_row(
+        "Surface fit",
+        b.phase("Surface fit"),
+        paper::TABLE2_SURFACE_FIT_S,
+    );
+    print_row(
+        "Compute geometric variables",
+        b.phase("Compute geometric variables"),
+        paper::TABLE2_GEOM_VARS_S,
+    );
+    print_row(
+        "Semi-fluid mapping",
+        b.phase("Semi-fluid mapping"),
+        paper::TABLE2_SEMIFLUID_S,
+    );
+    print_row(
+        "Hypothesis matching",
+        b.phase("Hypothesis matching"),
+        paper::TABLE2_HYPOTHESIS_S,
+    );
+    print_row("Total", b.total(), paper::TABLE2_TOTAL_S);
+
+    let seq = SgiRates::default().seconds(&workload, cfg.model);
+    let speedup = seq / b.total();
+    println!(
+        "\n  sequential (SGI R8000/90 model): {:.2} days (paper: {} days projected)",
+        seq / 86_400.0,
+        paper::FREDERIC_SEQUENTIAL_DAYS
+    );
+    println!(
+        "  parallel total: {:.3} h (paper: 9.298 h)",
+        b.total() / 3600.0
+    );
+    println!(
+        "  speed-up: {speedup:.0}x (paper: {:.0}x — \"over three orders of magnitude\")",
+        paper::FREDERIC_SPEEDUP
+    );
+    println!(
+        "  hypothesis matching share of total: {:.2}% (shape check: dominates everything)",
+        100.0 * b.phase("Hypothesis matching") / b.total()
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerate **Table 4** — per-timestep timing of the GOES-9 Florida
+//! thunderstorm run (continuous model) — as a *prediction* from the
+//! Table 2-calibrated rates, plus the 193x run-time gain.
+//!
+//! This is the transfer validation: nothing here was fitted to Table 4;
+//! the same per-operation rates that close Table 2 must land within
+//! ~10% on a different model (continuous vs semi-fluid) and different
+//! windows (15 x 15 vs 13 x 13 / 121 x 121).
+//!
+//! ```sh
+//! cargo run -p sma-bench --bin table4_goes9_timing
+//! ```
+
+use sma_bench::print_row;
+use sma_core::timing::{paper, Mp2Rates, SgiRates, SmaWorkload};
+use sma_core::SmaConfig;
+
+fn main() {
+    let cfg = SmaConfig::goes9_florida();
+    let workload = SmaWorkload::from_config(&cfg, 512, 512);
+    println!("Table 4 — timing analysis for one timestep of GOES-9 Florida thunderstorm images");
+    println!("  (512 x 512, continuous model Fcont, 15 x 15 search and template)\n");
+    println!(
+        "  workload: {} surface-fit GEs, {:.3e} hypothesis error terms (no semi-fluid phase)",
+        workload.surface_fit_ges, workload.hyp_terms as f64
+    );
+
+    let b = Mp2Rates::default().breakdown(&workload);
+    let surface_geom = b.phase("Surface fit") + b.phase("Compute geometric variables");
+    println!(
+        "\n  {:<34} {:>14} {:>14} {:>8}",
+        "Subroutine", "predicted (s)", "paper (s)", "rel"
+    );
+    print_row(
+        "Surface fit & geometric variables",
+        surface_geom,
+        paper::TABLE4_SURFACE_GEOM_S,
+    );
+    print_row(
+        "Hypothesis matching",
+        b.phase("Hypothesis matching"),
+        paper::TABLE4_HYPOTHESIS_S,
+    );
+    print_row("Total", b.total(), paper::TABLE4_TOTAL_S);
+
+    let seq = SgiRates::default().seconds(&workload, cfg.model);
+    let speedup = seq / b.total();
+    println!(
+        "\n  parallel total: {:.3} min (paper: 12.854 min)",
+        b.total() / 60.0
+    );
+    println!(
+        "  sequential (SGI model): {:.2} h (paper: {} h)",
+        seq / 3600.0,
+        paper::GOES9_SEQUENTIAL_HOURS
+    );
+    println!(
+        "  run-time gain: {speedup:.0}x (paper: {:.0}x)",
+        paper::GOES9_SPEEDUP
+    );
+    println!(
+        "\n  shape check vs Frederic: the gain here is much smaller than 1025x because\n  \
+         \"the semi-fluid template mapping of (9), where the parallel implementation\n  \
+         was optimized most[,] is not needed for the continuous non-rigid motion model\"."
+    );
+}

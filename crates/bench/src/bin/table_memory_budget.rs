@@ -1,0 +1,71 @@
+//! Regenerate the **§4.3 PE-memory analysis**: the 64 KB/PE budget, the
+//! 67.7 KB counter-example that forces segmentation, and the
+//! segmentation decision (`Z` rows per chunk, number of chunks) across
+//! search-area sizes.
+//!
+//! ```sh
+//! cargo run -p sma-bench --bin table_memory_budget
+//! ```
+
+use maspar_sim::memory::{MemoryBudget, GODDARD_PE_MEMORY_BYTES};
+
+fn main() {
+    println!("§4.3 — PE memory budget (64 KB/PE, 512 x 512 on 128 x 128 => 16 px/PE)\n");
+    println!(
+        "  {:>8} {:>14} {:>12} {:>10} {:>8} {:>8}",
+        "search", "mappings (KB)", "total (KB)", "fits?", "Z rows", "chunks"
+    );
+    for nzs in [4usize, 6, 8, 11, 15, 20, 31] {
+        let b = MemoryBudget {
+            xvr: 4,
+            yvr: 4,
+            nzs,
+            nst: 2,
+            nss: 1,
+            pe_memory_bytes: GODDARD_PE_MEMORY_BYTES,
+        };
+        let side = 2 * nzs + 1;
+        let mappings_kb = b.unsegmented_template_bytes() as f64 / 1024.0;
+        let total_kb = b.total_bytes(side) as f64 / 1024.0;
+        match b.max_segment_rows() {
+            Some(z) => println!(
+                "  {side:>3}x{side:<4} {mappings_kb:>14.1} {total_kb:>12.1} {:>10} {z:>8} {:>8}",
+                if b.unsegmented_fits() { "yes" } else { "no" },
+                b.num_segments().unwrap()
+            ),
+            None => println!(
+                "  {side:>3}x{side:<4} {mappings_kb:>14.1} {total_kb:>12.1} {:>10} {:>8} {:>8}",
+                "no", "-", "impossible"
+            ),
+        }
+    }
+
+    println!("\n  paper anchors reproduced:");
+    let frederic = MemoryBudget {
+        xvr: 4,
+        yvr: 4,
+        nzs: 6,
+        nst: 2,
+        nss: 1,
+        pe_memory_bytes: GODDARD_PE_MEMORY_BYTES,
+    };
+    println!(
+        "   - Frederic 13x13 search: {:.1} KB of mappings, unsegmented run fits (Table 2's Z = 13)",
+        frederic.unsegmented_template_bytes() as f64 / 1024.0
+    );
+    let example = MemoryBudget {
+        xvr: 4,
+        yvr: 4,
+        nzs: 11,
+        nst: 2,
+        nss: 1,
+        pe_memory_bytes: GODDARD_PE_MEMORY_BYTES,
+    };
+    println!(
+        "   - 23x23 example: \"two floating pointing numbers ... would still require 67.7 KB per PE\"\n     \
+         => {} bytes = 67.7 decimal-KB ({:.1} KiB) > 64 KiB, so the store is segmented by hypothesis rows",
+        example.unsegmented_template_bytes(),
+        example.unsegmented_template_bytes() as f64 / 1024.0
+    );
+    assert_eq!(example.unsegmented_template_bytes(), 67_712);
+}

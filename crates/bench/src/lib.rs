@@ -1,0 +1,74 @@
+//! # sma-bench
+//!
+//! The benchmark harness of the reproduction:
+//!
+//! * **table/figure binaries** (`src/bin/`) regenerate every table and
+//!   figure of the paper's evaluation — run e.g.
+//!   `cargo run -p sma-bench --bin table2_frederic_timing`;
+//! * **criterion benches** (`benches/`) measure the real kernels on the
+//!   host — `cargo bench -p sma-bench`.
+//!
+//! This library holds the fixtures the two share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sma_core::motion::SmaFrames;
+use sma_core::SmaConfig;
+use sma_grid::warp::translate;
+use sma_grid::{BorderPolicy, Grid};
+
+/// A smooth, textured benchmark surface with rich normal variation —
+/// the standard fixture the benches and motion tests share.
+pub fn wavy(w: usize, h: usize) -> Grid<f32> {
+    Grid::from_fn(w, h, |x, y| {
+        let (xf, yf) = (x as f32, y as f32);
+        (xf * 0.45).sin() * 2.0 + (yf * 0.35).cos() * 1.5 + (xf * 0.12 + yf * 0.21).sin() * 3.0
+    })
+}
+
+/// Prepared SMA frames for a scene translated by `(dx, dy)`.
+pub fn shifted_frames(w: usize, h: usize, dx: f32, dy: f32, cfg: &SmaConfig) -> SmaFrames {
+    let before = wavy(w, h);
+    let after = translate(&before, -dx, -dy, BorderPolicy::Clamp);
+    SmaFrames::prepare(&before, &after, &before, &after, cfg)
+}
+
+/// Format seconds the way the paper's tables do, with a human-scale
+/// suffix for the big entries.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{s:>14.3}  ({:.3} h)", s / 3600.0)
+    } else if s >= 60.0 {
+        format!("{s:>14.3}  ({:.2} min)", s / 60.0)
+    } else {
+        format!("{s:>14.6}")
+    }
+}
+
+/// Print a `modelled vs paper` comparison row (seconds, fixed width).
+pub fn print_row(name: &str, modelled: f64, paper: f64) {
+    let rel = if paper != 0.0 {
+        100.0 * (modelled - paper) / paper
+    } else {
+        0.0
+    };
+    println!("  {name:<34} {modelled:>14.6} {paper:>14.6} {rel:>+7.1}%");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(wavy(16, 16), wavy(16, 16));
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert!(fmt_seconds(2.5).contains("2.5"));
+        assert!(fmt_seconds(120.0).contains("min"));
+        assert!(fmt_seconds(7200.0).contains("h)"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The local affine transformation of eq. (6).
+//!
+//! "The local transformation models the non-rigid neighborhood
+//! relationship before and after motion with (x0, y0, z0) being the
+//! rigid translation component of the motion":
+//!
+//! ```text
+//! x' = x + (a_i x + b_i y + x0)
+//! y' = y + (a_j x + b_j y + y0)
+//! z' = z + (a_k x + b_k y + z0)
+//! ```
+//!
+//! with `(x, y)` measured *relative to the tracked pixel* (the paper's
+//! per-pixel overlapping templates each carry their own transformation).
+//! The six parameters `{a_i, b_i, a_j, b_j, a_k, b_k}` are the unknowns
+//! of Step 2's least-squares problem; `(x0, y0)` is fixed by the
+//! hypothesis under evaluation and `z0` by the surface maps.
+
+/// The six first-order deformation parameters plus the rigid translation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LocalAffine {
+    /// `a_i`: x-displacement gradient along x (stretch).
+    pub ai: f64,
+    /// `b_i`: x-displacement gradient along y (shear).
+    pub bi: f64,
+    /// `a_j`: y-displacement gradient along x (shear).
+    pub aj: f64,
+    /// `b_j`: y-displacement gradient along y (stretch).
+    pub bj: f64,
+    /// `a_k`: z-displacement gradient along x (surface tilt rate).
+    pub ak: f64,
+    /// `b_k`: z-displacement gradient along y.
+    pub bk: f64,
+    /// Rigid translation `(x0, y0, z0)`.
+    pub x0: f64,
+    /// Rigid translation y component.
+    pub y0: f64,
+    /// Rigid translation z component.
+    pub z0: f64,
+}
+
+impl LocalAffine {
+    /// Pure translation.
+    pub fn translation(x0: f64, y0: f64, z0: f64) -> Self {
+        Self {
+            x0,
+            y0,
+            z0,
+            ..Default::default()
+        }
+    }
+
+    /// Build from the Step-2 solution vector in the solver's order
+    /// `[a_i, b_i, a_j, b_j, a_k, b_k]` plus the hypothesis translation.
+    pub fn from_params(p: &[f64; 6], x0: f64, y0: f64, z0: f64) -> Self {
+        Self {
+            ai: p[0],
+            bi: p[1],
+            aj: p[2],
+            bj: p[3],
+            ak: p[4],
+            bk: p[5],
+            x0,
+            y0,
+            z0,
+        }
+    }
+
+    /// The six deformation parameters in solver order.
+    pub fn params(&self) -> [f64; 6] {
+        [self.ai, self.bi, self.aj, self.bj, self.ak, self.bk]
+    }
+
+    /// Apply eq. (6) to a point at template-local offset `(u, v)` with
+    /// surface value `z`: returns the transformed `(u', v', z')` (still
+    /// template-local plus translation).
+    pub fn apply(&self, u: f64, v: f64, z: f64) -> (f64, f64, f64) {
+        (
+            u + self.ai * u + self.bi * v + self.x0,
+            v + self.aj * u + self.bj * v + self.y0,
+            z + self.ak * u + self.bk * v + self.z0,
+        )
+    }
+
+    /// The in-plane deformation magnitude: Frobenius norm of the 2 x 2
+    /// displacement-gradient block (zero for rigid translation).
+    pub fn deformation_magnitude(&self) -> f64 {
+        (self.ai * self.ai + self.bi * self.bi + self.aj * self.aj + self.bj * self.bj).sqrt()
+    }
+
+    /// In-plane divergence `a_i + b_j` (expansion rate: positive for the
+    /// thunderstorm anvil outflow the GOES-9 dataset exhibits).
+    pub fn divergence(&self) -> f64 {
+        self.ai + self.bj
+    }
+
+    /// In-plane curl `a_j - b_i` (rotation rate: dominant in hurricane
+    /// eyewall motion).
+    pub fn curl(&self) -> f64 {
+        self.aj - self.bi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_translation_moves_all_points_equally() {
+        let t = LocalAffine::translation(3.0, -1.0, 0.5);
+        assert_eq!(t.apply(0.0, 0.0, 10.0), (3.0, -1.0, 10.5));
+        assert_eq!(t.apply(5.0, 2.0, 0.0), (8.0, 1.0, 0.5));
+        assert_eq!(t.deformation_magnitude(), 0.0);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let p = [0.1, -0.2, 0.3, -0.4, 0.5, -0.6];
+        let a = LocalAffine::from_params(&p, 1.0, 2.0, 3.0);
+        assert_eq!(a.params(), p);
+        assert_eq!((a.x0, a.y0, a.z0), (1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn apply_matches_equation_six() {
+        let a = LocalAffine {
+            ai: 0.1,
+            bi: 0.02,
+            aj: -0.03,
+            bj: 0.05,
+            ak: 0.2,
+            bk: -0.1,
+            x0: 1.0,
+            y0: -2.0,
+            z0: 0.5,
+        };
+        let (u, v, z) = (2.0, 3.0, 7.0);
+        let (x1, y1, z1) = a.apply(u, v, z);
+        assert!((x1 - (u + 0.1 * u + 0.02 * v + 1.0)).abs() < 1e-12);
+        assert!((y1 - (v - 0.03 * u + 0.05 * v - 2.0)).abs() < 1e-12);
+        assert!((z1 - (z + 0.2 * u - 0.1 * v + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_and_curl() {
+        // Pure expansion.
+        let exp = LocalAffine {
+            ai: 0.1,
+            bj: 0.1,
+            ..Default::default()
+        };
+        assert!((exp.divergence() - 0.2).abs() < 1e-12);
+        assert_eq!(exp.curl(), 0.0);
+        // Pure (solid-body) rotation by small angle w: aj = w, bi = -w.
+        let rot = LocalAffine {
+            aj: 0.05,
+            bi: -0.05,
+            ..Default::default()
+        };
+        assert_eq!(rot.divergence(), 0.0);
+        assert!((rot.curl() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deformation_magnitude_scales() {
+        let a = LocalAffine {
+            ai: 0.3,
+            bi: 0.4,
+            ..Default::default()
+        };
+        assert!((a.deformation_magnitude() - 0.5).abs() < 1e-12);
+    }
+}

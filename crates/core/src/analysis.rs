@@ -1,0 +1,247 @@
+//! Meteorological wind products from SMA output.
+//!
+//! The paper's motivation: "Cloud motion vectors from the SMA algorithm
+//! can be used to estimate the wind field that would be useful in a
+//! variety of meteorological applications", and "accurate measurement of
+//! cloud-top height distributions and winds are important for
+//! meteorological weather forecasting, analysis, modeling and
+//! assimilation". This module turns a dense [`crate::sequential::SmaResult`]
+//! into those products:
+//!
+//! * **wind vectors** in physical units (pixel displacement × pixel size
+//!   / frame interval);
+//! * **divergence and vorticity planes**, read directly from the fitted
+//!   local affine parameters (`a_i + b_j` and `a_j - b_i` per pixel — a
+//!   unique benefit of SMA's parametric output: no finite differencing
+//!   of the flow needed);
+//! * **height-resolved wind layers**: mean wind per cloud-top height
+//!   band, the layered wind profile forecasters assimilate.
+
+use sma_grid::{FlowField, Grid, Vec2};
+
+use crate::sequential::SmaResult;
+
+/// Physical scaling of one scene.
+#[derive(Debug, Clone, Copy)]
+pub struct WindScaling {
+    /// Ground size of one pixel in km (Frederic: ~1 km at center).
+    pub pixel_km: f32,
+    /// Frame interval in minutes.
+    pub interval_minutes: f32,
+}
+
+impl WindScaling {
+    /// Convert a pixel displacement per frame to a wind speed in m/s.
+    pub fn speed_mps(&self, displacement: Vec2) -> f32 {
+        let km_per_frame = displacement.magnitude() * self.pixel_km;
+        km_per_frame * 1000.0 / (self.interval_minutes * 60.0)
+    }
+
+    /// Convert the whole flow field to a speed plane in m/s.
+    pub fn speed_plane(&self, flow: &FlowField) -> Grid<f32> {
+        flow.as_grid().map(|v| self.speed_mps(*v))
+    }
+}
+
+/// Divergence plane from the fitted affine parameters (`a_i + b_j` per
+/// valid pixel; 0 for invalid).
+pub fn divergence_plane(result: &SmaResult) -> Grid<f32> {
+    result.estimates.map(|e| {
+        if e.valid {
+            e.affine.divergence() as f32
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Vorticity (curl) plane from the fitted affine parameters
+/// (`a_j - b_i`; 0 for invalid).
+pub fn vorticity_plane(result: &SmaResult) -> Grid<f32> {
+    result
+        .estimates
+        .map(|e| if e.valid { e.affine.curl() as f32 } else { 0.0 })
+}
+
+/// One height band's aggregated wind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindLayer {
+    /// Band lower bound (inclusive) in height units.
+    pub h_lo: f32,
+    /// Band upper bound (exclusive; `f32::INFINITY` for the top band).
+    pub h_hi: f32,
+    /// Number of valid pixels in the band.
+    pub count: usize,
+    /// Mean displacement (pixels/frame).
+    pub mean_wind: Vec2,
+}
+
+/// Height-resolved winds: partition valid pixels into height bands and
+/// average each band's displacement — the multi-layer wind profile.
+///
+/// # Panics
+/// Panics if shapes differ or `bands` is not strictly increasing.
+pub fn wind_layers(result: &SmaResult, heights: &Grid<f32>, bands: &[f32]) -> Vec<WindLayer> {
+    assert_eq!(
+        result.estimates.dims(),
+        heights.dims(),
+        "height shape mismatch"
+    );
+    assert!(
+        bands.windows(2).all(|w| w[0] < w[1]),
+        "bands must be strictly increasing"
+    );
+    let num = bands.len() + 1;
+    let mut sums = vec![Vec2::ZERO; num];
+    let mut counts = vec![0usize; num];
+    for (x, y) in result.region.pixels() {
+        let e = result.estimates.at(x, y);
+        if !e.valid {
+            continue;
+        }
+        let h = heights.at(x, y);
+        let mut band = 0usize;
+        for (k, &b) in bands.iter().enumerate() {
+            if h >= b {
+                band = k + 1;
+            }
+        }
+        sums[band] = sums[band] + e.displacement;
+        counts[band] += 1;
+    }
+    (0..num)
+        .map(|k| {
+            let h_lo = if k == 0 {
+                f32::NEG_INFINITY
+            } else {
+                bands[k - 1]
+            };
+            let h_hi = if k == bands.len() {
+                f32::INFINITY
+            } else {
+                bands[k]
+            };
+            WindLayer {
+                h_lo,
+                h_hi,
+                count: counts[k],
+                mean_wind: if counts[k] > 0 {
+                    sums[k] * (1.0 / counts[k] as f32)
+                } else {
+                    Vec2::ZERO
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::LocalAffine;
+    use crate::motion::MotionEstimate;
+    use sma_grid::WindowBounds;
+
+    fn result_with(f: impl Fn(usize, usize) -> MotionEstimate) -> SmaResult {
+        SmaResult {
+            estimates: Grid::from_fn(8, 8, f),
+            region: WindowBounds {
+                x0: 0,
+                y0: 0,
+                x1: 7,
+                y1: 7,
+            },
+        }
+    }
+
+    fn valid_est(u: f32, v: f32, affine: LocalAffine) -> MotionEstimate {
+        MotionEstimate {
+            displacement: Vec2::new(u, v),
+            affine,
+            error: 0.1,
+            valid: true,
+        }
+    }
+
+    #[test]
+    fn wind_speed_units() {
+        // 2 px/frame at 1 km/px over 7.5 min = 2 km / 450 s = 4.44 m/s.
+        let s = WindScaling {
+            pixel_km: 1.0,
+            interval_minutes: 7.5,
+        };
+        let v = s.speed_mps(Vec2::new(2.0, 0.0));
+        assert!((v - 4.444).abs() < 0.01, "{v}");
+    }
+
+    #[test]
+    fn divergence_and_vorticity_from_affine() {
+        let rot = LocalAffine {
+            aj: 0.1,
+            bi: -0.1,
+            ..Default::default()
+        };
+        let exp = LocalAffine {
+            ai: 0.05,
+            bj: 0.05,
+            ..Default::default()
+        };
+        let r = result_with(|x, _| {
+            if x < 4 {
+                valid_est(1.0, 0.0, rot)
+            } else {
+                valid_est(1.0, 0.0, exp)
+            }
+        });
+        let div = divergence_plane(&r);
+        let vor = vorticity_plane(&r);
+        assert!((div.at(1, 1) - 0.0).abs() < 1e-6);
+        assert!((vor.at(1, 1) - 0.2).abs() < 1e-6);
+        assert!((div.at(6, 6) - 0.1).abs() < 1e-6);
+        assert!((vor.at(6, 6) - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_pixels_report_zero_products() {
+        let r = result_with(|x, _| {
+            if x == 0 {
+                MotionEstimate::invalid()
+            } else {
+                valid_est(1.0, 0.0, LocalAffine::default())
+            }
+        });
+        assert_eq!(divergence_plane(&r).at(0, 3), 0.0);
+        assert_eq!(vorticity_plane(&r).at(0, 3), 0.0);
+    }
+
+    #[test]
+    fn layered_winds_separate_by_height() {
+        // Low deck (h=2) drifts east, high deck (h=9) drifts west.
+        let heights = Grid::from_fn(8, 8, |_, y| if y < 4 { 2.0f32 } else { 9.0 });
+        let r = result_with(|_, y| {
+            if y < 4 {
+                valid_est(1.5, 0.0, LocalAffine::default())
+            } else {
+                valid_est(-2.0, 0.5, LocalAffine::default())
+            }
+        });
+        let layers = wind_layers(&r, &heights, &[5.0]);
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0].count, 32);
+        assert_eq!(layers[0].mean_wind, Vec2::new(1.5, 0.0));
+        assert_eq!(layers[1].mean_wind, Vec2::new(-2.0, 0.5));
+        assert_eq!(layers[1].h_lo, 5.0);
+        assert!(layers[1].h_hi.is_infinite());
+    }
+
+    #[test]
+    fn empty_band_reports_zero() {
+        let heights = Grid::filled(8, 8, 1.0f32);
+        let r = result_with(|_, _| valid_est(1.0, 0.0, LocalAffine::default()));
+        let layers = wind_layers(&r, &heights, &[5.0, 10.0]);
+        assert_eq!(layers[0].count, 64);
+        assert_eq!(layers[1].count, 0);
+        assert_eq!(layers[1].mean_wind, Vec2::ZERO);
+        assert_eq!(layers[2].count, 0);
+    }
+}

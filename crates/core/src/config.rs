@@ -1,0 +1,222 @@
+//! SMA configuration: the neighborhood sizes of Tables 1 and 3.
+
+use sma_grid::CenteredWindow;
+
+/// Which template-mapping model Step 1 uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MotionModel {
+    /// `Fcont` (eq. 2): the whole template translates with the
+    /// hypothesis — continuous non-rigid motion.
+    Continuous,
+    /// `Fsemi` (eq. 9): each template pixel independently refines its
+    /// correspondence in a `(2 Nss + 1)^2` search by discriminant
+    /// matching — semi-fluid motion. Reduces to `Fcont` when `Nss = 0`.
+    SemiFluid,
+}
+
+/// Neighborhood configuration of one SMA run.
+///
+/// All sizes are half-widths `N`, the windows being `(2N+1) x (2N+1)`:
+///
+/// | field | paper symbol | Table 1 (Frederic) | Table 3 (GOES-9) |
+/// |---|---|---|---|
+/// | `nz`  | surface-fitting `Nz`       | 2 (5 x 5)      | 2 (5 x 5)   |
+/// | `nzs` | z-search `Nzs`             | 6 (13 x 13)    | 7 (15 x 15) |
+/// | `nzt` | z-template `NzT`           | 60 (121 x 121) | 7 (15 x 15) |
+/// | `nss` | semi-fluid search `Nss`    | 1 (3 x 3)      | — (continuous) |
+/// | `nst` | semi-fluid template `NsT`  | 2 (5 x 5)      | — |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmaConfig {
+    /// Motion model (Step 1 mapping).
+    pub model: MotionModel,
+    /// Surface-fitting window half-width `Nz`.
+    pub nz: usize,
+    /// Hypothesis (z-search) half-width `Nzs`.
+    pub nzs: usize,
+    /// z-template half-width `NzT`.
+    pub nzt: usize,
+    /// Semi-fluid search half-width `Nss` (ignored for `Continuous`).
+    pub nss: usize,
+    /// Semi-fluid template half-width `NsT` (ignored for `Continuous`).
+    pub nst: usize,
+}
+
+impl SmaConfig {
+    /// Table 1: the Hurricane Frederic stereo configuration (semi-fluid
+    /// model, 512 x 512 frames). The paper's computational accounting:
+    /// 13 x 13 = 169 hypotheses, 121 x 121 = 14641 template error terms
+    /// per hypothesis, 3 x 3 = 9 semi-fluid candidates per template
+    /// pixel, 5 x 5 = 25 discriminant parameters per candidate.
+    pub fn hurricane_frederic() -> Self {
+        Self {
+            model: MotionModel::SemiFluid,
+            nz: 2,
+            nzs: 6,
+            nzt: 60,
+            nss: 1,
+            nst: 2,
+        }
+    }
+
+    /// Table 3: the GOES-9 Florida thunderstorm configuration
+    /// (continuous model `Fcont`, monocular rapid-scan; "the continuous
+    /// template mapping of (2) was used rather than the semi-fluid
+    /// model").
+    pub fn goes9_florida() -> Self {
+        Self {
+            model: MotionModel::Continuous,
+            nz: 2,
+            nzs: 7,
+            nzt: 7,
+            nss: 0,
+            nst: 2,
+        }
+    }
+
+    /// §5: the Hurricane Luis 490-frame run — "the model Fcont was used
+    /// with a z-template of 11 x 11, and z-search of 9 x 9".
+    pub fn hurricane_luis() -> Self {
+        Self {
+            model: MotionModel::Continuous,
+            nz: 2,
+            nzs: 4,
+            nzt: 5,
+            nss: 0,
+            nst: 2,
+        }
+    }
+
+    /// A small configuration for tests and examples on modest frames
+    /// (same structure, reduced windows).
+    pub fn small_test(model: MotionModel) -> Self {
+        Self {
+            model,
+            nz: 2,
+            nzs: 2,
+            nzt: 3,
+            nss: 1,
+            nst: 2,
+        }
+    }
+
+    /// The hypothesis search window.
+    pub fn search_window(&self) -> CenteredWindow {
+        CenteredWindow::new(self.nzs)
+    }
+
+    /// The z-template window.
+    pub fn template_window(&self) -> CenteredWindow {
+        CenteredWindow::new(self.nzt)
+    }
+
+    /// The semi-fluid search window.
+    pub fn semifluid_search_window(&self) -> CenteredWindow {
+        CenteredWindow::new(self.nss)
+    }
+
+    /// The semi-fluid template window.
+    pub fn semifluid_template_window(&self) -> CenteredWindow {
+        CenteredWindow::new(self.nst)
+    }
+
+    /// Pixel margin needed so every window of a tracked pixel stays in
+    /// range: template reach plus hypothesis reach plus semi-fluid reach
+    /// plus the fitting window.
+    pub fn margin(&self) -> usize {
+        let semi = match self.model {
+            MotionModel::Continuous => 0,
+            MotionModel::SemiFluid => self.nss + self.nst,
+        };
+        self.nzt + self.nzs + semi + self.nz
+    }
+
+    /// Validate the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nz == 0 {
+            return Err("surface fitting needs nz >= 1 (a 3x3 window at minimum)".into());
+        }
+        if self.model == MotionModel::SemiFluid && self.nst == 0 {
+            return Err("semi-fluid matching needs nst >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Number of hypotheses per pixel, `(2 Nzs + 1)^2`.
+    pub fn hypotheses_per_pixel(&self) -> usize {
+        self.search_window().area()
+    }
+
+    /// Error terms per hypothesis, `(2 NzT + 1)^2`.
+    pub fn terms_per_hypothesis(&self) -> usize {
+        self.template_window().area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_frederic_window_sizes() {
+        let c = SmaConfig::hurricane_frederic();
+        assert_eq!(CenteredWindow::new(c.nz).side(), 5); // surface fit 5x5
+        assert_eq!(c.search_window().side(), 13); // z-search 13x13
+        assert_eq!(c.template_window().side(), 121); // z-template 121x121
+        assert_eq!(c.semifluid_search_window().side(), 3);
+        assert_eq!(c.semifluid_template_window().side(), 5); // semi-fluid template 5x5
+        assert_eq!(c.model, MotionModel::SemiFluid);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_operation_counts_frederic() {
+        // §3: "169 Gaussian-eliminations ... 121 x 121 = 14641 error
+        // terms ... 3 x 3 = 9 error terms ... 5 x 5 = 25 parameters".
+        let c = SmaConfig::hurricane_frederic();
+        assert_eq!(c.hypotheses_per_pixel(), 169);
+        assert_eq!(c.terms_per_hypothesis(), 14641);
+        assert_eq!(c.semifluid_search_window().area(), 9);
+        assert_eq!(c.semifluid_template_window().area(), 25);
+    }
+
+    #[test]
+    fn table3_goes9_window_sizes() {
+        let c = SmaConfig::goes9_florida();
+        assert_eq!(c.search_window().side(), 15);
+        assert_eq!(c.template_window().side(), 15);
+        assert_eq!(CenteredWindow::new(c.nz).side(), 5);
+        assert_eq!(c.model, MotionModel::Continuous);
+        assert_eq!(c.hypotheses_per_pixel(), 225);
+        assert_eq!(c.terms_per_hypothesis(), 225);
+    }
+
+    #[test]
+    fn luis_window_sizes() {
+        let c = SmaConfig::hurricane_luis();
+        assert_eq!(c.template_window().side(), 11);
+        assert_eq!(c.search_window().side(), 9);
+        assert_eq!(c.model, MotionModel::Continuous);
+    }
+
+    #[test]
+    fn margin_covers_all_windows() {
+        let c = SmaConfig::hurricane_frederic();
+        assert_eq!(c.margin(), 60 + 6 + 1 + 2 + 2);
+        let g = SmaConfig::goes9_florida();
+        assert_eq!(g.margin(), 7 + 7 + 2);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate() {
+        let mut c = SmaConfig::small_test(MotionModel::SemiFluid);
+        c.nz = 0;
+        assert!(c.validate().is_err());
+        let mut d = SmaConfig::small_test(MotionModel::SemiFluid);
+        d.nst = 0;
+        assert!(d.validate().is_err());
+        let mut e = SmaConfig::small_test(MotionModel::Continuous);
+        e.nst = 0;
+        assert!(e.validate().is_ok(), "continuous model ignores nst");
+    }
+}

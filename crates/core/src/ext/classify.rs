@@ -1,0 +1,183 @@
+//! Cloud-classification post-processing (§6: "post processing the motion
+//! field by using cloud classification").
+//!
+//! Multi-layer scenes move as a small number of coherent populations
+//! (clear sky, low deck, mid deck, high deck). Classifying pixels by
+//! cloud-top height (or brightness for monocular data) and then cleaning
+//! each class's motion separately avoids the classic failure of global
+//! smoothing: dragging one layer's vectors toward another's across a
+//! deck boundary.
+
+use sma_grid::{FlowField, Grid, Vec2};
+
+/// A pixel's cloud class: index into the height-band table (0 = clear /
+/// lowest band).
+pub type CloudClass = u8;
+
+/// Classify pixels by height thresholds: class k means
+/// `bands[k-1] <= h < bands[k]` with class 0 below the first band.
+///
+/// # Panics
+/// Panics if `bands` is not strictly increasing.
+pub fn classify_by_height(height: &Grid<f32>, bands: &[f32]) -> Grid<CloudClass> {
+    assert!(
+        bands.windows(2).all(|w| w[0] < w[1]),
+        "height bands must be strictly increasing"
+    );
+    height.map(|&h| {
+        let mut class = 0u8;
+        for (k, &b) in bands.iter().enumerate() {
+            if h >= b {
+                class = (k + 1) as u8;
+            }
+        }
+        class
+    })
+}
+
+/// The per-class median displacement (component-wise median — robust and
+/// cheap; adequate because classes move near-rigidly). Classes with no
+/// pixels report zero.
+pub fn class_medians(
+    flow: &FlowField,
+    classes: &Grid<CloudClass>,
+    num_classes: usize,
+) -> Vec<Vec2> {
+    assert_eq!(flow.dims(), classes.dims(), "class shape mismatch");
+    let mut us: Vec<Vec<f32>> = vec![Vec::new(); num_classes];
+    let mut vs: Vec<Vec<f32>> = vec![Vec::new(); num_classes];
+    for ((x, y), v) in flow.enumerate() {
+        let c = classes.at(x, y) as usize;
+        if c < num_classes {
+            us[c].push(v.u);
+            vs[c].push(v.v);
+        }
+    }
+    (0..num_classes)
+        .map(|c| {
+            if us[c].is_empty() {
+                Vec2::ZERO
+            } else {
+                Vec2::new(median(&mut us[c]), median(&mut vs[c]))
+            }
+        })
+        .collect()
+}
+
+fn median(v: &mut [f32]) -> f32 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite flow"));
+    v[v.len() / 2]
+}
+
+/// Post-process a motion field with cloud classes: vectors deviating from
+/// their class median by more than `max_dev` pixels are snapped to the
+/// median (classification-guided outlier rejection). Returns the cleaned
+/// field and the number of snapped pixels.
+pub fn classify_and_clean(
+    flow: &FlowField,
+    classes: &Grid<CloudClass>,
+    num_classes: usize,
+    max_dev: f32,
+) -> (FlowField, usize) {
+    let medians = class_medians(flow, classes, num_classes);
+    let mut snapped = 0usize;
+    let out = FlowField::from_fn(flow.width(), flow.height(), |x, y| {
+        let c = classes.at(x, y) as usize;
+        let v = flow.at(x, y);
+        if c < num_classes && (v - medians[c]).magnitude() > max_dev {
+            snapped += 1;
+            medians[c]
+        } else {
+            v
+        }
+    });
+    (out, snapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn height_bands_classify() {
+        let h = Grid::from_vec(4, 1, vec![0.0, 3.0, 6.0, 11.0]);
+        let c = classify_by_height(&h, &[2.0, 5.0, 10.0]);
+        assert_eq!(c.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bands_rejected() {
+        let h = Grid::filled(2, 2, 0.0f32);
+        let _ = classify_by_height(&h, &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn per_class_medians() {
+        // Class 0 moves (+1, 0), class 1 moves (-2, 0), one outlier each.
+        let classes = Grid::from_fn(10, 2, |x, _| if x < 5 { 0u8 } else { 1u8 });
+        let flow = FlowField::from_fn(10, 2, |x, y| {
+            if x == 0 && y == 0 {
+                Vec2::new(50.0, 50.0) // outlier in class 0
+            } else if x < 5 {
+                Vec2::new(1.0, 0.0)
+            } else {
+                Vec2::new(-2.0, 0.0)
+            }
+        });
+        let m = class_medians(&flow, &classes, 2);
+        assert_eq!(m[0], Vec2::new(1.0, 0.0));
+        assert_eq!(m[1], Vec2::new(-2.0, 0.0));
+    }
+
+    #[test]
+    fn empty_class_reports_zero() {
+        let classes = Grid::filled(4, 4, 0u8);
+        let flow = FlowField::uniform(4, 4, Vec2::new(3.0, 0.0));
+        let m = class_medians(&flow, &classes, 3);
+        assert_eq!(m[1], Vec2::ZERO);
+        assert_eq!(m[2], Vec2::ZERO);
+    }
+
+    #[test]
+    fn cleaning_snaps_outliers_only() {
+        let classes = Grid::from_fn(10, 10, |x, _| if x < 5 { 0u8 } else { 1u8 });
+        let mut flow = FlowField::from_fn(10, 10, |x, _| {
+            if x < 5 {
+                Vec2::new(1.0, 0.0)
+            } else {
+                Vec2::new(-1.0, 0.0)
+            }
+        });
+        flow.set(2, 2, Vec2::new(9.0, 9.0)); // class-0 outlier
+        flow.set(7, 7, Vec2::new(-1.2, 0.1)); // class-1 inlier jitter
+        let (clean, snapped) = classify_and_clean(&flow, &classes, 2, 1.5);
+        assert_eq!(snapped, 1);
+        assert_eq!(clean.at(2, 2), Vec2::new(1.0, 0.0));
+        assert_eq!(clean.at(7, 7), Vec2::new(-1.2, 0.1), "inliers untouched");
+    }
+
+    #[test]
+    fn cleaning_respects_layer_boundaries() {
+        // Unlike global smoothing, class cleaning never mixes the two
+        // decks' motions: every cleaned vector equals one of the two
+        // class medians or an original inlier.
+        let classes = Grid::from_fn(8, 8, |x, _| if x < 4 { 0u8 } else { 1u8 });
+        let flow = FlowField::from_fn(8, 8, |x, _| {
+            if x < 4 {
+                Vec2::new(2.0, 0.0)
+            } else {
+                Vec2::new(-2.0, 0.0)
+            }
+        });
+        let (clean, snapped) = classify_and_clean(&flow, &classes, 2, 0.5);
+        assert_eq!(snapped, 0);
+        for ((x, _), v) in clean.enumerate() {
+            if x < 4 {
+                assert_eq!(v, Vec2::new(2.0, 0.0));
+            } else {
+                assert_eq!(v, Vec2::new(-2.0, 0.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Extensions — the paper's §6 "Future work", implemented.
+//!
+//! "Future work involves using adaptive hierarchical non-square template
+//! and search windows, using multispectral information, coupling stereo
+//! and motion estimation, improving the accuracy of the estimated motion
+//! field by using robust estimation, relaxation labeling or
+//! regularization, and post processing the motion field by using cloud
+//! classification."
+//!
+//! | §6 item | module |
+//! |---|---|
+//! | non-square (rectangular) template & search windows | [`rect`] |
+//! | adaptive hierarchical windows (coarse-to-fine motion) | [`hierarchy`] |
+//! | multispectral information | [`multispectral`] |
+//! | robust estimation (Huber IRLS) | [`robust`] |
+//! | relaxation labeling over displacement labels | [`relaxation`] |
+//! | regularization / post-processing of the motion field | [`regularize`] |
+//! | sub-pixel refinement of the hypothesis grid | [`subpixel`] |
+//! | cloud-classification post-processing | [`classify`] |
+//!
+//! (Coupled stereo–motion estimation lives in `sma_stereo::coupled`,
+//! next to the stereo substrate it extends.)
+
+pub mod classify;
+pub mod hierarchy;
+pub mod multispectral;
+pub mod rect;
+pub mod regularize;
+pub mod relaxation;
+pub mod robust;
+pub mod subpixel;

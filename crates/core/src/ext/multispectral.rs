@@ -1,0 +1,170 @@
+//! Multispectral semi-fluid matching (§6: "using multispectral
+//! information").
+//!
+//! GOES imagers carry visible and infrared channels; clouds that are
+//! ambiguous in one channel (e.g. visible texture washed out over a
+//! bright deck) are often distinctive in another (IR brightness tracks
+//! cloud-top temperature/height). The extension generalizes the
+//! semi-fluid discriminant match of eqs. (10)–(11) to a weighted sum of
+//! per-channel discriminant errors, with everything else (template
+//! mapping structure, hypothesis search) unchanged.
+
+use sma_grid::Grid;
+
+use crate::template_map::discriminant_match_score;
+
+/// One spectral channel's discriminant planes and its weight in the
+/// combined match score.
+#[derive(Debug, Clone)]
+pub struct ChannelDiscriminants {
+    /// Discriminant plane of this channel at `t`.
+    pub before: Grid<f32>,
+    /// Discriminant plane at `t+1`.
+    pub after: Grid<f32>,
+    /// Relative weight (>= 0) of this channel in the combined score.
+    pub weight: f64,
+}
+
+/// Multi-channel discriminant-matching score: the weighted sum of the
+/// per-channel eq.-(10) errors between the semi-fluid template at `p`
+/// (before) and `q` (after).
+///
+/// # Panics
+/// Panics if no channel is supplied or all weights are zero.
+pub fn multispectral_match_score(
+    channels: &[ChannelDiscriminants],
+    px: isize,
+    py: isize,
+    qx: isize,
+    qy: isize,
+    nst: usize,
+) -> f64 {
+    assert!(!channels.is_empty(), "need at least one channel");
+    let wsum: f64 = channels.iter().map(|c| c.weight).sum();
+    assert!(wsum > 0.0, "channel weights must not all be zero");
+    channels
+        .iter()
+        .map(|c| c.weight * discriminant_match_score(&c.before, &c.after, px, py, qx, qy, nst))
+        .sum::<f64>()
+        / wsum
+}
+
+/// Multi-channel semi-fluid correspondence: the `(2 nss + 1)^2` search
+/// of `Fsemi` scored with the combined channels.
+pub fn semifluid_correspondence_ms(
+    channels: &[ChannelDiscriminants],
+    px: isize,
+    py: isize,
+    x0: isize,
+    y0: isize,
+    nss: usize,
+    nst: usize,
+) -> ((isize, isize), f64) {
+    let base = (px + x0, py + y0);
+    if nss == 0 {
+        let s = multispectral_match_score(channels, px, py, base.0, base.1, nst);
+        return (base, s);
+    }
+    let n = nss as isize;
+    let mut best_pos = base;
+    let mut best_score = f64::INFINITY;
+    for sy in -n..=n {
+        for sx in -n..=n {
+            let q = (base.0 + sx, base.1 + sy);
+            let s = multispectral_match_score(channels, px, py, q.0, q.1, nst);
+            if s < best_score {
+                best_score = s;
+                best_pos = q;
+            }
+        }
+    }
+    (best_pos, best_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template_map::semifluid_correspondence;
+
+    fn bump(w: usize, h: usize, cx: usize, cy: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| {
+            let dx = x as f32 - cx as f32;
+            let dy = y as f32 - cy as f32;
+            (-(dx * dx + dy * dy) / 4.0).exp()
+        })
+    }
+
+    #[test]
+    fn single_channel_reduces_to_base() {
+        let before = bump(16, 16, 8, 8);
+        let after = bump(16, 16, 9, 9);
+        let channels = vec![ChannelDiscriminants {
+            before: before.clone(),
+            after: after.clone(),
+            weight: 2.5, // any positive weight normalizes away
+        }];
+        let (pos_ms, score_ms) = semifluid_correspondence_ms(&channels, 8, 8, 0, 0, 1, 2);
+        let (pos, score) = semifluid_correspondence(&before, &after, 8, 8, 0, 0, 1, 2);
+        assert_eq!(pos_ms, pos);
+        assert!((score_ms - score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_channel_breaks_first_channel_ambiguity() {
+        // Channel 1 is flat (no information: all candidates tie at 0);
+        // channel 2 sees the bump move to (+1, +1). Single-channel-1
+        // matching falls back to the tie-break; adding channel 2 finds
+        // the true shift.
+        let flat = Grid::filled(16, 16, 0.0f32);
+        let ch1 = ChannelDiscriminants {
+            before: flat.clone(),
+            after: flat.clone(),
+            weight: 1.0,
+        };
+        let ch2 = ChannelDiscriminants {
+            before: bump(16, 16, 8, 8),
+            after: bump(16, 16, 9, 9),
+            weight: 1.0,
+        };
+        let ((qx, qy), _) =
+            semifluid_correspondence_ms(std::slice::from_ref(&ch1), 8, 8, 0, 0, 1, 2);
+        assert_eq!((qx, qy), (7, 7), "flat channel alone tie-breaks row-major");
+        let ((qx2, qy2), s2) = semifluid_correspondence_ms(&[ch1, ch2], 8, 8, 0, 0, 1, 2);
+        assert_eq!((qx2, qy2), (9, 9), "IR channel resolves the match");
+        assert!(s2 < 1e-9);
+    }
+
+    #[test]
+    fn weights_bias_toward_trusted_channel() {
+        // The two channels disagree: ch1's bump moved (+1, 0), ch2's
+        // moved (0, +1). The heavier channel wins.
+        let ch = |bx: usize, by: usize, w: f64| ChannelDiscriminants {
+            before: bump(16, 16, 8, 8),
+            after: bump(16, 16, bx, by),
+            weight: w,
+        };
+        let ((qx, _), _) =
+            semifluid_correspondence_ms(&[ch(9, 8, 10.0), ch(8, 9, 1.0)], 8, 8, 0, 0, 1, 2);
+        assert_eq!(qx, 9, "heavy channel pulls x");
+        let ((_, qy2), _) =
+            semifluid_correspondence_ms(&[ch(9, 8, 1.0), ch(8, 9, 10.0)], 8, 8, 0, 0, 1, 2);
+        assert_eq!(qy2, 9, "heavy channel pulls y");
+    }
+
+    #[test]
+    fn nss_zero_returns_translated_position() {
+        let c = ChannelDiscriminants {
+            before: bump(16, 16, 8, 8),
+            after: bump(16, 16, 9, 9),
+            weight: 1.0,
+        };
+        let ((qx, qy), _) = semifluid_correspondence_ms(&[c], 8, 8, 2, 1, 0, 2);
+        assert_eq!((qx, qy), (10, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_channels_rejected() {
+        let _ = multispectral_match_score(&[], 0, 0, 0, 0, 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! Non-square (rectangular) template and search windows.
+//!
+//! §2.2: "Although the current implementation uses square template and
+//! search areas, rectangular areas can also be used and may lead to
+//! improved motion correspondence results." Cloud motion is often
+//! anisotropic (shear lines, jet streaks); matching an elongated window
+//! to the structure raises the information content per evaluated term.
+
+use sma_grid::Vec2;
+
+use crate::affine::LocalAffine;
+use crate::config::{MotionModel, SmaConfig};
+use crate::motion::{solve_samples, MotionEstimate, SmaFrames, TemplateSample};
+use crate::template_map::semifluid_correspondence;
+
+/// A rectangular half-width pair: the window spans `(2nx+1) x (2ny+1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RectWindow {
+    /// Half-width along x.
+    pub nx: usize,
+    /// Half-width along y.
+    pub ny: usize,
+}
+
+impl RectWindow {
+    /// A square window (for equivalence with the base implementation).
+    pub const fn square(n: usize) -> Self {
+        Self { nx: n, ny: n }
+    }
+
+    /// Window area `(2nx+1)(2ny+1)`.
+    pub const fn area(&self) -> usize {
+        (2 * self.nx + 1) * (2 * self.ny + 1)
+    }
+}
+
+/// Rectangular-window SMA configuration: the base `cfg` supplies the
+/// model, surface-fit and semi-fluid parameters; `template` and `search`
+/// override the z-template and z-search shapes.
+#[derive(Debug, Clone, Copy)]
+pub struct RectConfig {
+    /// Base configuration (model, nz, nss, nst are used).
+    pub base: SmaConfig,
+    /// Rectangular z-template.
+    pub template: RectWindow,
+    /// Rectangular z-search.
+    pub search: RectWindow,
+}
+
+impl RectConfig {
+    /// Border margin needed for tracked pixels.
+    pub fn margin(&self) -> usize {
+        let semi = match self.base.model {
+            MotionModel::Continuous => 0,
+            MotionModel::SemiFluid => self.base.nss + self.base.nst,
+        };
+        self.template.nx.max(self.template.ny)
+            + self.search.nx.max(self.search.ny)
+            + semi
+            + self.base.nz
+    }
+}
+
+/// Evaluate one hypothesis with rectangular windows (the rectangular
+/// generalization of [`crate::motion::evaluate_hypothesis`]; identical
+/// when both windows are square with the base half-widths).
+pub fn evaluate_hypothesis_rect(
+    frames: &SmaFrames,
+    cfg: &RectConfig,
+    x: usize,
+    y: usize,
+    ox: isize,
+    oy: isize,
+) -> Option<(LocalAffine, f64)> {
+    let ntx = cfg.template.nx as isize;
+    let nty = cfg.template.ny as isize;
+    let mut samples: Vec<TemplateSample> = Vec::with_capacity(cfg.template.area());
+    for dv in -nty..=nty {
+        for du in -ntx..=ntx {
+            let px = x as isize + du;
+            let py = y as isize + dv;
+            let before = frames.geo_before.at_clamped(px, py);
+            let (qx, qy) = match cfg.base.model {
+                MotionModel::Continuous => (px + ox, py + oy),
+                MotionModel::SemiFluid => {
+                    semifluid_correspondence(
+                        &frames.disc_before,
+                        &frames.disc_after,
+                        px,
+                        py,
+                        ox,
+                        oy,
+                        cfg.base.nss,
+                        cfg.base.nst,
+                    )
+                    .0
+                }
+            };
+            let after = frames.geo_after.at_clamped(qx, qy);
+            samples.push(TemplateSample::from_geometry(before, after));
+        }
+    }
+    let (solution, error) = solve_samples(&samples)?;
+    Some((
+        LocalAffine::from_params(&solution, ox as f64, oy as f64, 0.0),
+        error,
+    ))
+}
+
+/// Track one pixel over the rectangular search area.
+pub fn track_pixel_rect(
+    frames: &SmaFrames,
+    cfg: &RectConfig,
+    x: usize,
+    y: usize,
+) -> MotionEstimate {
+    let nsx = cfg.search.nx as isize;
+    let nsy = cfg.search.ny as isize;
+    let mut best = MotionEstimate::invalid();
+    for oy in -nsy..=nsy {
+        for ox in -nsx..=nsx {
+            if let Some((affine, error)) = evaluate_hypothesis_rect(frames, cfg, x, y, ox, oy) {
+                if error < best.error {
+                    best = MotionEstimate {
+                        displacement: Vec2::new(ox as f32, oy as f32),
+                        affine,
+                        error,
+                        valid: true,
+                    };
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion::track_pixel;
+    use sma_grid::warp::translate;
+    use sma_grid::{BorderPolicy, Grid};
+
+    fn wavy(w: usize, h: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| {
+            let (xf, yf) = (x as f32, y as f32);
+            (xf * 0.45).sin() * 2.0 + (yf * 0.35).cos() * 1.5 + (xf * 0.12 + yf * 0.21).sin() * 3.0
+        })
+    }
+
+    #[test]
+    fn square_rect_matches_base_continuous() {
+        let base = SmaConfig::small_test(MotionModel::Continuous);
+        let rect = RectConfig {
+            base,
+            template: RectWindow::square(base.nzt),
+            search: RectWindow::square(base.nzs),
+        };
+        let before = wavy(30, 30);
+        let after = translate(&before, -1.0, 1.0, BorderPolicy::Clamp);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base);
+        let a = track_pixel(&frames, &base, 15, 15);
+        let b = track_pixel_rect(&frames, &rect, 15, 15);
+        assert_eq!(a.displacement, b.displacement);
+        assert!((a.error - b.error).abs() < 1e-12);
+        assert_eq!(a.affine.params(), b.affine.params());
+    }
+
+    #[test]
+    fn wide_search_finds_wide_motion() {
+        // Motion of +4 px in x exceeds a square 2-search but fits a 5x1
+        // rectangular search of the same area class.
+        let base = SmaConfig::small_test(MotionModel::Continuous);
+        let rect = RectConfig {
+            base,
+            template: RectWindow::square(base.nzt),
+            search: RectWindow { nx: 5, ny: 1 },
+        };
+        let before = wavy(36, 36);
+        let after = translate(&before, -4.0, 0.0, BorderPolicy::Clamp);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base);
+        let est = track_pixel_rect(&frames, &rect, 18, 18);
+        assert!(est.valid);
+        assert_eq!(est.displacement, Vec2::new(4.0, 0.0));
+        // The square search cannot reach it.
+        let square = track_pixel(&frames, &base, 18, 18);
+        assert_ne!(square.displacement, Vec2::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn rect_margin_accounts_for_both_axes() {
+        let base = SmaConfig::small_test(MotionModel::SemiFluid);
+        let cfg = RectConfig {
+            base,
+            template: RectWindow { nx: 6, ny: 2 },
+            search: RectWindow { nx: 1, ny: 4 },
+        };
+        // max(6,2) + max(1,4) + (1+2) + 2 = 6 + 4 + 3 + 2 = 15.
+        assert_eq!(cfg.margin(), 15);
+    }
+
+    #[test]
+    fn elongated_template_tracks_anisotropic_texture() {
+        // Texture dominated by x-variation (plus a touch of y so the
+        // 6-parameter system stays full rank): a wide flat template
+        // captures the structure that matters for x-motion.
+        let before = Grid::from_fn(40, 40, |x, y| {
+            (x as f32 * 0.5).sin() * 4.0 + (y as f32 * 0.37).cos() * 0.4
+        });
+        let after = translate(&before, -2.0, 0.0, BorderPolicy::Clamp);
+        let base = SmaConfig::small_test(MotionModel::Continuous);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base);
+        let wide = RectConfig {
+            base,
+            template: RectWindow { nx: 6, ny: 1 },
+            search: RectWindow { nx: 2, ny: 2 },
+        };
+        let est = track_pixel_rect(&frames, &wide, 20, 20);
+        assert!(est.valid);
+        assert_eq!(est.displacement.u, 2.0);
+    }
+
+    #[test]
+    fn rect_window_area() {
+        assert_eq!(RectWindow::square(2).area(), 25);
+        assert_eq!(RectWindow { nx: 3, ny: 1 }.area(), 21);
+    }
+}

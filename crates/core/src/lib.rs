@@ -1,0 +1,65 @@
+//! # sma-core
+//!
+//! The Semi-fluid Motion Analysis (SMA) algorithm of Palaniappan,
+//! Kambhamettu, Hasler & Goldgof, as parallelized in the IPPS 1996 paper.
+//!
+//! ## The algorithm (paper §2.2–2.3)
+//!
+//! For every pixel `(x, y)` of frame `t`, search a
+//! `(2 Nzs + 1)^2` *hypothesis neighborhood* in frame `t+1`. For each
+//! hypothesis `(x^, y^)`:
+//!
+//! * **Step 1 — select template mapping.** Every pixel of the
+//!   `(2 NzT + 1)^2` *z-template* around `(x, y)` is put in
+//!   correspondence with frame `t+1`: under the **continuous** model
+//!   `Fcont` (eq. 2) by pure translation with the hypothesis; under the
+//!   **semi-fluid** model `Fsemi` (eq. 9) each template pixel
+//!   independently refines its correspondence within a small
+//!   `(2 Nss + 1)^2` search by matching the *discriminant* of locally
+//!   fitted quadratic intensity patches (eqs. 10–11) — relaxing local
+//!   continuity so patches may fragment, which is what tracks fluid
+//!   cloud deformation and multi-layer decks.
+//! * **Step 2 — compute motion parameters.** The local affine
+//!   transformation (eq. 6) with six parameters
+//!   `{a_i, b_i, a_j, b_j, a_k, b_k}` is fitted by minimizing the
+//!   surface-normal behaviour error (eqs. 3–5) — a linear least-squares
+//!   problem solved by 6 x 6 Gaussian elimination.
+//!
+//! The hypothesis with the smallest minimized error wins; its
+//! displacement plus affine parameters are the non-rigid motion estimate
+//! at `(x, y)`.
+//!
+//! ## Drivers
+//!
+//! * [`sequential`] — the reference implementation ("a sequential
+//!   (un-optimized) version ... was used to form a baseline for comparing
+//!   the correctness of the parallel algorithm results");
+//! * [`parallel`] — Rayon host-parallel driver, result-identical;
+//! * [`maspar_driver`] — execution against the `maspar-sim` machine
+//!   (folded data, read-out neighborhood fetching, cost ledger);
+//! * [`precompute`] — §4.1's shared template-mapping precomputation with
+//!   the extended-window sliding minimization, and §4.3's segmentation
+//!   by hypothesis rows;
+//! * [`timing`] — the calibrated workload/rate model that regenerates
+//!   the paper's Tables 2 and 4, Fig. 4 and the speed-up headlines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod analysis;
+pub mod config;
+pub mod ext;
+pub mod maspar_driver;
+pub mod motion;
+pub mod parallel;
+pub mod precompute;
+pub mod sequential;
+pub mod template_map;
+pub mod timing;
+
+pub use affine::LocalAffine;
+pub use config::{MotionModel, SmaConfig};
+pub use motion::{MotionEstimate, SmaFrames};
+pub use parallel::track_all_parallel;
+pub use sequential::track_all_sequential;

@@ -1,0 +1,250 @@
+//! The MasPar driver: SMA executed against the simulated MP-2.
+//!
+//! "The parallel implementation was designed to track all pixels in the
+//! mem-th memory layer in parallel and then repeat the process for each
+//! layer" (§4). This driver does exactly that against `maspar-sim`:
+//!
+//! 1. the frame planes are **folded** onto the PE array with the 2-D
+//!    hierarchical mapping (charged to the ledger as load traffic);
+//! 2. template neighborhoods are **fetched through a read-out scheme**
+//!    (snake or raster-scan, §4.2), with every transfer charged;
+//! 3. pixels are tracked **layer by layer**, all PEs in lockstep within
+//!    a layer (host-parallel over the PEs of a layer, which is the
+//!    simulator's stand-in for SIMD lockstep);
+//! 4. the result is **bit-identical to the sequential baseline** — the
+//!    paper's §5.1 correctness claim, which the tests assert.
+//!
+//! Compute-phase *timing* is the business of [`crate::timing`] (the
+//! machine is simulated functionally, not cycle by cycle); this driver's
+//! ledger carries the communication costs, which is where the mapping
+//! and read-out design decisions show up.
+
+use maspar_sim::machine::{MasPar, ReadoutScheme};
+use maspar_sim::memory::MemoryBudget;
+use maspar_sim::readout::ReadoutStats;
+use rayon::prelude::*;
+use sma_grid::Grid;
+
+use crate::config::SmaConfig;
+use crate::motion::{track_pixel, MotionEstimate, SmaFrames};
+use crate::sequential::{Region, SmaResult};
+
+/// Report of one machine run.
+#[derive(Debug)]
+pub struct MasparRunReport {
+    /// The motion result (identical to the sequential baseline).
+    pub result: SmaResult,
+    /// Read-out statistics of the template-neighborhood fetch sweep.
+    pub readout: ReadoutStats,
+    /// Number of memory layers processed (`xvr * yvr`).
+    pub layers: usize,
+    /// The PE memory budget of this configuration, with the §4.3
+    /// segmentation decision.
+    pub memory: MemoryBudget,
+    /// Segments the hypothesis area was chunked into (1 = unsegmented).
+    pub segments: usize,
+}
+
+/// Run the SMA on the machine. The four input planes are folded onto the
+/// PE array, neighborhood traffic goes through `scheme`, and tracking
+/// proceeds layer by layer.
+///
+/// # Panics
+/// Panics if the frames' shapes differ, the region is empty, or the
+/// configuration cannot fit PE memory even fully segmented.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
+pub fn track_on_maspar(
+    machine: &mut MasPar,
+    intensity_before: &Grid<f32>,
+    intensity_after: &Grid<f32>,
+    surface_before: &Grid<f32>,
+    surface_after: &Grid<f32>,
+    cfg: &SmaConfig,
+    region: Region,
+    scheme: ReadoutScheme,
+) -> MasparRunReport {
+    // Phase: load frames onto the PE array.
+    let f_ib = machine.fold("Load frames", intensity_before);
+    let f_ia = machine.fold("Load frames", intensity_after);
+    let f_sb = machine.fold("Load frames", surface_before);
+    let f_sa = machine.fold("Load frames", surface_after);
+    let mapping = f_sb.mapping();
+    let layers = mapping.layers();
+
+    // The memory budget / segmentation decision (§4.3).
+    let memory = machine.memory_budget(mapping.xvr(), mapping.yvr(), cfg.nzs, cfg.nst, cfg.nss);
+    let segments = memory
+        .num_segments()
+        .expect("configuration exceeds PE memory even with single-row segments");
+
+    // The algorithm consumes machine-resident data: unfold from the
+    // folded planes (every pixel passes through the PE mapping).
+    let frames = SmaFrames::prepare(
+        &f_ib.unfold(),
+        &f_ia.unfold(),
+        &f_sb.unfold(),
+        &f_sa.unfold(),
+        cfg,
+    );
+
+    // Phase: template-neighborhood read-out sweep over the surface plane
+    // (the communication pattern of the hypothesis matching), charged to
+    // the ledger under the configured scheme. The sweep also serves as a
+    // machine-level verification that folded delivery is correct.
+    let reference = frames.surface_before.clone();
+    let (w, h) = reference.dims();
+    let readout = machine.fetch_windows(
+        "Template read-out",
+        &f_sb,
+        cfg.nzt.min(w / 4).min(h / 4),
+        scheme,
+        |x, y, dx, dy, v| {
+            let sx = (x as isize + dx).rem_euclid(w as isize) as usize;
+            let sy = (y as isize + dy).rem_euclid(h as isize) as usize;
+            debug_assert_eq!(v, reference.at(sx, sy), "read-out delivered a wrong value");
+        },
+    );
+
+    // Track layer by layer: all pixels of layer `mem` in lockstep.
+    let bounds = region.bounds(w, h).expect("empty tracking region");
+    let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
+    for mem in 0..layers {
+        let layer_pixels: Vec<(usize, usize)> = bounds
+            .pixels()
+            .filter(|&(x, y)| mapping.to_pe(x, y).2 == mem)
+            .collect();
+        let tracked: Vec<((usize, usize), MotionEstimate)> = layer_pixels
+            .par_iter()
+            .map(|&(x, y)| ((x, y), track_pixel(&frames, cfg, x, y)))
+            .collect();
+        for ((x, y), est) in tracked {
+            estimates.set(x, y, est);
+        }
+    }
+
+    MasparRunReport {
+        result: SmaResult {
+            estimates,
+            region: bounds,
+        },
+        readout,
+        layers,
+        memory,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MotionModel;
+    use crate::sequential::track_all_sequential;
+    use maspar_sim::machine::MachineConfig;
+    use sma_grid::warp::translate;
+    use sma_grid::BorderPolicy;
+
+    fn wavy(w: usize, h: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| {
+            let (xf, yf) = (x as f32, y as f32);
+            (xf * 0.45).sin() * 2.0 + (yf * 0.35).cos() * 1.5 + (xf * 0.12 + yf * 0.21).sin() * 3.0
+        })
+    }
+
+    fn small_machine() -> MasPar {
+        MasPar::new(MachineConfig {
+            nxproc: 8,
+            nyproc: 8,
+            ..MachineConfig::goddard_mp2()
+        })
+    }
+
+    /// §5.1: "The parallel algorithm obtained the same result as the
+    /// sequential implementation" — on the machine, layer by layer.
+    #[test]
+    fn maspar_equals_sequential() {
+        let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
+        let before = wavy(24, 24);
+        let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
+        let mut machine = small_machine();
+        let region = Region::Interior { margin: 9 };
+        let report = track_on_maspar(
+            &mut machine,
+            &before,
+            &after,
+            &before,
+            &after,
+            &cfg,
+            region,
+            ReadoutScheme::Raster,
+        );
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let reference = track_all_sequential(&frames, &cfg, region);
+        for (x, y) in reference.region.pixels() {
+            assert_eq!(
+                reference.estimates.at(x, y),
+                report.result.estimates.at(x, y),
+                "at ({x},{y})"
+            );
+        }
+        assert_eq!(report.layers, 9); // 24/8 = 3 -> 3x3 layers
+        assert_eq!(report.segments, 1);
+    }
+
+    #[test]
+    fn ledger_charges_load_and_readout() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let before = wavy(16, 16);
+        let after = before.clone();
+        let mut machine = small_machine();
+        let _ = track_on_maspar(
+            &mut machine,
+            &before,
+            &after,
+            &before,
+            &after,
+            &cfg,
+            Region::Interior { margin: 7 },
+            ReadoutScheme::Raster,
+        );
+        let ledger = machine.ledger();
+        let load = ledger.phase("Load frames").expect("load phase charged");
+        assert_eq!(load.mem_bytes_direct, 4.0 * 16.0 * 16.0 * 4.0);
+        let readout = ledger.phase("Template read-out").expect("read-out charged");
+        assert!(readout.xnet_bytes > 0.0);
+    }
+
+    #[test]
+    fn snake_charges_memory_moves_raster_does_not() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let before = wavy(16, 16);
+        let run = |scheme| {
+            let mut machine = small_machine();
+            let report = track_on_maspar(
+                &mut machine,
+                &before,
+                &before,
+                &before,
+                &before,
+                &cfg,
+                Region::Interior { margin: 7 },
+                scheme,
+            );
+            (report.readout, machine)
+        };
+        let (snake, _) = run(ReadoutScheme::Snake);
+        let (raster, _) = run(ReadoutScheme::Raster);
+        assert!(snake.mem_moves > 0);
+        assert_eq!(raster.mem_moves, 0);
+    }
+
+    #[test]
+    fn frederic_on_goddard_is_unsegmented() {
+        // Verify the §4.3 decision through the driver's own budget: the
+        // Table 2 configuration fits PE memory without segmentation.
+        let machine = MasPar::goddard_mp2();
+        let cfg = SmaConfig::hurricane_frederic();
+        let b = machine.memory_budget(4, 4, cfg.nzs, cfg.nst, cfg.nss);
+        assert!(b.unsegmented_fits());
+        assert_eq!(b.num_segments(), Some(1));
+    }
+}

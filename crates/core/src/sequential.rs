@@ -1,0 +1,224 @@
+//! The sequential reference driver.
+//!
+//! "A sequential (un-optimized) version of the semi-fluid motion tracking
+//! algorithm was used to form a baseline for comparing the correctness of
+//! the parallel algorithm results, for testing and for selecting
+//! neighborhood parameters" (§4). This driver is that baseline: a direct
+//! per-pixel loop with no precomputation or sharing; every other driver
+//! must reproduce its results exactly.
+
+use sma_grid::{FlowField, Grid, Vec2, WindowBounds};
+
+use crate::config::SmaConfig;
+use crate::motion::{track_pixel, MotionEstimate, SmaFrames};
+
+/// Which pixels a driver tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Every pixel of the frame (the paper tracks "all 512 x 512 pixels").
+    Full,
+    /// Only pixels at least `margin` from the border — the useful choice
+    /// for small test frames where window clamping would dominate.
+    Interior {
+        /// Border margin in pixels.
+        margin: usize,
+    },
+    /// An explicit rectangle.
+    Rect(WindowBounds),
+}
+
+impl Region {
+    /// The concrete pixel rectangle for a `w x h` frame; `None` when the
+    /// region is empty.
+    pub fn bounds(&self, w: usize, h: usize) -> Option<WindowBounds> {
+        match *self {
+            Region::Full => WindowBounds::clipped(0, 0, w as isize - 1, h as isize - 1, w, h),
+            Region::Interior { margin } => {
+                if 2 * margin >= w || 2 * margin >= h {
+                    return None;
+                }
+                WindowBounds::clipped(
+                    margin as isize,
+                    margin as isize,
+                    (w - 1 - margin) as isize,
+                    (h - 1 - margin) as isize,
+                    w,
+                    h,
+                )
+            }
+            Region::Rect(b) => {
+                if b.x1 < w && b.y1 < h {
+                    Some(b)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// A dense SMA result: per-pixel estimates over the tracked region.
+#[derive(Debug, Clone)]
+pub struct SmaResult {
+    /// Per-pixel estimates; untracked pixels hold
+    /// [`MotionEstimate::invalid`].
+    pub estimates: Grid<MotionEstimate>,
+    /// The tracked rectangle.
+    pub region: WindowBounds,
+}
+
+impl SmaResult {
+    /// The displacement field (invalid pixels report zero flow).
+    pub fn flow(&self) -> FlowField {
+        FlowField::from_grid(self.estimates.map(
+            |e| {
+                if e.valid {
+                    e.displacement
+                } else {
+                    Vec2::ZERO
+                }
+            },
+        ))
+    }
+
+    /// Fraction of tracked pixels that produced a valid estimate.
+    pub fn valid_fraction(&self) -> f64 {
+        let total = self.region.area();
+        if total == 0 {
+            return 0.0;
+        }
+        let valid = self
+            .region
+            .pixels()
+            .filter(|&(x, y)| self.estimates.at(x, y).valid)
+            .count();
+        valid as f64 / total as f64
+    }
+
+    /// Mean minimized error over valid pixels.
+    pub fn mean_error(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (x, y) in self.region.pixels() {
+            let e = self.estimates.at(x, y);
+            if e.valid {
+                sum += e.error;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Track every pixel of `region` sequentially (the reference baseline).
+///
+/// # Panics
+/// Panics if the region is empty for the frame size.
+pub fn track_all_sequential(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -> SmaResult {
+    let (w, h) = frames.dims();
+    let bounds = region.bounds(w, h).expect("empty tracking region");
+    let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
+    for (x, y) in bounds.pixels() {
+        estimates.set(x, y, track_pixel(frames, cfg, x, y));
+    }
+    SmaResult {
+        estimates,
+        region: bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MotionModel;
+    use sma_grid::warp::translate;
+    use sma_grid::BorderPolicy;
+
+    fn wavy(w: usize, h: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| {
+            let (xf, yf) = (x as f32, y as f32);
+            (xf * 0.45).sin() * 2.0 + (yf * 0.35).cos() * 1.5 + (xf * 0.12 + yf * 0.21).sin() * 3.0
+        })
+    }
+
+    #[test]
+    fn region_bounds() {
+        assert_eq!(
+            Region::Full.bounds(8, 6).unwrap(),
+            WindowBounds {
+                x0: 0,
+                y0: 0,
+                x1: 7,
+                y1: 5
+            }
+        );
+        assert_eq!(
+            Region::Interior { margin: 2 }.bounds(8, 8).unwrap(),
+            WindowBounds {
+                x0: 2,
+                y0: 2,
+                x1: 5,
+                y1: 5
+            }
+        );
+        assert!(Region::Interior { margin: 4 }.bounds(8, 8).is_none());
+        assert!(Region::Rect(WindowBounds {
+            x0: 0,
+            y0: 0,
+            x1: 9,
+            y1: 0
+        })
+        .bounds(8, 8)
+        .is_none());
+    }
+
+    #[test]
+    fn dense_tracking_recovers_uniform_shift() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let before = wavy(32, 32);
+        let after = translate(&before, -1.0, -1.0, BorderPolicy::Clamp); // scene moves (+1,+1)
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 8 });
+
+        assert!(
+            result.valid_fraction() > 0.95,
+            "valid {}",
+            result.valid_fraction()
+        );
+        let flow = result.flow();
+        let truth = FlowField::uniform(32, 32, Vec2::new(1.0, 1.0));
+        let pts: Vec<(usize, usize)> = result.region.pixels().collect();
+        let stats = flow.compare_at(&truth, &pts);
+        assert!(
+            stats.subpixel(),
+            "RMS {} px must be sub-pixel (paper's criterion)",
+            stats.rms_endpoint
+        );
+    }
+
+    #[test]
+    fn mean_error_finite_and_small_for_pure_translation() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let before = wavy(32, 32);
+        let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 8 });
+        assert!(result.mean_error().is_finite());
+        assert!(result.mean_error() < 1.0);
+    }
+
+    #[test]
+    fn untracked_pixels_are_invalid() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let before = wavy(24, 24);
+        let frames = SmaFrames::prepare(&before, &before, &before, &before, &cfg);
+        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 9 });
+        assert!(!result.estimates.at(0, 0).valid);
+        assert!(result.estimates.at(12, 12).valid);
+        assert_eq!(result.flow().at(0, 0), Vec2::ZERO);
+    }
+}

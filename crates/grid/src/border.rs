@@ -1,0 +1,139 @@
+//! Border handling for neighborhood operations.
+//!
+//! Every step of the SMA algorithm reads `(2N+1) x (2N+1)` neighborhoods
+//! centered on a pixel; near the image border parts of those windows fall
+//! outside the array. The paper sidesteps the issue by reporting results
+//! away from the border (and because the 121x121 z-template makes a wide
+//! apron anyway); we make the policy explicit so every consumer states how
+//! it treats the apron.
+
+/// How out-of-range coordinates are resolved when reading a neighborhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BorderPolicy {
+    /// Clamp to the nearest edge pixel (replicate border).
+    Clamp,
+    /// Mirror across the edge without repeating the edge pixel
+    /// (`-1 -> 1`, `-2 -> 2`, `w -> w-2`).
+    Reflect,
+    /// Wrap around toroidally (`-1 -> w-1`), matching the MasPar X-net
+    /// mesh's toroidal connections.
+    Wrap,
+    /// Out-of-range reads yield a caller-supplied constant.
+    Constant,
+}
+
+impl BorderPolicy {
+    /// Resolve signed `(x, y)` against a `width x height` grid.
+    ///
+    /// Returns in-range indices, or `None` for [`BorderPolicy::Constant`]
+    /// when the point is outside (the caller substitutes its constant).
+    ///
+    /// # Panics
+    /// Panics if `width` or `height` is zero — a border policy over an
+    /// empty grid has no meaning.
+    #[inline]
+    pub fn resolve(
+        self,
+        x: isize,
+        y: isize,
+        width: usize,
+        height: usize,
+    ) -> Option<(usize, usize)> {
+        assert!(width > 0 && height > 0, "border resolve on empty grid");
+        let rx = self.resolve_axis(x, width)?;
+        let ry = self.resolve_axis(y, height)?;
+        Some((rx, ry))
+    }
+
+    /// Resolve a single signed coordinate against an axis of length `n`.
+    #[inline]
+    pub fn resolve_axis(self, v: isize, n: usize) -> Option<usize> {
+        let n_i = n as isize;
+        if v >= 0 && v < n_i {
+            return Some(v as usize);
+        }
+        match self {
+            BorderPolicy::Clamp => Some(v.clamp(0, n_i - 1) as usize),
+            BorderPolicy::Reflect => {
+                if n == 1 {
+                    return Some(0);
+                }
+                // Reflect with period 2(n-1): ... 2 1 0 1 2 ... n-2 n-1 n-2 ...
+                let period = 2 * (n_i - 1);
+                let mut m = v.rem_euclid(period);
+                if m >= n_i {
+                    m = period - m;
+                }
+                Some(m as usize)
+            }
+            BorderPolicy::Wrap => Some(v.rem_euclid(n_i) as usize),
+            BorderPolicy::Constant => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_identity_for_all_policies() {
+        for p in [
+            BorderPolicy::Clamp,
+            BorderPolicy::Reflect,
+            BorderPolicy::Wrap,
+            BorderPolicy::Constant,
+        ] {
+            assert_eq!(p.resolve_axis(3, 8), Some(3));
+            assert_eq!(p.resolve(2, 5, 8, 8), Some((2, 5)));
+        }
+    }
+
+    #[test]
+    fn clamp_pins_to_edges() {
+        assert_eq!(BorderPolicy::Clamp.resolve_axis(-5, 4), Some(0));
+        assert_eq!(BorderPolicy::Clamp.resolve_axis(9, 4), Some(3));
+    }
+
+    #[test]
+    fn reflect_mirrors_without_repeating_edge() {
+        let p = BorderPolicy::Reflect;
+        assert_eq!(p.resolve_axis(-1, 4), Some(1));
+        assert_eq!(p.resolve_axis(-2, 4), Some(2));
+        assert_eq!(p.resolve_axis(4, 4), Some(2));
+        assert_eq!(p.resolve_axis(5, 4), Some(1));
+        // Full period round trip.
+        assert_eq!(p.resolve_axis(6, 4), Some(0));
+        assert_eq!(p.resolve_axis(-6, 4), Some(0));
+    }
+
+    #[test]
+    fn reflect_singleton_axis() {
+        assert_eq!(BorderPolicy::Reflect.resolve_axis(-3, 1), Some(0));
+        assert_eq!(BorderPolicy::Reflect.resolve_axis(7, 1), Some(0));
+    }
+
+    #[test]
+    fn wrap_is_toroidal() {
+        assert_eq!(BorderPolicy::Wrap.resolve_axis(-1, 4), Some(3));
+        assert_eq!(BorderPolicy::Wrap.resolve_axis(4, 4), Some(0));
+        assert_eq!(BorderPolicy::Wrap.resolve_axis(-5, 4), Some(3));
+    }
+
+    #[test]
+    fn constant_yields_none_outside() {
+        assert_eq!(BorderPolicy::Constant.resolve_axis(-1, 4), None);
+        assert_eq!(BorderPolicy::Constant.resolve(0, 4, 4, 4), None);
+        assert_eq!(BorderPolicy::Constant.resolve(3, 3, 4, 4), Some((3, 3)));
+    }
+
+    #[test]
+    fn reflect_always_in_range() {
+        for n in 1usize..6 {
+            for v in -20isize..20 {
+                let r = BorderPolicy::Reflect.resolve_axis(v, n).unwrap();
+                assert!(r < n, "reflect({v}, {n}) = {r} out of range");
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Separable filtering and discrete derivatives.
+//!
+//! The ASA stereo substrate smooths images before decimation (anti-alias)
+//! and the synthetic data generator band-limits its cloud textures. The
+//! SMA surface-fitting stage needs first derivatives `z_x`, `z_y` of the
+//! fitted patches — those come analytically from `sma-surface`; the
+//! central-difference gradients here serve the generators and diagnostics.
+
+use crate::border::BorderPolicy;
+use crate::grid::Grid;
+
+/// Convolve each row with the 1-D kernel `k` (odd length), then each
+/// column, using `policy` at the borders. This is the standard separable
+/// convolution; the kernel is applied in correlation orientation (no
+/// flip), which is equivalent for the symmetric kernels used here.
+///
+/// # Panics
+/// Panics if the kernel length is even or zero.
+pub fn separable_convolve(img: &Grid<f32>, k: &[f32], policy: BorderPolicy) -> Grid<f32> {
+    let tmp = convolve_rows(img, k, policy);
+    convolve_cols(&tmp, k, policy)
+}
+
+/// Convolve rows only with the 1-D kernel `k`.
+///
+/// # Panics
+/// Panics if the kernel length is even or zero.
+pub fn convolve_rows(img: &Grid<f32>, k: &[f32], policy: BorderPolicy) -> Grid<f32> {
+    assert!(k.len() % 2 == 1, "kernel length must be odd");
+    let r = (k.len() / 2) as isize;
+    Grid::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &kv) in k.iter().enumerate() {
+            let dx = i as isize - r;
+            acc += kv * img.at_clamped(x as isize + dx, y as isize, policy);
+        }
+        acc
+    })
+}
+
+/// Convolve columns only with the 1-D kernel `k`.
+///
+/// # Panics
+/// Panics if the kernel length is even or zero.
+pub fn convolve_cols(img: &Grid<f32>, k: &[f32], policy: BorderPolicy) -> Grid<f32> {
+    assert!(k.len() % 2 == 1, "kernel length must be odd");
+    let r = (k.len() / 2) as isize;
+    Grid::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0f32;
+        for (i, &kv) in k.iter().enumerate() {
+            let dy = i as isize - r;
+            acc += kv * img.at_clamped(x as isize, y as isize + dy, policy);
+        }
+        acc
+    })
+}
+
+/// The 5-tap binomial kernel `[1 4 6 4 1] / 16` — the classic Burt–Adelson
+/// generating kernel used for pyramid construction.
+pub const BINOMIAL_5: [f32; 5] = [1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0];
+
+/// Smooth with the 5-tap binomial kernel in both directions.
+pub fn binomial_smooth(img: &Grid<f32>, policy: BorderPolicy) -> Grid<f32> {
+    separable_convolve(img, &BINOMIAL_5, policy)
+}
+
+/// Build a normalized 1-D Gaussian kernel with standard deviation `sigma`,
+/// truncated at `3 sigma` (minimum radius 1).
+///
+/// # Panics
+/// Panics if `sigma` is not finite and positive.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+    let r = ((3.0 * sigma).ceil() as usize).max(1);
+    let mut k: Vec<f32> = (0..=2 * r)
+        .map(|i| {
+            let d = i as f32 - r as f32;
+            (-0.5 * d * d / (sigma * sigma)).exp()
+        })
+        .collect();
+    let s: f32 = k.iter().sum();
+    for v in &mut k {
+        *v /= s;
+    }
+    k
+}
+
+/// Gaussian smoothing with standard deviation `sigma`.
+pub fn gaussian_smooth(img: &Grid<f32>, sigma: f32, policy: BorderPolicy) -> Grid<f32> {
+    separable_convolve(img, &gaussian_kernel(sigma), policy)
+}
+
+/// Central-difference gradient `(d/dx, d/dy)` planes.
+pub fn gradient(img: &Grid<f32>, policy: BorderPolicy) -> (Grid<f32>, Grid<f32>) {
+    let gx = Grid::from_fn(img.width(), img.height(), |x, y| {
+        0.5 * (img.at_clamped(x as isize + 1, y as isize, policy)
+            - img.at_clamped(x as isize - 1, y as isize, policy))
+    });
+    let gy = Grid::from_fn(img.width(), img.height(), |x, y| {
+        0.5 * (img.at_clamped(x as isize, y as isize + 1, policy)
+            - img.at_clamped(x as isize, y as isize - 1, policy))
+    });
+    (gx, gy)
+}
+
+/// Box mean over a `(2n+1) x (2n+1)` window (used by NCC normalization).
+pub fn box_mean(img: &Grid<f32>, n: usize, policy: BorderPolicy) -> Grid<f32> {
+    let side = 2 * n + 1;
+    let k = vec![1.0 / side as f32; side];
+    separable_convolve(img, &k, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant(v: f32) -> Grid<f32> {
+        Grid::filled(9, 7, v)
+    }
+
+    #[test]
+    fn binomial_preserves_constants() {
+        let img = constant(3.5);
+        let out = binomial_smooth(&img, BorderPolicy::Clamp);
+        for &v in out.iter() {
+            assert!((v - 3.5).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gaussian_kernel_normalized_and_symmetric() {
+        let k = gaussian_kernel(1.3);
+        let s: f32 = k.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        for i in 0..k.len() / 2 {
+            assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-6);
+        }
+        assert!(k.len() % 2 == 1);
+    }
+
+    #[test]
+    fn gaussian_smooth_reduces_variance() {
+        // A checkerboard has maximal high-frequency energy; smoothing must
+        // pull values toward the mean.
+        let img = Grid::from_fn(16, 16, |x, y| if (x + y) % 2 == 0 { 1.0 } else { 0.0 });
+        let out = gaussian_smooth(&img, 1.0, BorderPolicy::Reflect);
+        let var_in: f32 = img.iter().map(|v| (v - 0.5) * (v - 0.5)).sum();
+        let var_out: f32 = out.iter().map(|v| (v - 0.5) * (v - 0.5)).sum();
+        assert!(var_out < 0.1 * var_in);
+    }
+
+    #[test]
+    fn gradient_of_linear_ramp_is_exact() {
+        let img = Grid::from_fn(8, 8, |x, y| 2.0 * x as f32 - 3.0 * y as f32);
+        let (gx, gy) = gradient(&img, BorderPolicy::Clamp);
+        // Interior pixels see the exact slope.
+        for y in 1..7 {
+            for x in 1..7 {
+                assert!((gx.at(x, y) - 2.0).abs() < 1e-5);
+                assert!((gy.at(x, y) + 3.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn box_mean_of_impulse_spreads_uniformly() {
+        let mut img = Grid::filled(7, 7, 0.0f32);
+        img.set(3, 3, 9.0);
+        let out = box_mean(&img, 1, BorderPolicy::Constant);
+        for (dx, dy) in CenteredOffsets::new(1) {
+            let v = out.at((3 + dx) as usize, (3 + dy) as usize);
+            assert!(
+                (v - 1.0).abs() < 1e-5,
+                "expected 1.0 at offset ({dx},{dy}), got {v}"
+            );
+        }
+        assert!(out.at(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convolve_rows_identity_kernel() {
+        let img = Grid::from_fn(5, 4, |x, y| (x * 10 + y) as f32);
+        let out = convolve_rows(&img, &[0.0, 1.0, 0.0], BorderPolicy::Clamp);
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel length must be odd")]
+    fn even_kernel_rejected() {
+        let img = constant(0.0);
+        let _ = convolve_rows(&img, &[0.5, 0.5], BorderPolicy::Clamp);
+    }
+
+    /// Tiny local helper: offsets of a centered window (avoids a circular
+    /// dev-dependency on the window module in this test).
+    struct CenteredOffsets {
+        n: isize,
+        i: isize,
+    }
+    impl CenteredOffsets {
+        fn new(n: isize) -> Self {
+            Self { n, i: 0 }
+        }
+    }
+    impl Iterator for CenteredOffsets {
+        type Item = (isize, isize);
+        fn next(&mut self) -> Option<Self::Item> {
+            let side = 2 * self.n + 1;
+            if self.i >= side * side {
+                return None;
+            }
+            let dx = self.i % side - self.n;
+            let dy = self.i / side - self.n;
+            self.i += 1;
+            Some((dx, dy))
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Dense motion fields and accuracy statistics.
+//!
+//! The SMA algorithm outputs a dense field of non-rigid correspondences —
+//! one displacement per tracked pixel ("a dense motion field for 262144
+//! pixels is estimated for each image pair"). The paper validates against
+//! 32 manually tracked wind barbs with "a root-mean-squared error of less
+//! than one pixel"; [`FlowStats`] computes the same RMS endpoint metric
+//! plus mean/max magnitudes and mean angular error.
+
+use crate::grid::Grid;
+
+/// A 2-D displacement in pixels: `u` along `x` (columns), `v` along `y`
+/// (rows).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal displacement (pixels).
+    pub u: f32,
+    /// Vertical displacement (pixels).
+    pub v: f32,
+}
+
+impl Vec2 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(u: f32, v: f32) -> Self {
+        Self { u, v }
+    }
+
+    /// Zero displacement.
+    pub const ZERO: Vec2 = Vec2 { u: 0.0, v: 0.0 };
+
+    /// Euclidean magnitude.
+    #[inline]
+    pub fn magnitude(&self) -> f32 {
+        (self.u * self.u + self.v * self.v).sqrt()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, o: &Vec2) -> f32 {
+        self.u * o.u + self.v * o.v
+    }
+
+    /// Angle in radians measured from +x axis (atan2 convention).
+    #[inline]
+    pub fn angle(&self) -> f32 {
+        self.v.atan2(self.u)
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.u + o.u, self.v + o.v)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.u - o.u, self.v - o.v)
+    }
+}
+
+impl std::ops::Mul<f32> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f32) -> Vec2 {
+        Vec2::new(self.u * s, self.v * s)
+    }
+}
+
+impl std::ops::Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.u, -self.v)
+    }
+}
+
+/// A dense per-pixel displacement field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowField {
+    grid: Grid<Vec2>,
+}
+
+impl FlowField {
+    /// All-zero flow of the given shape.
+    pub fn zeros(width: usize, height: usize) -> Self {
+        Self {
+            grid: Grid::filled(width, height, Vec2::ZERO),
+        }
+    }
+
+    /// Uniform flow of the given shape.
+    pub fn uniform(width: usize, height: usize, v: Vec2) -> Self {
+        Self {
+            grid: Grid::filled(width, height, v),
+        }
+    }
+
+    /// Build from a per-pixel function.
+    pub fn from_fn(width: usize, height: usize, f: impl FnMut(usize, usize) -> Vec2) -> Self {
+        Self {
+            grid: Grid::from_fn(width, height, f),
+        }
+    }
+
+    /// Wrap an existing grid of vectors.
+    pub fn from_grid(grid: Grid<Vec2>) -> Self {
+        Self { grid }
+    }
+
+    /// `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.grid.dims()
+    }
+
+    /// Field width.
+    pub fn width(&self) -> usize {
+        self.grid.width()
+    }
+
+    /// Field height.
+    pub fn height(&self) -> usize {
+        self.grid.height()
+    }
+
+    /// Displacement at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> Vec2 {
+        self.grid.at(x, y)
+    }
+
+    /// Set displacement at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: Vec2) {
+        self.grid.set(x, y, v);
+    }
+
+    /// Underlying grid of vectors.
+    pub fn as_grid(&self) -> &Grid<Vec2> {
+        &self.grid
+    }
+
+    /// The `u` component as a plane.
+    pub fn u_plane(&self) -> Grid<f32> {
+        self.grid.map(|v| v.u)
+    }
+
+    /// The `v` component as a plane.
+    pub fn v_plane(&self) -> Grid<f32> {
+        self.grid.map(|v| v.v)
+    }
+
+    /// Magnitude plane.
+    pub fn magnitude_plane(&self) -> Grid<f32> {
+        self.grid.map(|v| v.magnitude())
+    }
+
+    /// Iterate `((x, y), Vec2)` row-major.
+    pub fn enumerate(&self) -> impl Iterator<Item = ((usize, usize), Vec2)> + '_ {
+        self.grid.enumerate().map(|(c, &v)| (c, v))
+    }
+
+    /// Compare against a reference field over all pixels.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn compare(&self, truth: &FlowField) -> FlowStats {
+        assert_eq!(self.dims(), truth.dims(), "flow compare shape mismatch");
+        let pairs = self
+            .grid
+            .iter()
+            .zip(truth.grid.iter())
+            .map(|(&a, &b)| (a, b));
+        FlowStats::from_pairs(pairs)
+    }
+
+    /// Compare at a sparse set of pixel locations — the paper's manual
+    /// wind-barb protocol (32 tracked particles). Out-of-range points are
+    /// skipped.
+    pub fn compare_at(&self, truth: &FlowField, points: &[(usize, usize)]) -> FlowStats {
+        let pairs =
+            points.iter().filter_map(
+                |&(x, y)| match (self.grid.get(x, y), truth.grid.get(x, y)) {
+                    (Some(&a), Some(&b)) => Some((a, b)),
+                    _ => None,
+                },
+            );
+        FlowStats::from_pairs(pairs)
+    }
+}
+
+/// Accuracy statistics of an estimated flow against a reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStats {
+    /// Number of compared vectors.
+    pub count: usize,
+    /// Root-mean-squared endpoint error in pixels (the paper's metric).
+    pub rms_endpoint: f32,
+    /// Mean endpoint error in pixels.
+    pub mean_endpoint: f32,
+    /// Maximum endpoint error in pixels.
+    pub max_endpoint: f32,
+    /// Mean absolute angular error in radians, over vectors where both
+    /// estimate and truth exceed 0.1 px (angle is meaningless for
+    /// near-zero vectors).
+    pub mean_angular: f32,
+    /// Mean magnitude of the reference field (context for the errors).
+    pub mean_truth_magnitude: f32,
+}
+
+impl FlowStats {
+    /// Aggregate over `(estimate, truth)` pairs.
+    pub fn from_pairs(pairs: impl Iterator<Item = (Vec2, Vec2)>) -> Self {
+        let mut n = 0usize;
+        let mut ss = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut max = 0.0f32;
+        let mut ang_sum = 0.0f64;
+        let mut ang_n = 0usize;
+        let mut truth_mag = 0.0f64;
+        for (est, tru) in pairs {
+            let e = (est - tru).magnitude();
+            n += 1;
+            ss += (e as f64) * (e as f64);
+            sum += e as f64;
+            max = max.max(e);
+            truth_mag += tru.magnitude() as f64;
+            if est.magnitude() > 0.1 && tru.magnitude() > 0.1 {
+                let cosang = (est.dot(&tru) / (est.magnitude() * tru.magnitude())).clamp(-1.0, 1.0);
+                ang_sum += cosang.acos() as f64;
+                ang_n += 1;
+            }
+        }
+        if n == 0 {
+            return Self {
+                count: 0,
+                rms_endpoint: 0.0,
+                mean_endpoint: 0.0,
+                max_endpoint: 0.0,
+                mean_angular: 0.0,
+                mean_truth_magnitude: 0.0,
+            };
+        }
+        Self {
+            count: n,
+            rms_endpoint: (ss / n as f64).sqrt() as f32,
+            mean_endpoint: (sum / n as f64) as f32,
+            max_endpoint: max,
+            mean_angular: if ang_n > 0 {
+                (ang_sum / ang_n as f64) as f32
+            } else {
+                0.0
+            },
+            mean_truth_magnitude: (truth_mag / n as f64) as f32,
+        }
+    }
+
+    /// The paper's pass criterion: RMS endpoint error under one pixel.
+    pub fn subpixel(&self) -> bool {
+        self.rms_endpoint < 1.0
+    }
+}
+
+impl std::fmt::Display for FlowStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} rms={:.3}px mean={:.3}px max={:.3}px ang={:.1}deg truth|v|={:.2}px",
+            self.count,
+            self.rms_endpoint,
+            self.mean_endpoint,
+            self.max_endpoint,
+            self.mean_angular.to_degrees(),
+            self.mean_truth_magnitude
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.magnitude(), 5.0);
+        assert_eq!((a + Vec2::new(1.0, -1.0)), Vec2::new(4.0, 3.0));
+        assert_eq!((a - a), Vec2::ZERO);
+        assert_eq!(a * 2.0, Vec2::new(6.0, 8.0));
+        assert_eq!(-a, Vec2::new(-3.0, -4.0));
+        assert!((Vec2::new(0.0, 1.0).angle() - std::f32::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_fields_have_zero_error() {
+        let f = FlowField::uniform(8, 8, Vec2::new(1.5, -0.5));
+        let s = f.compare(&f);
+        assert_eq!(s.count, 64);
+        assert_eq!(s.rms_endpoint, 0.0);
+        assert!(s.subpixel());
+        assert!((s.mean_truth_magnitude - (1.5f32 * 1.5 + 0.25).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rms_of_constant_offset() {
+        let a = FlowField::uniform(4, 4, Vec2::new(1.0, 0.0));
+        let b = FlowField::uniform(4, 4, Vec2::new(0.0, 0.0));
+        let s = a.compare(&b);
+        assert!((s.rms_endpoint - 1.0).abs() < 1e-6);
+        assert!((s.mean_endpoint - 1.0).abs() < 1e-6);
+        assert_eq!(s.max_endpoint, 1.0);
+        assert!(!s.subpixel());
+    }
+
+    #[test]
+    fn angular_error_of_perpendicular_vectors() {
+        let a = FlowField::uniform(2, 2, Vec2::new(1.0, 0.0));
+        let b = FlowField::uniform(2, 2, Vec2::new(0.0, 1.0));
+        let s = a.compare(&b);
+        assert!((s.mean_angular - std::f32::consts::FRAC_PI_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sparse_comparison_uses_only_requested_points() {
+        let mut est = FlowField::zeros(8, 8);
+        est.set(2, 2, Vec2::new(1.0, 0.0)); // wrong only here
+        let truth = FlowField::zeros(8, 8);
+        let all = est.compare(&truth);
+        assert!(all.rms_endpoint > 0.0);
+        let s = est.compare_at(&truth, &[(0, 0), (5, 5)]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.rms_endpoint, 0.0);
+        // Out-of-range points are skipped, not an error.
+        let s2 = est.compare_at(&truth, &[(100, 100), (2, 2)]);
+        assert_eq!(s2.count, 1);
+        assert_eq!(s2.rms_endpoint, 1.0);
+    }
+
+    #[test]
+    fn planes_extract_components() {
+        let f = FlowField::from_fn(3, 2, |x, y| Vec2::new(x as f32, y as f32));
+        assert_eq!(f.u_plane().at(2, 1), 2.0);
+        assert_eq!(f.v_plane().at(2, 1), 1.0);
+        assert!((f.magnitude_plane().at(2, 1) - (5.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = FlowStats::from_pairs(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.rms_endpoint, 0.0);
+    }
+}

@@ -1,0 +1,506 @@
+//! Dense row-major 2-D grid container.
+//!
+//! [`Grid`] is the fundamental array type of the reproduction: images,
+//! surface maps, per-pixel parameter planes and PE-array register planes
+//! are all grids. Coordinates follow the paper's convention:
+//! `x` is the column index in `0..N` (width) and `y` is the row index in
+//! `0..M` (height), matching `I(x, y, t)` with `x = 0..N-1`, `y = 0..M-1`.
+
+use crate::border::BorderPolicy;
+
+/// A dense, row-major 2-D array.
+///
+/// Element `(x, y)` lives at linear index `y * width + x`. The container
+/// is deliberately simple — contiguous storage, no strides — because the
+/// MasPar data-mapping code in `maspar-sim` needs to reason about exact
+/// memory layout when folding grids onto the PE array.
+#[derive(Clone, PartialEq)]
+pub struct Grid<T> {
+    width: usize,
+    height: usize,
+    data: Vec<T>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Grid<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Grid {}x{} [", self.width, self.height)?;
+        for y in 0..self.height.min(8) {
+            write!(f, "  ")?;
+            for x in 0..self.width.min(8) {
+                write!(f, "{:?} ", self.data[y * self.width + x])?;
+            }
+            writeln!(f, "{}", if self.width > 8 { "..." } else { "" })?;
+        }
+        if self.height > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Clone + Default> Grid<T> {
+    /// Create a `width x height` grid filled with `T::default()`.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::filled(width, height, T::default())
+    }
+}
+
+impl<T: Clone> Grid<T> {
+    /// Create a grid filled with copies of `value`.
+    pub fn filled(width: usize, height: usize, value: T) -> Self {
+        Self {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Extract the rectangle `[x0, x0+w) x [y0, y0+h)` as a new grid.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is not fully inside the grid.
+    pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> Self {
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
+        let mut data = Vec::with_capacity(w * h);
+        for y in y0..y0 + h {
+            data.extend_from_slice(&self.data[y * self.width + x0..y * self.width + x0 + w]);
+        }
+        Self {
+            width: w,
+            height: h,
+            data,
+        }
+    }
+}
+
+impl<T> Grid<T> {
+    /// Build a grid by evaluating `f(x, y)` at every pixel (row-major order).
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Wrap an existing row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), width * height, "grid data length mismatch");
+        Self {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Grid width `N` (number of columns; valid `x` is `0..width`).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height `M` (number of rows; valid `y` is `0..height`).
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of elements (`width * height`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// True if `(x, y)` lies inside the grid.
+    #[inline]
+    pub fn contains(&self, x: isize, y: isize) -> bool {
+        x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height
+    }
+
+    /// Reference to element `(x, y)`; `None` if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Option<&T> {
+        if x < self.width && y < self.height {
+            Some(&self.data[y * self.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable reference to element `(x, y)`; `None` if out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, x: usize, y: usize) -> Option<&mut T> {
+        if x < self.width && y < self.height {
+            Some(&mut self.data[y * self.width + x])
+        } else {
+            None
+        }
+    }
+
+    /// Immutable view of the backing row-major slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the grid, returning the backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Row `y` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `y >= height`.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[T] {
+        assert!(y < self.height, "row index out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Mutable row `y`.
+    ///
+    /// # Panics
+    /// Panics if `y >= height`.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [T] {
+        assert!(y < self.height, "row index out of bounds");
+        &mut self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Iterate over `((x, y), &value)` in row-major order.
+    pub fn enumerate(&self) -> impl Iterator<Item = ((usize, usize), &T)> {
+        let w = self.width;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, v)| ((i % w, i / w), v))
+    }
+
+    /// Iterate over values in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Iterate mutably over values in row-major order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    /// Apply `f` to every element, producing a new grid of the same shape.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Grid<U> {
+        Grid {
+            width: self.width,
+            height: self.height,
+            data: self.data.iter().map(f).collect(),
+        }
+    }
+
+    /// Combine two same-shaped grids element-wise.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn zip_map<U, V>(&self, other: &Grid<U>, mut f: impl FnMut(&T, &U) -> V) -> Grid<V> {
+        assert_eq!(self.dims(), other.dims(), "zip_map shape mismatch");
+        Grid {
+            width: self.width,
+            height: self.height,
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(a, b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+impl<T: Copy> Grid<T> {
+    /// Element `(x, y)` by value.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn at(&self, x: usize, y: usize) -> T {
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
+        self.data[y * self.width + x]
+    }
+
+    /// Set element `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: T) {
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Element at signed coordinates, resolving out-of-range indices with
+    /// `policy`. For [`BorderPolicy::Constant`] the fallback `cval` is
+    /// returned outside the grid.
+    #[inline]
+    pub fn at_border(&self, x: isize, y: isize, policy: BorderPolicy, cval: T) -> T {
+        match policy.resolve(x, y, self.width, self.height) {
+            Some((rx, ry)) => self.data[ry * self.width + rx],
+            None => cval,
+        }
+    }
+
+    /// Transpose the grid (width and height swap).
+    pub fn transposed(&self) -> Self {
+        Grid::from_fn(self.height, self.width, |x, y| self.at(y, x))
+    }
+}
+
+impl Grid<f32> {
+    /// Element at signed coordinates with the given policy, returning `0.0`
+    /// outside for [`BorderPolicy::Constant`].
+    #[inline]
+    pub fn at_clamped(&self, x: isize, y: isize, policy: BorderPolicy) -> f32 {
+        self.at_border(x, y, policy, 0.0)
+    }
+
+    /// Minimum and maximum values; `(0, 0)` for empty grids. NaN values are
+    /// ignored so a stray NaN does not poison normalization.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Mean of all elements (0 for empty grids).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.data.iter().map(|&v| v as f64).sum();
+        (sum / self.data.len() as f64) as f32
+    }
+
+    /// Root-mean-square difference between two same-shaped planes.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn rms_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "rms_diff shape mismatch");
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let ss: f64 = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        (ss / self.data.len() as f64).sqrt() as f32
+    }
+
+    /// Maximum absolute difference between two same-shaped planes.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Rescale values linearly so the range maps onto `[lo, hi]`.
+    /// A constant plane maps to `lo`.
+    pub fn normalized(&self, lo: f32, hi: f32) -> Self {
+        let (mn, mx) = self.min_max();
+        let span = mx - mn;
+        if span <= 0.0 {
+            return Grid::filled(self.width, self.height, lo);
+        }
+        self.map(|&v| lo + (v - mn) / span * (hi - lo))
+    }
+}
+
+impl<T> std::ops::Index<(usize, usize)> for Grid<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (x, y): (usize, usize)) -> &T {
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
+        &self.data[y * self.width + x]
+    }
+}
+
+impl<T> std::ops::IndexMut<(usize, usize)> for Grid<T> {
+    #[inline]
+    fn index_mut(&mut self, (x, y): (usize, usize)) -> &mut T {
+        assert!(
+            x < self.width && y < self.height,
+            "grid index out of bounds"
+        );
+        &mut self.data[y * self.width + x]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let g = Grid::from_fn(3, 2, |x, y| (x, y));
+        assert_eq!(
+            g.as_slice(),
+            &[(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut g: Grid<i32> = Grid::new(4, 3);
+        g.set(2, 1, 7);
+        assert_eq!(g.at(2, 1), 7);
+        assert_eq!(g[(2, 1)], 7);
+        g[(3, 2)] = -1;
+        assert_eq!(g.at(3, 2), -1);
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let g: Grid<u8> = Grid::new(2, 2);
+        assert!(g.get(2, 0).is_none());
+        assert!(g.get(0, 2).is_none());
+        assert!(g.get(1, 1).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "grid index out of bounds")]
+    fn at_panics_out_of_bounds() {
+        let g: Grid<u8> = Grid::new(2, 2);
+        let _ = g.at(2, 0);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let g = Grid::from_fn(3, 3, |x, y| (10 * y + x) as i32);
+        assert_eq!(g.row(1), &[10, 11, 12]);
+    }
+
+    #[test]
+    fn enumerate_order_and_coords() {
+        let g = Grid::from_fn(2, 2, |x, y| x + 10 * y);
+        let coords: Vec<_> = g.enumerate().map(|(c, _)| c).collect();
+        assert_eq!(coords, vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+        for ((x, y), &v) in g.enumerate() {
+            assert_eq!(v, x + 10 * y);
+        }
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Grid::from_fn(2, 2, |x, y| (x + y) as f32);
+        let b = a.map(|v| v * 2.0);
+        let c = a.zip_map(&b, |x, y| y - x);
+        for (_, &v) in c.enumerate().zip(a.iter()).map(|(e, _)| e) {
+            assert!(v >= 0.0);
+        }
+        assert_eq!(c.at(1, 1), 2.0);
+    }
+
+    #[test]
+    fn crop_extracts_rectangle() {
+        let g = Grid::from_fn(4, 4, |x, y| 10 * y + x);
+        let c = g.crop(1, 2, 2, 2);
+        assert_eq!(c.dims(), (2, 2));
+        assert_eq!(c.as_slice(), &[21, 22, 31, 32]);
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let g = Grid::from_fn(3, 2, |x, y| (x, y));
+        let t = g.transposed();
+        assert_eq!(t.dims(), (2, 3));
+        assert_eq!(t.at(1, 2), (2, 1));
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        let g = Grid::from_vec(2, 2, vec![1.0, f32::NAN, -3.0, 2.0]);
+        assert_eq!(g.min_max(), (-3.0, 2.0));
+    }
+
+    #[test]
+    fn normalized_range() {
+        let g = Grid::from_vec(2, 2, vec![0.0, 1.0, 2.0, 4.0]);
+        let n = g.normalized(0.0, 1.0);
+        assert_eq!(n.min_max(), (0.0, 1.0));
+        let flat = Grid::filled(2, 2, 3.0f32);
+        assert_eq!(flat.normalized(5.0, 9.0).at(0, 0), 5.0);
+    }
+
+    #[test]
+    fn rms_and_max_abs_diff() {
+        let a = Grid::from_vec(2, 1, vec![0.0, 0.0]);
+        let b = Grid::from_vec(2, 1, vec![3.0, 4.0]);
+        assert!((a.rms_diff(&b) - (12.5f32).sqrt()).abs() < 1e-6);
+        assert_eq!(a.max_abs_diff(&b), 4.0);
+    }
+
+    #[test]
+    fn mean_value() {
+        let g = Grid::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert!((g.mean() - 2.5).abs() < 1e-6);
+    }
+}

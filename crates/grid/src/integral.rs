@@ -1,0 +1,173 @@
+//! Integral images (summed-area tables).
+//!
+//! The ASA's correlation matcher evaluates window sums (means, variances,
+//! cross-products) at every pixel and disparity; a summed-area table
+//! turns each `(2n+1)^2` window sum into four lookups. This is a
+//! host-side optimization of the same flavor as the paper's §4.1
+//! precompute — trading memory for the elimination of redundant window
+//! work — and the `stereo` bench quantifies what it buys.
+
+use crate::grid::Grid;
+
+/// A summed-area table over an image: `table[(x, y)]` holds the sum of
+/// all pixels `(i, j)` with `i <= x`, `j <= y`, in `f64` (f32 prefix sums
+/// of large images lose precision).
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    table: Grid<f64>,
+}
+
+impl IntegralImage {
+    /// Build from an image in one pass.
+    pub fn build(img: &Grid<f32>) -> Self {
+        let (w, h) = img.dims();
+        let mut table = Grid::filled(w, h, 0.0f64);
+        for y in 0..h {
+            let mut row_sum = 0.0f64;
+            for x in 0..w {
+                row_sum += img.at(x, y) as f64;
+                let above = if y > 0 { table.at(x, y - 1) } else { 0.0 };
+                table.set(x, y, row_sum + above);
+            }
+        }
+        Self { table }
+    }
+
+    /// Build over the squared image (for variance computations).
+    pub fn build_squared(img: &Grid<f32>) -> Self {
+        Self::build(&img.map(|&v| v * v))
+    }
+
+    /// Dimensions of the underlying image.
+    pub fn dims(&self) -> (usize, usize) {
+        self.table.dims()
+    }
+
+    /// Sum over the inclusive rectangle `[x0, x1] x [y0, y1]`, clipped to
+    /// the image.
+    ///
+    /// # Panics
+    /// Panics if `x0 > x1` or `y0 > y1`.
+    pub fn rect_sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        assert!(x0 <= x1 && y0 <= y1, "degenerate rectangle");
+        let (w, h) = self.table.dims();
+        let x1 = x1.min(w - 1);
+        let y1 = y1.min(h - 1);
+        let a = self.table.at(x1, y1);
+        let b = if x0 > 0 {
+            self.table.at(x0 - 1, y1)
+        } else {
+            0.0
+        };
+        let c = if y0 > 0 {
+            self.table.at(x1, y0 - 1)
+        } else {
+            0.0
+        };
+        let d = if x0 > 0 && y0 > 0 {
+            self.table.at(x0 - 1, y0 - 1)
+        } else {
+            0.0
+        };
+        a - b - c + d
+    }
+
+    /// Sum over the `(2n+1)^2` window centered at `(cx, cy)`, clipped to
+    /// the image (clipped windows sum fewer pixels; see
+    /// [`IntegralImage::window_area`]).
+    pub fn window_sum(&self, cx: usize, cy: usize, n: usize) -> f64 {
+        let x0 = cx.saturating_sub(n);
+        let y0 = cy.saturating_sub(n);
+        self.rect_sum(x0, y0, cx + n, cy + n)
+    }
+
+    /// Number of in-range pixels of the window centered at `(cx, cy)`.
+    pub fn window_area(&self, cx: usize, cy: usize, n: usize) -> usize {
+        let (w, h) = self.table.dims();
+        let x0 = cx.saturating_sub(n);
+        let y0 = cy.saturating_sub(n);
+        let x1 = (cx + n).min(w - 1);
+        let y1 = (cy + n).min(h - 1);
+        (x1 - x0 + 1) * (y1 - y0 + 1)
+    }
+
+    /// Mean over the (clipped) window centered at `(cx, cy)`.
+    pub fn window_mean(&self, cx: usize, cy: usize, n: usize) -> f64 {
+        self.window_sum(cx, cy, n) / self.window_area(cx, cy, n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn img() -> Grid<f32> {
+        Grid::from_fn(9, 7, |x, y| ((x * 13 + y * 7) % 11) as f32)
+    }
+
+    fn brute_sum(g: &Grid<f32>, x0: usize, y0: usize, x1: usize, y1: usize) -> f64 {
+        let mut s = 0.0;
+        for y in y0..=y1.min(g.height() - 1) {
+            for x in x0..=x1.min(g.width() - 1) {
+                s += g.at(x, y) as f64;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn rect_sums_match_brute_force() {
+        let g = img();
+        let it = IntegralImage::build(&g);
+        for (x0, y0, x1, y1) in [(0, 0, 8, 6), (2, 1, 5, 4), (3, 3, 3, 3), (0, 2, 8, 2)] {
+            assert!((it.rect_sum(x0, y0, x1, y1) - brute_sum(&g, x0, y0, x1, y1)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_sums_clip_at_borders() {
+        let g = img();
+        let it = IntegralImage::build(&g);
+        // Corner window 5x5 centered at (0, 0): only 3x3 pixels exist.
+        assert_eq!(it.window_area(0, 0, 2), 9);
+        assert!((it.window_sum(0, 0, 2) - brute_sum(&g, 0, 0, 2, 2)).abs() < 1e-9);
+        // Interior window has full area.
+        assert_eq!(it.window_area(4, 3, 2), 25);
+    }
+
+    #[test]
+    fn window_mean_of_constant() {
+        let g = Grid::filled(8, 8, 3.25f32);
+        let it = IntegralImage::build(&g);
+        for &(x, y) in &[(0usize, 0usize), (4, 4), (7, 7)] {
+            assert!((it.window_mean(x, y, 2) - 3.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn squared_table_gives_variance() {
+        let g = img();
+        let it = IntegralImage::build(&g);
+        let it2 = IntegralImage::build_squared(&g);
+        // var = E[x^2] - E[x]^2 over an interior window.
+        let n = it.window_area(4, 3, 2) as f64;
+        let mean = it.window_mean(4, 3, 2);
+        let var = it2.window_sum(4, 3, 2) / n - mean * mean;
+        // Brute force.
+        let mut bv = 0.0;
+        for y in 1..=5 {
+            for x in 2..=6 {
+                bv += (g.at(x, y) as f64 - mean).powi(2);
+            }
+        }
+        bv /= n;
+        assert!((var - bv).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rectangle")]
+    fn inverted_rect_rejected() {
+        let it = IntegralImage::build(&img());
+        let _ = it.rect_sum(5, 0, 2, 3);
+    }
+}

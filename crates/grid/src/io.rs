@@ -1,0 +1,202 @@
+//! Plane and flow-field output: PGM images, CSV dumps, ASCII quiver plots.
+//!
+//! These are diagnostic/visualization outputs — the reproduction's analog
+//! of the paper's Figure 6 cloud-tracking imagery and wind-barb overlays.
+
+use std::io::{self, BufRead, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::flow::FlowField;
+use crate::grid::Grid;
+
+/// Write a plane as a binary 8-bit PGM (P5), linearly normalizing values
+/// to `0..=255`.
+pub fn write_pgm(path: impl AsRef<Path>, img: &Grid<f32>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    let norm = img.normalized(0.0, 255.0);
+    let bytes: Vec<u8> = norm
+        .iter()
+        .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+        .collect();
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read a binary 8-bit PGM (P5) into a plane of `0.0..=255.0` values.
+pub fn read_pgm(path: impl AsRef<Path>) -> io::Result<Grid<f32>> {
+    let data = std::fs::read(path)?;
+    parse_pgm(&data)
+}
+
+/// Parse P5 PGM bytes.
+pub fn parse_pgm(data: &[u8]) -> io::Result<Grid<f32>> {
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    let mut cursor = io::Cursor::new(data);
+    let mut header_tokens = Vec::new();
+    // The header is 4 whitespace-separated tokens: "P5", width, height,
+    // maxval, with '#' comment lines allowed.
+    let mut line = String::new();
+    while header_tokens.len() < 4 {
+        line.clear();
+        if cursor.read_line(&mut line)? == 0 {
+            return Err(bad("truncated PGM header"));
+        }
+        let body = line.split('#').next().unwrap_or("");
+        header_tokens.extend(body.split_whitespace().map(str::to_string));
+    }
+    if header_tokens[0] != "P5" {
+        return Err(bad("not a P5 PGM"));
+    }
+    let w: usize = header_tokens[1].parse().map_err(|_| bad("bad width"))?;
+    let h: usize = header_tokens[2].parse().map_err(|_| bad("bad height"))?;
+    let maxval: usize = header_tokens[3].parse().map_err(|_| bad("bad maxval"))?;
+    if maxval == 0 || maxval > 255 {
+        return Err(bad("unsupported maxval"));
+    }
+    let mut pixels = vec![0u8; w * h];
+    cursor
+        .read_exact(&mut pixels)
+        .map_err(|_| bad("truncated PGM pixels"))?;
+    Ok(Grid::from_vec(
+        w,
+        h,
+        pixels.into_iter().map(|b| b as f32).collect(),
+    ))
+}
+
+/// Write a plane as CSV (one row per grid row, `%.6g` formatting).
+pub fn write_csv(path: impl AsRef<Path>, img: &Grid<f32>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for y in 0..img.height() {
+        let row: Vec<String> = img.row(y).iter().map(|v| format!("{v:.6}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Render a flow field as a coarse ASCII quiver plot, sampling every
+/// `step`-th pixel (the paper visualizes "every 10th pixel"). Each sampled
+/// cell becomes one character: `.` for near-zero motion, otherwise one of
+/// eight arrows by direction.
+///
+/// # Panics
+/// Panics if `step == 0`.
+pub fn ascii_quiver(flow: &FlowField, step: usize) -> String {
+    assert!(step > 0, "quiver step must be positive");
+    const ARROWS: [char; 8] = ['>', '\\', 'v', '/', '<', '\\', '^', '/'];
+    let mut out = String::new();
+    let mut y = 0;
+    while y < flow.height() {
+        let mut x = 0;
+        while x < flow.width() {
+            let v = flow.at(x, y);
+            if v.magnitude() < 0.25 {
+                out.push('.');
+            } else {
+                // Quantize angle into 8 sectors of 45 degrees.
+                let ang = v.angle().rem_euclid(std::f32::consts::TAU);
+                let sector = ((ang + std::f32::consts::FRAC_PI_8) / std::f32::consts::FRAC_PI_4)
+                    as usize
+                    % 8;
+                out.push(ARROWS[sector]);
+            }
+            x += step;
+        }
+        out.push('\n');
+        y += step;
+    }
+    out
+}
+
+/// Format a sparse set of `(x, y, u, v)` wind vectors as the textual
+/// equivalent of the paper's wind-barb table.
+pub fn format_wind_barbs(rows: &[(usize, usize, f32, f32)]) -> String {
+    let mut out = String::from("   x    y        u        v    speed  dir_deg\n");
+    for &(x, y, u, v) in rows {
+        let speed = (u * u + v * v).sqrt();
+        let dir = v.atan2(u).to_degrees();
+        out.push_str(&format!(
+            "{x:4} {y:4} {u:8.3} {v:8.3} {speed:8.3} {dir:8.1}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Vec2;
+
+    #[test]
+    fn pgm_round_trip() {
+        let img = Grid::from_fn(6, 4, |x, y| (x * 40 + y * 10) as f32);
+        let dir = std::env::temp_dir().join("sma_grid_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pgm");
+        write_pgm(&path, &img).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.dims(), (6, 4));
+        // Values were normalized to 0..=255; ordering must be preserved.
+        assert!(back.at(0, 0) < back.at(5, 3));
+        assert_eq!(back.min_max(), (0.0, 255.0));
+    }
+
+    #[test]
+    fn parse_pgm_with_comment() {
+        let mut data = b"P5\n# a comment\n2 2\n255\n".to_vec();
+        data.extend_from_slice(&[0, 64, 128, 255]);
+        let g = parse_pgm(&data).unwrap();
+        assert_eq!(g.dims(), (2, 2));
+        assert_eq!(g.at(1, 1), 255.0);
+    }
+
+    #[test]
+    fn parse_pgm_rejects_garbage() {
+        assert!(parse_pgm(b"P6\n2 2\n255\n0123").is_err());
+        assert!(parse_pgm(b"P5\n2 2\n255\n").is_err()); // truncated pixels
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row() {
+        let img = Grid::from_fn(3, 2, |x, y| (x + y) as f32);
+        let dir = std::env::temp_dir().join("sma_grid_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plane.csv");
+        write_csv(&path, &img).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(text.lines().next().unwrap().split(',').count(), 3);
+    }
+
+    #[test]
+    fn quiver_arrows_follow_direction() {
+        let f = FlowField::uniform(4, 4, Vec2::new(1.0, 0.0));
+        let q = ascii_quiver(&f, 2);
+        assert!(q.contains('>'));
+        assert!(!q.contains('<'));
+        let still = FlowField::zeros(4, 4);
+        assert!(ascii_quiver(&still, 2)
+            .chars()
+            .all(|c| c == '.' || c == '\n'));
+    }
+
+    #[test]
+    fn quiver_sampling_density() {
+        let f = FlowField::zeros(10, 10);
+        let q = ascii_quiver(&f, 5);
+        // 10/5 = 2 samples per axis -> 2 lines of 2 chars.
+        assert_eq!(q, "..\n..\n");
+    }
+
+    #[test]
+    fn wind_barb_table_format() {
+        let rows = vec![(10, 20, 3.0, 4.0)];
+        let t = format_wind_barbs(&rows);
+        assert!(t.contains("5.000")); // speed
+        assert!(t.contains("53.1")); // direction
+        assert_eq!(t.lines().count(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Bilinear sampling and warping.
+//!
+//! Warping appears in three places in the reproduction, mirroring the
+//! paper:
+//!
+//! * ASA stereo warps one view by the coarse disparity estimate before
+//!   refining at the next finer level (§2.1 "uses the coarse disparity
+//!   estimates to warp or transform one view into the other");
+//! * right images are "rectified and warped to align them with the left
+//!   images" before motion analysis (§2.2);
+//! * the synthetic data generator advects cloud scenes by a ground-truth
+//!   flow field (semi-Lagrangian backward warp).
+
+use crate::border::BorderPolicy;
+use crate::flow::FlowField;
+use crate::grid::Grid;
+
+/// Bilinearly interpolated sample at real-valued coordinates `(x, y)`.
+/// Out-of-range support pixels are resolved with `policy` (Constant reads
+/// as 0).
+pub fn sample_bilinear(img: &Grid<f32>, x: f32, y: f32, policy: BorderPolicy) -> f32 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = x - x0;
+    let fy = y - y0;
+    let xi = x0 as isize;
+    let yi = y0 as isize;
+    let v00 = img.at_clamped(xi, yi, policy);
+    let v10 = img.at_clamped(xi + 1, yi, policy);
+    let v01 = img.at_clamped(xi, yi + 1, policy);
+    let v11 = img.at_clamped(xi + 1, yi + 1, policy);
+    let top = v00 + fx * (v10 - v00);
+    let bot = v01 + fx * (v11 - v01);
+    top + fy * (bot - top)
+}
+
+/// Backward warp by a dense flow field: `out(x, y) = img(x + u, y + v)`
+/// where `(u, v) = flow(x, y)`. With `flow` being the motion from `img`'s
+/// frame to the next, this *pulls* the next frame's pixel values — i.e.
+/// `warp_by_flow(frame_{t+1}, flow_t)` aligns frame `t+1` with frame `t`.
+///
+/// # Panics
+/// Panics if the flow field's shape differs from the image's.
+pub fn warp_by_flow(img: &Grid<f32>, flow: &FlowField, policy: BorderPolicy) -> Grid<f32> {
+    assert_eq!(img.dims(), flow.dims(), "warp flow shape mismatch");
+    Grid::from_fn(img.width(), img.height(), |x, y| {
+        let v = flow.at(x, y);
+        sample_bilinear(img, x as f32 + v.u, y as f32 + v.v, policy)
+    })
+}
+
+/// Backward warp by a horizontal disparity plane:
+/// `out(x, y) = img(x + d(x, y), y)`. This is the stereo-rectified case
+/// where correspondence is along scan lines ("epipolar lines become
+/// parallel to scan lines", §2.2).
+///
+/// # Panics
+/// Panics if the disparity plane's shape differs from the image's.
+pub fn warp_by_disparity(img: &Grid<f32>, disp: &Grid<f32>, policy: BorderPolicy) -> Grid<f32> {
+    assert_eq!(img.dims(), disp.dims(), "warp disparity shape mismatch");
+    Grid::from_fn(img.width(), img.height(), |x, y| {
+        sample_bilinear(img, x as f32 + disp.at(x, y), y as f32, policy)
+    })
+}
+
+/// Translate an image by a constant real-valued offset (backward warp).
+pub fn translate(img: &Grid<f32>, dx: f32, dy: f32, policy: BorderPolicy) -> Grid<f32> {
+    Grid::from_fn(img.width(), img.height(), |x, y| {
+        sample_bilinear(img, x as f32 + dx, y as f32 + dy, policy)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Vec2;
+
+    fn ramp() -> Grid<f32> {
+        Grid::from_fn(16, 16, |x, y| 3.0 * x as f32 + 5.0 * y as f32)
+    }
+
+    #[test]
+    fn sample_at_integer_coords_is_exact() {
+        let img = ramp();
+        assert_eq!(
+            sample_bilinear(&img, 4.0, 7.0, BorderPolicy::Clamp),
+            img.at(4, 7)
+        );
+    }
+
+    #[test]
+    fn sample_midpoint_averages() {
+        let img = ramp();
+        let v = sample_bilinear(&img, 4.5, 7.5, BorderPolicy::Clamp);
+        assert!((v - (3.0 * 4.5 + 5.0 * 7.5)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sample_is_continuous_across_pixel_boundaries() {
+        let img = ramp();
+        let a = sample_bilinear(&img, 4.999, 6.0, BorderPolicy::Clamp);
+        let b = sample_bilinear(&img, 5.001, 6.0, BorderPolicy::Clamp);
+        assert!((a - b).abs() < 0.02);
+    }
+
+    #[test]
+    fn translate_shifts_ramp_exactly() {
+        let img = ramp();
+        let t = translate(&img, 1.0, 2.0, BorderPolicy::Clamp);
+        for y in 0..13 {
+            for x in 0..14 {
+                assert!((t.at(x, y) - img.at(x + 1, y + 2)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn warp_by_uniform_flow_matches_translate() {
+        let img = ramp();
+        let flow = FlowField::uniform(16, 16, Vec2::new(2.0, -1.0));
+        let a = warp_by_flow(&img, &flow, BorderPolicy::Clamp);
+        let b = translate(&img, 2.0, -1.0, BorderPolicy::Clamp);
+        assert!(a.max_abs_diff(&b) < 1e-5);
+    }
+
+    #[test]
+    fn warp_by_disparity_moves_along_rows_only() {
+        let img = Grid::from_fn(8, 8, |x, y| (x + 10 * y) as f32);
+        let disp = Grid::filled(8, 8, 1.0f32);
+        let w = warp_by_disparity(&img, &disp, BorderPolicy::Clamp);
+        for y in 0..8 {
+            for x in 0..7 {
+                assert_eq!(w.at(x, y), img.at(x + 1, y));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_policy_reads_zero_outside() {
+        let img = Grid::filled(4, 4, 5.0f32);
+        let v = sample_bilinear(&img, -2.0, 0.0, BorderPolicy::Constant);
+        assert_eq!(v, 0.0);
+        // Half in, half out: interpolates toward zero.
+        let e = sample_bilinear(&img, -0.5, 0.0, BorderPolicy::Constant);
+        assert!((e - 2.5).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,274 @@
+//! Centered neighborhood windows.
+//!
+//! The paper phrases every stage in terms of `(2N+1) x (2N+1)` windows
+//! centered on a pixel of interest:
+//!
+//! * surface-fitting neighborhood `(2Nz+1)^2` (Table 1: 5x5),
+//! * z-search / hypothesis area `eta_zs`, `(2Nzs+1)^2` (13x13),
+//! * z-template `eta_zT`, `(2NzT+1)^2` (121x121),
+//! * semi-fluid search `eta_ss`, `(2Nss+1)^2` (3x3),
+//! * semi-fluid template `eta_sT`, `(2NsT+1)^2` (5x5).
+//!
+//! [`CenteredWindow`] captures the half-width `N` and provides iteration
+//! over offsets and absolute pixels; [`WindowBounds`] is the clipped
+//! bounding box used by the raster-scan read-out in `maspar-sim`.
+
+/// A square window of half-width `n`, spanning `(2n+1) x (2n+1)` pixels
+/// centered on a target pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CenteredWindow {
+    /// Half-width `N`; the window covers offsets `-N ..= N` on both axes.
+    pub n: usize,
+}
+
+impl CenteredWindow {
+    /// Window of half-width `n`.
+    pub const fn new(n: usize) -> Self {
+        Self { n }
+    }
+
+    /// Window built from an odd side length `s = 2n+1`.
+    ///
+    /// # Panics
+    /// Panics if `s` is even or zero.
+    pub fn from_side(s: usize) -> Self {
+        assert!(s % 2 == 1, "centered window side must be odd, got {s}");
+        Self { n: s / 2 }
+    }
+
+    /// Side length `2n+1`.
+    #[inline]
+    pub const fn side(&self) -> usize {
+        2 * self.n + 1
+    }
+
+    /// Number of pixels `(2n+1)^2`.
+    #[inline]
+    pub const fn area(&self) -> usize {
+        self.side() * self.side()
+    }
+
+    /// Iterate over signed offsets `(dx, dy)` in row-major order
+    /// (`dy` outer, `dx` inner, both `-n ..= n`).
+    pub fn offsets(&self) -> impl Iterator<Item = (isize, isize)> {
+        let n = self.n as isize;
+        (-n..=n).flat_map(move |dy| (-n..=n).map(move |dx| (dx, dy)))
+    }
+
+    /// Iterate over absolute signed pixel coordinates of the window
+    /// centered at `(cx, cy)`, row-major.
+    pub fn pixels_at(&self, cx: isize, cy: isize) -> impl Iterator<Item = (isize, isize)> {
+        self.offsets().map(move |(dx, dy)| (cx + dx, cy + dy))
+    }
+
+    /// The window's clipped bounds when centered at `(cx, cy)` inside a
+    /// `width x height` grid. Returns `None` if the window lies entirely
+    /// outside the grid.
+    pub fn bounds_at(
+        &self,
+        cx: isize,
+        cy: isize,
+        width: usize,
+        height: usize,
+    ) -> Option<WindowBounds> {
+        let n = self.n as isize;
+        WindowBounds::clipped(cx - n, cy - n, cx + n, cy + n, width, height)
+    }
+
+    /// True if the whole window fits inside the grid when centered at
+    /// `(cx, cy)` — i.e. no border handling would be required.
+    pub fn fits_at(&self, cx: usize, cy: usize, width: usize, height: usize) -> bool {
+        cx >= self.n && cy >= self.n && cx + self.n < width && cy + self.n < height
+    }
+}
+
+/// An inclusive, in-range rectangle `[x0, x1] x [y0, y1]` inside a grid —
+/// the "PE bounding box" of the paper's raster-scan read-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowBounds {
+    /// Left column (inclusive).
+    pub x0: usize,
+    /// Top row (inclusive).
+    pub y0: usize,
+    /// Right column (inclusive).
+    pub x1: usize,
+    /// Bottom row (inclusive).
+    pub y1: usize,
+}
+
+impl WindowBounds {
+    /// Clip a signed rectangle to grid bounds; `None` if empty after
+    /// clipping.
+    pub fn clipped(
+        x0: isize,
+        y0: isize,
+        x1: isize,
+        y1: isize,
+        width: usize,
+        height: usize,
+    ) -> Option<Self> {
+        if width == 0 || height == 0 {
+            return None;
+        }
+        let cx0 = x0.max(0) as usize;
+        let cy0 = y0.max(0) as usize;
+        if x1 < 0 || y1 < 0 || cx0 >= width || cy0 >= height {
+            return None;
+        }
+        let cx1 = (x1 as usize).min(width - 1);
+        let cy1 = (y1 as usize).min(height - 1);
+        if cx0 > cx1 || cy0 > cy1 {
+            return None;
+        }
+        Some(Self {
+            x0: cx0,
+            y0: cy0,
+            x1: cx1,
+            y1: cy1,
+        })
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.x1 - self.x0 + 1
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.y1 - self.y0 + 1
+    }
+
+    /// Number of contained pixels.
+    #[inline]
+    pub fn area(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Iterate over contained `(x, y)` pixels in raster-scan order.
+    pub fn pixels(&self) -> impl Iterator<Item = (usize, usize)> {
+        let (x0, x1) = (self.x0, self.x1);
+        (self.y0..=self.y1).flat_map(move |y| (x0..=x1).map(move |x| (x, y)))
+    }
+
+    /// True if `(x, y)` lies inside the rectangle.
+    #[inline]
+    pub fn contains(&self, x: usize, y: usize) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_window_sizes() {
+        // Table 1: the Hurricane Frederic windows.
+        assert_eq!(CenteredWindow::new(2).side(), 5); // surface fit 5x5
+        assert_eq!(CenteredWindow::new(6).side(), 13); // z-search 13x13
+        assert_eq!(CenteredWindow::new(60).side(), 121); // z-template 121x121
+        assert_eq!(CenteredWindow::new(6).area(), 169); // 169 Gaussian eliminations
+        assert_eq!(CenteredWindow::new(60).area(), 14641); // 14641 error terms
+    }
+
+    #[test]
+    fn from_side_round_trip() {
+        for n in 0..10 {
+            let w = CenteredWindow::new(n);
+            assert_eq!(CenteredWindow::from_side(w.side()), w);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn from_side_rejects_even() {
+        let _ = CenteredWindow::from_side(4);
+    }
+
+    #[test]
+    fn offsets_cover_square_row_major() {
+        let w = CenteredWindow::new(1);
+        let offs: Vec<_> = w.offsets().collect();
+        assert_eq!(
+            offs,
+            vec![
+                (-1, -1),
+                (0, -1),
+                (1, -1),
+                (-1, 0),
+                (0, 0),
+                (1, 0),
+                (-1, 1),
+                (0, 1),
+                (1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn pixels_at_translates_offsets() {
+        let w = CenteredWindow::new(1);
+        let px: Vec<_> = w.pixels_at(10, 20).collect();
+        assert_eq!(px[0], (9, 19));
+        assert_eq!(px[4], (10, 20));
+        assert_eq!(px[8], (11, 21));
+        assert_eq!(px.len(), 9);
+    }
+
+    #[test]
+    fn fits_at_interior_and_border() {
+        let w = CenteredWindow::new(2);
+        assert!(w.fits_at(2, 2, 8, 8));
+        assert!(w.fits_at(5, 5, 8, 8));
+        assert!(!w.fits_at(1, 2, 8, 8));
+        assert!(!w.fits_at(2, 6, 8, 8));
+    }
+
+    #[test]
+    fn bounds_clip_at_corner() {
+        let w = CenteredWindow::new(2);
+        let b = w.bounds_at(0, 0, 8, 8).unwrap();
+        assert_eq!(
+            b,
+            WindowBounds {
+                x0: 0,
+                y0: 0,
+                x1: 2,
+                y1: 2
+            }
+        );
+        assert_eq!(b.area(), 9);
+    }
+
+    #[test]
+    fn bounds_none_when_fully_outside() {
+        let w = CenteredWindow::new(1);
+        assert!(w.bounds_at(-5, 0, 8, 8).is_none());
+        assert!(w.bounds_at(0, 20, 8, 8).is_none());
+        assert!(w.bounds_at(0, 0, 0, 0).is_none());
+    }
+
+    #[test]
+    fn bounds_pixels_raster_order() {
+        let b = WindowBounds {
+            x0: 1,
+            y0: 2,
+            x1: 2,
+            y1: 3,
+        };
+        let px: Vec<_> = b.pixels().collect();
+        assert_eq!(px, vec![(1, 2), (2, 2), (1, 3), (2, 3)]);
+        assert!(b.contains(2, 3));
+        assert!(!b.contains(0, 2));
+    }
+
+    #[test]
+    fn interior_bounds_match_area() {
+        let w = CenteredWindow::new(3);
+        let b = w.bounds_at(10, 10, 32, 32).unwrap();
+        assert_eq!(b.area(), w.area());
+        assert_eq!(b.width(), w.side());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for grid invariants.
+
+use proptest::prelude::*;
+use sma_grid::border::BorderPolicy;
+use sma_grid::filter::{gaussian_kernel, separable_convolve};
+use sma_grid::flow::{FlowField, Vec2};
+use sma_grid::grid::Grid;
+use sma_grid::pyramid::{downsample, upsample_to, Pyramid};
+use sma_grid::warp::{sample_bilinear, translate};
+use sma_grid::window::{CenteredWindow, WindowBounds};
+
+proptest! {
+    /// Every border policy except Constant resolves any signed coordinate
+    /// to an in-range index.
+    #[test]
+    fn border_policies_always_resolve(
+        v in -200isize..200,
+        n in 1usize..64,
+        policy in prop_oneof![
+            Just(BorderPolicy::Clamp),
+            Just(BorderPolicy::Reflect),
+            Just(BorderPolicy::Wrap),
+        ]
+    ) {
+        let r = policy.resolve_axis(v, n).expect("non-constant always resolves");
+        prop_assert!(r < n);
+    }
+
+    /// Wrap is a group action: shifting by n is the identity.
+    #[test]
+    fn wrap_periodicity(v in -100isize..100, n in 1usize..50) {
+        let a = BorderPolicy::Wrap.resolve_axis(v, n);
+        let b = BorderPolicy::Wrap.resolve_axis(v + n as isize, n);
+        prop_assert_eq!(a, b);
+    }
+
+    /// from_fn/at round-trip: grid stores exactly what the closure returned.
+    #[test]
+    fn grid_from_fn_roundtrip(w in 1usize..32, h in 1usize..32) {
+        let g = Grid::from_fn(w, h, |x, y| (x * 1000 + y) as i64);
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(g.at(x, y), (x * 1000 + y) as i64);
+            }
+        }
+    }
+
+    /// Transposition is an involution.
+    #[test]
+    fn transpose_involution(w in 1usize..20, h in 1usize..20, seed in 0u64..1000) {
+        let g = Grid::from_fn(w, h, |x, y| ((x * 31 + y * 17) as u64 ^ seed) as i64);
+        prop_assert_eq!(g.transposed().transposed(), g);
+    }
+
+    /// A centered window's offset iteration always yields exactly
+    /// (2n+1)^2 distinct offsets.
+    #[test]
+    fn window_offsets_count_and_unique(n in 0usize..20) {
+        let w = CenteredWindow::new(n);
+        let offs: Vec<_> = w.offsets().collect();
+        prop_assert_eq!(offs.len(), w.area());
+        let set: std::collections::HashSet<_> = offs.iter().collect();
+        prop_assert_eq!(set.len(), offs.len());
+    }
+
+    /// Clipped window bounds never exceed the unclipped area and always lie
+    /// inside the grid.
+    #[test]
+    fn window_bounds_inside_grid(
+        n in 0usize..10,
+        cx in -15isize..40,
+        cy in -15isize..40,
+        w in 1usize..30,
+        h in 1usize..30
+    ) {
+        let win = CenteredWindow::new(n);
+        if let Some(b) = win.bounds_at(cx, cy, w, h) {
+            prop_assert!(b.x1 < w && b.y1 < h);
+            prop_assert!(b.x0 <= b.x1 && b.y0 <= b.y1);
+            prop_assert!(b.area() <= win.area());
+            for (px, py) in b.pixels() {
+                prop_assert!(px < w && py < h);
+                // Every clipped pixel is inside the original window.
+                prop_assert!((px as isize - cx).abs() <= n as isize);
+                prop_assert!((py as isize - cy).abs() <= n as isize);
+            }
+        }
+    }
+
+    /// WindowBounds::clipped returns None exactly when the rectangle
+    /// misses the grid.
+    #[test]
+    fn clipped_none_iff_empty(
+        x0 in -20isize..30, y0 in -20isize..30,
+        dx in 0isize..10, dy in 0isize..10,
+        w in 1usize..20, h in 1usize..20
+    ) {
+        let r = WindowBounds::clipped(x0, y0, x0 + dx, y0 + dy, w, h);
+        let misses = x0 + dx < 0 || y0 + dy < 0 || x0 >= w as isize || y0 >= h as isize;
+        prop_assert_eq!(r.is_none(), misses);
+    }
+
+    /// Gaussian smoothing never exceeds the input range (it is an
+    /// averaging operator with nonnegative weights).
+    #[test]
+    fn smoothing_respects_range(seed in 0u32..500, sigma in 0.5f32..3.0) {
+        let g = Grid::from_fn(12, 12, |x, y| {
+            (((x * 7 + y * 13) as u32).wrapping_mul(seed.wrapping_add(1)) % 256) as f32
+        });
+        let (lo, hi) = g.min_max();
+        let k = gaussian_kernel(sigma);
+        let s = separable_convolve(&g, &k, BorderPolicy::Reflect);
+        let (slo, shi) = s.min_max();
+        prop_assert!(slo >= lo - 1e-3);
+        prop_assert!(shi <= hi + 1e-3);
+    }
+
+    /// Bilinear sampling at integer grid points reproduces stored values.
+    #[test]
+    fn bilinear_interpolates_nodes(w in 2usize..16, h in 2usize..16) {
+        let g = Grid::from_fn(w, h, |x, y| (x * 10 + y) as f32);
+        for y in 0..h {
+            for x in 0..w {
+                let v = sample_bilinear(&g, x as f32, y as f32, BorderPolicy::Clamp);
+                prop_assert!((v - g.at(x, y)).abs() < 1e-4);
+            }
+        }
+    }
+
+    /// Translating forward then backward returns the original for interior
+    /// pixels (bilinear warp of an integer shift is exact).
+    #[test]
+    fn integer_translate_roundtrip(dx in -3isize..=3, dy in -3isize..=3) {
+        let g = Grid::from_fn(20, 20, |x, y| ((x * 31 + y * 7) % 97) as f32);
+        let t = translate(&g, dx as f32, dy as f32, BorderPolicy::Clamp);
+        let back = translate(&t, -dx as f32, -dy as f32, BorderPolicy::Clamp);
+        let m = 4usize;
+        for y in m..20 - m {
+            for x in m..20 - m {
+                prop_assert!((back.at(x, y) - g.at(x, y)).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Pyramid level dimensions halve (rounding up) at every level.
+    #[test]
+    fn pyramid_halving(w in 8usize..64, h in 8usize..64) {
+        let g = Grid::from_fn(w, h, |x, y| (x + y) as f32);
+        let p = Pyramid::build(&g, 4);
+        for k in 1..p.num_levels() {
+            let (pw, ph) = p.level(k - 1).dims();
+            prop_assert_eq!(p.level(k).dims(), (pw.div_ceil(2), ph.div_ceil(2)));
+        }
+    }
+
+    /// Down-then-up keeps a constant plane exactly constant.
+    #[test]
+    fn pyramid_constant_invariance(v in -10.0f32..10.0) {
+        let g = Grid::filled(16, 16, v);
+        let u = upsample_to(&downsample(&g), 16, 16);
+        for &x in u.iter() {
+            prop_assert!((x - v).abs() < 1e-4);
+        }
+    }
+
+    /// Flow comparison is symmetric in endpoint error and zero against
+    /// itself.
+    #[test]
+    fn flow_stats_metric_axioms(u in -5.0f32..5.0, v in -5.0f32..5.0) {
+        let a = FlowField::uniform(6, 6, Vec2::new(u, v));
+        let b = FlowField::zeros(6, 6);
+        let ab = a.compare(&b);
+        let ba = b.compare(&a);
+        prop_assert!((ab.rms_endpoint - ba.rms_endpoint).abs() < 1e-5);
+        prop_assert_eq!(a.compare(&a).rms_endpoint, 0.0);
+        prop_assert!((ab.rms_endpoint - (u * u + v * v).sqrt()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,283 @@
+//! Gaussian elimination with partial pivoting.
+//!
+//! The paper performs Gaussian elimination at staggering rates: "169
+//! Gaussian-eliminations are performed to solve for the motion parameters"
+//! per pixel, and "over one million (4 x 512 x 512 = 1048576) separate
+//! Gaussian-eliminations are needed to estimate all of the local surface
+//! patch parameters" per frame pair. These kernels are therefore the
+//! hottest scalar code in the reproduction; [`solve6`] is the fixed-size
+//! specialization the drivers call, and [`solve_in_place`] is the general
+//! N x N path.
+
+use crate::matrix::SMat;
+
+/// Failure modes of a dense solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (a pivot underflowed the tolerance) — in
+    /// SMA terms the surface patch or error functional is degenerate
+    /// (e.g. a perfectly flat, textureless neighborhood).
+    Singular,
+    /// Right-hand side length does not match the matrix dimension.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "singular system (degenerate neighborhood)"),
+            SolveError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Pivot magnitude below which the system is declared singular, relative
+/// to the largest entry of the column being eliminated.
+const PIVOT_TOL: f64 = 1e-12;
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting,
+/// destroying `a` and `b`; the solution is written into `b`.
+///
+/// Returns [`SolveError::Singular`] for (numerically) singular systems
+/// and [`SolveError::DimensionMismatch`] if `b.len() != a.n()`.
+pub fn solve_in_place(a: &mut SMat, b: &mut [f64]) -> Result<(), SolveError> {
+    let n = a.n();
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let m = a.as_mut_slice();
+    // Scale reference for the singularity tolerance.
+    let scale = m.iter().fold(0.0f64, |s, v| s.max(v.abs())).max(1.0);
+
+    for col in 0..n {
+        // Partial pivot: the row (>= col) with the largest |entry| in col.
+        let mut piv = col;
+        let mut best = m[col * n + col].abs();
+        for r in col + 1..n {
+            let v = m[r * n + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best <= PIVOT_TOL * scale {
+            return Err(SolveError::Singular);
+        }
+        if piv != col {
+            for c in 0..n {
+                m.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        // Eliminate below the pivot.
+        let pivot = m[col * n + col];
+        for r in col + 1..n {
+            let factor = m[r * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            m[r * n + col] = 0.0;
+            for c in col + 1..n {
+                m[r * n + c] -= factor * m[col * n + c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in r + 1..n {
+            acc -= m[r * n + c] * b[c];
+        }
+        b[r] = acc / m[r * n + r];
+    }
+    Ok(())
+}
+
+/// Solve `A x = b` without destroying the inputs.
+pub fn solve(a: &SMat, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let mut ac = a.clone();
+    let mut bc = b.to_vec();
+    solve_in_place(&mut ac, &mut bc)?;
+    Ok(bc)
+}
+
+/// Fixed-size 6 x 6 solve — the paper's kernel. `a` is row-major,
+/// both `a` and `b` are destroyed; the solution lands in `b`.
+///
+/// Functionally identical to [`solve_in_place`] at `n = 6` but written
+/// over fixed-size arrays so the compiler can fully unroll; this is the
+/// version the SMA hot loops (surface fitting and motion-parameter
+/// estimation) call.
+pub fn solve6(a: &mut [f64; 36], b: &mut [f64; 6]) -> Result<(), SolveError> {
+    const N: usize = 6;
+    let scale = a.iter().fold(0.0f64, |s, v| s.max(v.abs())).max(1.0);
+
+    for col in 0..N {
+        let mut piv = col;
+        let mut best = a[col * N + col].abs();
+        for r in col + 1..N {
+            let v = a[r * N + col].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        if best <= PIVOT_TOL * scale {
+            return Err(SolveError::Singular);
+        }
+        if piv != col {
+            for c in 0..N {
+                a.swap(col * N + c, piv * N + c);
+            }
+            b.swap(col, piv);
+        }
+        let pivot = a[col * N + col];
+        for r in col + 1..N {
+            let factor = a[r * N + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            a[r * N + col] = 0.0;
+            for c in col + 1..N {
+                a[r * N + c] -= factor * a[col * N + c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    for r in (0..N).rev() {
+        let mut acc = b[r];
+        for c in r + 1..N {
+            acc -= a[r * N + c] * b[c];
+        }
+        b[r] = acc / a[r * N + r];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &SMat, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b.iter())
+            .map(|(ax, bb)| (ax - bb).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solves_known_2x2() {
+        let a = SMat::from_rows(2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Without pivoting this system divides by zero immediately.
+        let a = SMat::from_rows(2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = SMat::from_rows(2, &[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(solve(&a, &[1.0, 2.0]).unwrap_err(), SolveError::Singular);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let mut a = SMat::identity(3);
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(
+            solve_in_place(&mut a, &mut b).unwrap_err(),
+            SolveError::DimensionMismatch
+        );
+    }
+
+    #[test]
+    fn near_singular_scaled_system() {
+        // Scaling the whole system by 1e-8 must not trip the relative
+        // tolerance: the system is still perfectly well conditioned.
+        let a = SMat::from_rows(2, &[2e-8, 1e-8, 1e-8, 3e-8]);
+        let x = solve(&a, &[5e-8, 10e-8]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve6_matches_general_path() {
+        // A deterministic, well-conditioned 6x6 system.
+        let mut raw = [0.0f64; 36];
+        for r in 0..6 {
+            for c in 0..6 {
+                raw[r * 6 + c] = ((r * 6 + c) as f64 * 0.37).sin();
+            }
+            raw[r * 6 + r] += 4.0; // diagonally dominant
+        }
+        let b0: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0) * 0.5).collect();
+
+        let a = SMat::from_rows(6, &raw);
+        let general = solve(&a, &b0).unwrap();
+
+        let mut a6 = raw;
+        let mut b6 = [0.0f64; 6];
+        b6.copy_from_slice(&b0);
+        solve6(&mut a6, &mut b6).unwrap();
+
+        for i in 0..6 {
+            assert!((general[i] - b6[i]).abs() < 1e-12, "component {i}");
+        }
+        assert!(residual(&a, &general, &b0) < 1e-10);
+    }
+
+    #[test]
+    fn solve6_identity() {
+        let mut a = [0.0f64; 36];
+        for i in 0..6 {
+            a[i * 6 + i] = 1.0;
+        }
+        let mut b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        solve6(&mut a, &mut b).unwrap();
+        assert_eq!(b, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn solve6_singular_rank_deficient() {
+        let mut a = [0.0f64; 36];
+        for i in 0..6 {
+            a[i * 6 + i] = 1.0;
+        }
+        // Make row 5 a copy of row 4 -> rank 5.
+        for c in 0..6 {
+            a[5 * 6 + c] = a[4 * 6 + c];
+        }
+        let mut b = [1.0; 6];
+        assert_eq!(solve6(&mut a, &mut b).unwrap_err(), SolveError::Singular);
+    }
+
+    #[test]
+    fn hilbert_5x5_still_solvable() {
+        // The 5x5 Hilbert matrix is badly conditioned (~1e5) but must
+        // still solve with small residual.
+        let n = 5;
+        let mut a = SMat::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, 1.0 / (r + c + 1) as f64);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let b = a.mul_vec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-6, "{} vs {}", x[i], x_true[i]);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # sma-linalg
+//!
+//! Small dense linear algebra for the SMA reproduction.
+//!
+//! The paper's inner kernels are all tiny dense solves:
+//!
+//! * fitting a quadratic surface patch "leads to solving a 6 x 6 matrix
+//!   using the Gaussian-elimination method" (§2.2, Step 2) — over one
+//!   million such eliminations per frame pair;
+//! * minimizing the motion-correspondence error over the six affine
+//!   parameters `{ax, bx, ay, by, az, bz}` "leads to another system of
+//!   linear equations that were solved using Gaussian-elimination".
+//!
+//! This crate provides exactly those kernels:
+//!
+//! * [`SMat`] / [`gauss::solve_in_place`] — N x N Gaussian elimination
+//!   with partial pivoting (the general path);
+//! * [`gauss::solve6`] — the fixed-size 6 x 6 specialization used in the
+//!   hot loops;
+//! * [`lstsq::NormalEq`] — accumulation of least-squares normal equations
+//!   `A^T A x = A^T b` from streamed samples;
+//! * [`Vec3`] — unit surface normals `[n_i, n_j, n_k]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gauss;
+pub mod lstsq;
+pub mod matrix;
+pub mod vec3;
+
+pub use gauss::{solve6, solve_in_place, SolveError};
+pub use lstsq::NormalEq;
+pub use matrix::SMat;
+pub use vec3::Vec3;

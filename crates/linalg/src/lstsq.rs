@@ -1,0 +1,250 @@
+//! Least-squares normal equations.
+//!
+//! Both SMA inner problems are linear least squares solved via normal
+//! equations:
+//!
+//! * **surface fitting** — fit `z = c0 x^2 + c1 y^2 + c2 xy + c3 x + c4 y
+//!   + c5` to a `(2Nz+1)^2` window of surface samples;
+//! * **motion parameters** — minimize the quadratic error (3) in the six
+//!   affine parameters by "setting the six first partial derivatives to
+//!   zero", which *is* the normal-equation system.
+//!
+//! [`NormalEq`] accumulates `A^T A` and `A^T b` one sample row at a time
+//! (streaming, no design-matrix allocation) and then solves with the
+//! Gaussian-elimination kernel.
+
+use crate::gauss::{solve_in_place, SolveError};
+use crate::matrix::SMat;
+
+/// Streaming accumulator for the normal equations `A^T A x = A^T b`.
+#[derive(Debug, Clone)]
+pub struct NormalEq {
+    ata: SMat,
+    atb: Vec<f64>,
+    count: usize,
+}
+
+impl NormalEq {
+    /// New accumulator for `n` unknowns.
+    pub fn new(n: usize) -> Self {
+        Self {
+            ata: SMat::zeros(n),
+            atb: vec![0.0; n],
+            count: 0,
+        }
+    }
+
+    /// Number of unknowns.
+    pub fn n(&self) -> usize {
+        self.atb.len()
+    }
+
+    /// Number of accumulated sample rows.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Add one observation: design row `row` with target `b`.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != n`.
+    pub fn push(&mut self, row: &[f64], b: f64) {
+        self.push_weighted(row, b, 1.0);
+    }
+
+    /// Add one observation with weight `w` (least squares weight, applied
+    /// as `w * row * row^T`).
+    ///
+    /// # Panics
+    /// Panics if `row.len() != n`.
+    #[allow(clippy::needless_range_loop)] // matrix-index style is clearer here
+    pub fn push_weighted(&mut self, row: &[f64], b: f64, w: f64) {
+        let n = self.n();
+        assert_eq!(row.len(), n, "design row length mismatch");
+        for r in 0..n {
+            let wr = w * row[r];
+            if wr == 0.0 {
+                continue;
+            }
+            for c in 0..n {
+                self.ata.add(r, c, wr * row[c]);
+            }
+            self.atb[r] += wr * b;
+        }
+        self.count += 1;
+    }
+
+    /// Merge another accumulator over the same unknowns (used to combine
+    /// per-thread partial sums).
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &NormalEq) {
+        let n = self.n();
+        assert_eq!(other.n(), n, "normal equation dimension mismatch");
+        for r in 0..n {
+            for c in 0..n {
+                self.ata.add(r, c, other.ata.get(r, c));
+            }
+            self.atb[r] += other.atb[r];
+        }
+        self.count += other.count;
+    }
+
+    /// Access the accumulated `A^T A`.
+    pub fn ata(&self) -> &SMat {
+        &self.ata
+    }
+
+    /// Access the accumulated `A^T b`.
+    pub fn atb(&self) -> &[f64] {
+        &self.atb
+    }
+
+    /// Solve the normal equations. The accumulator remains reusable
+    /// (solving copies the state).
+    pub fn solve(&self) -> Result<Vec<f64>, SolveError> {
+        let mut a = self.ata.clone();
+        let mut b = self.atb.clone();
+        solve_in_place(&mut a, &mut b)?;
+        Ok(b)
+    }
+
+    /// Solve with Tikhonov damping `lambda` added to the diagonal —
+    /// the fallback for degenerate (flat/textureless) neighborhoods.
+    pub fn solve_damped(&self, lambda: f64) -> Result<Vec<f64>, SolveError> {
+        let mut a = self.ata.clone();
+        for i in 0..self.n() {
+            a.add(i, i, lambda);
+        }
+        let mut b = self.atb.clone();
+        solve_in_place(&mut a, &mut b)?;
+        Ok(b)
+    }
+
+    /// Reset to zero for reuse (keeps the allocation).
+    pub fn clear(&mut self) {
+        self.ata.as_mut_slice().fill(0.0);
+        self.atb.fill(0.0);
+        self.count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_fit() {
+        // y = 3x + 2 sampled without noise: least squares is exact.
+        let mut ne = NormalEq::new(2);
+        for i in 0..10 {
+            let x = i as f64;
+            ne.push(&[x, 1.0], 3.0 * x + 2.0);
+        }
+        let c = ne.solve().unwrap();
+        assert!((c[0] - 3.0).abs() < 1e-10);
+        assert!((c[1] - 2.0).abs() < 1e-10);
+        assert_eq!(ne.count(), 10);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_minimizes_residual() {
+        // Symmetric +-e noise around a line: LSQ recovers the line exactly
+        // because the noise is balanced.
+        let mut ne = NormalEq::new(2);
+        for i in 0..8 {
+            let x = i as f64;
+            let e = if i % 2 == 0 { 0.5 } else { -0.5 };
+            ne.push(&[x, 1.0], 2.0 * x + 1.0 + e);
+        }
+        let c = ne.solve().unwrap();
+        assert!((c[0] - 2.0).abs() < 0.05);
+        assert!((c[1] - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn weights_bias_the_fit() {
+        // Two inconsistent observations of a single unknown; the weighted
+        // solution is the weighted mean.
+        let mut ne = NormalEq::new(1);
+        ne.push_weighted(&[1.0], 0.0, 1.0);
+        ne.push_weighted(&[1.0], 10.0, 3.0);
+        let c = ne.solve().unwrap();
+        assert!((c[0] - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential_accumulation() {
+        let rows = [
+            ([1.0, 2.0], 3.0),
+            ([0.5, -1.0], 1.0),
+            ([2.0, 2.0], 0.0),
+            ([1.0, 0.0], 4.0),
+        ];
+        let mut whole = NormalEq::new(2);
+        for (r, b) in rows {
+            whole.push(&r, b);
+        }
+        let mut left = NormalEq::new(2);
+        let mut right = NormalEq::new(2);
+        for (r, b) in &rows[..2] {
+            left.push(r, *b);
+        }
+        for (r, b) in &rows[2..] {
+            right.push(r, *b);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.solve().unwrap(), whole.solve().unwrap());
+    }
+
+    #[test]
+    fn rank_deficient_fails_plain_but_solves_damped() {
+        // Only ever observe the direction [1, 1]: the normal matrix is
+        // rank 1.
+        let mut ne = NormalEq::new(2);
+        for i in 0..5 {
+            ne.push(&[1.0, 1.0], i as f64);
+        }
+        assert!(ne.solve().is_err());
+        let damped = ne.solve_damped(1e-6).unwrap();
+        // Damping splits the estimate evenly across the two unknowns.
+        assert!((damped[0] - damped[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut ne = NormalEq::new(2);
+        ne.push(&[1.0, 0.0], 5.0);
+        ne.clear();
+        assert_eq!(ne.count(), 0);
+        assert_eq!(ne.atb(), &[0.0, 0.0]);
+        assert!(ne.solve().is_err()); // all-zero system is singular
+    }
+
+    #[test]
+    fn quadratic_surface_basis_fit_is_exact() {
+        // The exact shape of the paper's surface fit: 6 monomials over a
+        // 5x5 window.
+        let truth = [0.3, -0.2, 0.1, 1.5, -2.0, 7.0]; // x^2 y^2 xy x y 1
+        let mut ne = NormalEq::new(6);
+        for dy in -2i32..=2 {
+            for dx in -2i32..=2 {
+                let (x, y) = (dx as f64, dy as f64);
+                let row = [x * x, y * y, x * y, x, y, 1.0];
+                let z: f64 = row.iter().zip(truth.iter()).map(|(a, b)| a * b).sum();
+                ne.push(&row, z);
+            }
+        }
+        let c = ne.solve().unwrap();
+        for i in 0..6 {
+            assert!(
+                (c[i] - truth[i]).abs() < 1e-9,
+                "coef {i}: {} vs {}",
+                c[i],
+                truth[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Small square matrices in row-major storage.
+
+/// A small dense square matrix (row-major). Sizes in this codebase are
+/// 2..=8; the type imposes no fixed bound but is tuned for small N (no
+/// blocking, no allocation reuse tricks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SMat {
+    n: usize,
+    a: Vec<f64>,
+}
+
+impl SMat {
+    /// Zero matrix of size `n x n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be positive");
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix of size `n x n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n * n`.
+    pub fn from_rows(n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "matrix data length mismatch");
+        Self {
+            n,
+            a: data.to_vec(),
+        }
+    }
+
+    /// Dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.n && c < self.n, "matrix index out of bounds");
+        self.a[r * self.n + c]
+    }
+
+    /// Set entry `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n && c < self.n, "matrix index out of bounds");
+        self.a[r * self.n + c] = v;
+    }
+
+    /// Add `v` to entry `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.n && c < self.n, "matrix index out of bounds");
+        self.a[r * self.n + c] += v;
+    }
+
+    /// Row-major backing slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.a
+    }
+
+    /// Mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.a
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != n`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "matvec dimension mismatch");
+        (0..self.n)
+            .map(|r| {
+                self.a[r * self.n..(r + 1) * self.n]
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Matrix product `A B`.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn mul(&self, other: &SMat) -> SMat {
+        assert_eq!(self.n, other.n, "matmul dimension mismatch");
+        let n = self.n;
+        let mut out = SMat::zeros(n);
+        for r in 0..n {
+            for k in 0..n {
+                let v = self.get(r, k);
+                if v == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    out.add(r, c, v * other.get(k, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transposed(&self) -> SMat {
+        let n = self.n;
+        let mut out = SMat::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry (infinity-ish norm on entries).
+    pub fn max_abs(&self) -> f64 {
+        self.a.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// True if symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for r in 0..self.n {
+            for c in r + 1..self.n {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = SMat::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = SMat::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = SMat::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.mul_vec(&[5.0, 6.0]), vec![17.0, 39.0]);
+    }
+
+    #[test]
+    fn transpose_of_product_reverses() {
+        let a = SMat::from_rows(2, &[1.0, 2.0, 0.0, 1.0]);
+        let b = SMat::from_rows(2, &[3.0, 0.0, 1.0, 2.0]);
+        assert_eq!(a.mul(&b).transposed(), b.transposed().mul(&a.transposed()));
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = SMat::from_rows(2, &[1.0, 2.0, 2.0, 5.0]);
+        assert!(s.is_symmetric(0.0));
+        let ns = SMat::from_rows(2, &[1.0, 2.0, 2.1, 5.0]);
+        assert!(!ns.is_symmetric(0.05));
+        assert!(ns.is_symmetric(0.2));
+    }
+
+    #[test]
+    fn accumulate_entries() {
+        let mut m = SMat::zeros(3);
+        m.add(1, 2, 2.5);
+        m.add(1, 2, 0.5);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.max_abs(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix dimension must be positive")]
+    fn zero_dim_rejected() {
+        let _ = SMat::zeros(0);
+    }
+}

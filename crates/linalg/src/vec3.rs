@@ -1,0 +1,163 @@
+//! 3-component vectors for surface normals.
+//!
+//! The paper's error functional compares "the orthogonal components of the
+//! unit normal at the surface element", written `[n_i, n_j, n_k]` before
+//! motion and `[n_i', n_j', n_k']` after. [`Vec3`] carries those triples.
+
+/// A 3-vector; for surface normals the components map to the paper's
+/// `[n_i, n_j, n_k]` with `n_k` the out-of-surface component.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// First tangent-plane component (`n_i`, along x).
+    pub i: f64,
+    /// Second tangent-plane component (`n_j`, along y).
+    pub j: f64,
+    /// Out-of-surface component (`n_k`, along z).
+    pub k: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    #[inline]
+    pub const fn new(i: f64, j: f64, k: f64) -> Self {
+        Self { i, j, k }
+    }
+
+    /// The `+z` unit vector — the normal of a flat horizontal surface.
+    pub const UP: Vec3 = Vec3 {
+        i: 0.0,
+        j: 0.0,
+        k: 1.0,
+    };
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.i * self.i + self.j * self.j + self.k * self.k).sqrt()
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero input.
+    pub fn normalized(&self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(Vec3::new(self.i / n, self.j / n, self.k / n))
+        }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, o: &Vec3) -> f64 {
+        self.i * o.i + self.j * o.j + self.k * o.k
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(&self, o: &Vec3) -> Vec3 {
+        Vec3::new(
+            self.j * o.k - self.k * o.j,
+            self.k * o.i - self.i * o.k,
+            self.i * o.j - self.j * o.i,
+        )
+    }
+
+    /// Angle to another vector in radians (`0` for parallel).
+    pub fn angle_to(&self, o: &Vec3) -> f64 {
+        let d = self.norm() * o.norm();
+        if d < 1e-300 {
+            return 0.0;
+        }
+        (self.dot(o) / d).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Surface normal of a graph surface `z(x, y)` with gradient
+    /// `(zx, zy)`: the (unnormalized) normal is `(-zx, -zy, 1)`.
+    pub fn from_gradient(zx: f64, zy: f64) -> Vec3 {
+        Vec3::new(-zx, -zy, 1.0)
+    }
+
+    /// Unit surface normal of a graph surface from its gradient; always
+    /// well defined because `n_k = 1` before normalization.
+    pub fn unit_normal_from_gradient(zx: f64, zy: f64) -> Vec3 {
+        Vec3::from_gradient(zx, zy)
+            .normalized()
+            .expect("graph-surface normal is never zero")
+    }
+}
+
+impl std::ops::Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.i + o.i, self.j + o.j, self.k + o.k)
+    }
+}
+
+impl std::ops::Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.i - o.i, self.j - o.j, self.k - o.k)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.i * s, self.j * s, self.k * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_surface_normal_is_up() {
+        assert_eq!(Vec3::unit_normal_from_gradient(0.0, 0.0), Vec3::UP);
+    }
+
+    #[test]
+    fn tilted_surface_normal() {
+        // z = x: gradient (1, 0), normal (-1, 0, 1)/sqrt(2).
+        let n = Vec3::unit_normal_from_gradient(1.0, 0.0);
+        let s = 1.0 / 2.0f64.sqrt();
+        assert!((n.i + s).abs() < 1e-12);
+        assert!(n.j.abs() < 1e-12);
+        assert!((n.k - s).abs() < 1e-12);
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Vec3::new(0.0, 0.0, 0.0).normalized().is_none());
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 1.0);
+        let c = a.cross(&b);
+        assert!(c.dot(&a).abs() < 1e-12);
+        assert!(c.dot(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_axes() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert!((x.angle_to(&y) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!(x.angle_to(&x).abs() < 1e-7);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(0.5, 0.5, 0.5);
+        assert_eq!(a + b, Vec3::new(1.5, 2.5, 3.5));
+        assert_eq!(a - b, Vec3::new(0.5, 1.5, 2.5));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests: solver correctness on random well-conditioned
+//! systems, normal-equation invariants, normal geometry.
+
+use proptest::prelude::*;
+use sma_linalg::{solve6, NormalEq, SMat, Vec3};
+
+/// A random diagonally dominant matrix — guaranteed nonsingular.
+fn dominant_matrix(n: usize, seed: &[f64]) -> SMat {
+    let mut m = SMat::zeros(n);
+    let mut idx = 0;
+    for r in 0..n {
+        let mut row_sum = 0.0;
+        for c in 0..n {
+            if r != c {
+                let v = seed[idx % seed.len()] * 2.0 - 1.0;
+                m.set(r, c, v);
+                row_sum += v.abs();
+                idx += 1;
+            }
+        }
+        m.set(r, r, row_sum + 1.0 + seed[idx % seed.len()]);
+        idx += 1;
+    }
+    m
+}
+
+proptest! {
+    /// Gaussian elimination recovers a known solution of a random
+    /// diagonally dominant system (any size 1..=8).
+    #[test]
+    fn solve_recovers_truth(
+        n in 1usize..=8,
+        seed in prop::collection::vec(0.0f64..1.0, 80),
+        xs in prop::collection::vec(-10.0f64..10.0, 8)
+    ) {
+        let a = dominant_matrix(n, &seed);
+        let x_true = &xs[..n];
+        let b = a.mul_vec(x_true);
+        let x = sma_linalg::gauss::solve(&a, &b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - x_true[i]).abs() < 1e-8,
+                "component {} differs: {} vs {}", i, x[i], x_true[i]);
+        }
+    }
+
+    /// The fixed-size solve6 agrees with the general solver bit-for-bit
+    /// tolerance on random dominant 6x6 systems.
+    #[test]
+    fn solve6_equals_general(
+        seed in prop::collection::vec(0.0f64..1.0, 80),
+        xs in prop::collection::vec(-5.0f64..5.0, 6)
+    ) {
+        let a = dominant_matrix(6, &seed);
+        let b = a.mul_vec(&xs);
+        let general = sma_linalg::gauss::solve(&a, &b).unwrap();
+
+        let mut a6 = [0.0f64; 36];
+        a6.copy_from_slice(a.as_slice());
+        let mut b6 = [0.0f64; 6];
+        b6.copy_from_slice(&b);
+        solve6(&mut a6, &mut b6).unwrap();
+
+        for i in 0..6 {
+            prop_assert!((general[i] - b6[i]).abs() < 1e-10);
+        }
+    }
+
+    /// Permuting observation order never changes the normal-equation
+    /// solution (accumulation is order-independent up to rounding).
+    #[test]
+    fn normal_eq_order_independent(rows in prop::collection::vec(
+        (( -3.0f64..3.0, -3.0f64..3.0), -5.0f64..5.0), 6..20)
+    ) {
+        let mut fwd = NormalEq::new(2);
+        let mut rev = NormalEq::new(2);
+        for ((a, b), t) in &rows {
+            fwd.push(&[*a + 4.0, *b], *t); // shift to keep it well-posed
+        }
+        for ((a, b), t) in rows.iter().rev() {
+            rev.push(&[*a + 4.0, *b], *t);
+        }
+        if let (Ok(x), Ok(y)) = (fwd.solve(), rev.solve()) {
+            prop_assert!((x[0] - y[0]).abs() < 1e-6);
+            prop_assert!((x[1] - y[1]).abs() < 1e-6);
+        }
+    }
+
+    /// A^T A accumulated by NormalEq is symmetric.
+    #[test]
+    fn ata_symmetric(rows in prop::collection::vec(
+        (-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0), 3..15)
+    ) {
+        let mut ne = NormalEq::new(3);
+        for (a, b, c) in &rows {
+            ne.push(&[*a, *b, *c], a + b - c);
+        }
+        prop_assert!(ne.ata().is_symmetric(1e-9));
+    }
+
+    /// Unit normals from gradients are unit length and tilt away from +z
+    /// monotonically with gradient magnitude.
+    #[test]
+    fn unit_normal_properties(zx in -50.0f64..50.0, zy in -50.0f64..50.0) {
+        let n = Vec3::unit_normal_from_gradient(zx, zy);
+        prop_assert!((n.norm() - 1.0).abs() < 1e-12);
+        prop_assert!(n.k > 0.0); // graph surfaces always face up
+        // The normal is orthogonal to both surface tangents (1,0,zx), (0,1,zy).
+        let tx = Vec3::new(1.0, 0.0, zx);
+        let ty = Vec3::new(0.0, 1.0, zy);
+        prop_assert!(n.dot(&tx).abs() < 1e-9);
+        prop_assert!(n.dot(&ty).abs() < 1e-9);
+    }
+
+    /// Cross product anti-commutes and is orthogonal to its factors.
+    #[test]
+    fn cross_product_axioms(
+        ai in -5.0f64..5.0, aj in -5.0f64..5.0, ak in -5.0f64..5.0,
+        bi in -5.0f64..5.0, bj in -5.0f64..5.0, bk in -5.0f64..5.0
+    ) {
+        let a = Vec3::new(ai, aj, ak);
+        let b = Vec3::new(bi, bj, bk);
+        let c = a.cross(&b);
+        let d = b.cross(&a);
+        prop_assert!((c + d).norm() < 1e-9);
+        prop_assert!(c.dot(&a).abs() < 1e-8);
+        prop_assert!(c.dot(&b).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,364 @@
+//! The Array Control Unit: lockstep SIMD programs with per-instruction
+//! cost charging.
+//!
+//! On the MP-2 "a single program instruction can execute simultaneously
+//! on all of the Processor Elements" under ACU control. [`Acu`]
+//! programs model that: a sequence of plural instructions over named f32
+//! registers, executed lockstep across the PE array with the active-set
+//! mask applied, and every instruction charged to a [`CostLedger`]
+//! (flops for arithmetic, memory bytes for load/store, X-net bytes for
+//! fetches) so kernel costs can be read off the ledger.
+//!
+//! This is the simulator's MPL-like layer; the SMA drivers use the
+//! higher-level facilities, but the ACU lets machine kernels (reductions,
+//! stencils) be expressed and costed instruction by instruction — see
+//! the `plural mean` and `3x3 stencil` tests.
+
+use std::collections::BTreeMap;
+
+use crate::array::{PeArray, PluralVar};
+use crate::cost::{CostLedger, OpCounts};
+use crate::xnet::{xnet_fetch, Direction};
+
+/// A plural register name.
+pub type Reg = &'static str;
+
+/// One lockstep instruction.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// `dst <- constant` (ACU broadcast; free of PE memory traffic).
+    Splat(Reg, f32),
+    /// `dst <- a + b` (1 flop per active PE).
+    Add(Reg, Reg, Reg),
+    /// `dst <- a - b` (1 flop per active PE).
+    Sub(Reg, Reg, Reg),
+    /// `dst <- a * b` (1 flop per active PE).
+    Mul(Reg, Reg, Reg),
+    /// `dst <- a * b + c` (2 flops per active PE, the FPU's multiply-add).
+    Fma(Reg, Reg, Reg, Reg),
+    /// `dst <- neighbor's a` in a direction (one X-net transfer, 4 bytes
+    /// per PE).
+    Fetch(Reg, Reg, Direction),
+    /// `dst <- memory[layer]` of a bound folded plane (4 bytes per PE of
+    /// direct plural memory traffic).
+    Load(Reg, usize),
+    /// `memory[layer] <- src` (4 bytes per PE).
+    Store(usize, Reg),
+}
+
+/// The ACU: registers, bound memory planes, the PE array, and a ledger.
+#[derive(Debug)]
+pub struct Acu {
+    array: PeArray,
+    regs: BTreeMap<Reg, PluralVar<f32>>,
+    memory: Vec<PluralVar<f32>>,
+    ledger: CostLedger,
+}
+
+impl Acu {
+    /// An ACU over a fresh fully-active array with `mem_layers` zeroed
+    /// memory planes.
+    pub fn new(nxproc: usize, nyproc: usize, mem_layers: usize) -> Self {
+        Self {
+            array: PeArray::new(nxproc, nyproc),
+            regs: BTreeMap::new(),
+            memory: vec![PluralVar::splat(nxproc, nyproc, 0.0); mem_layers],
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// The PE array (for masking).
+    pub fn array_mut(&mut self) -> &mut PeArray {
+        &mut self.array
+    }
+
+    /// Preload a memory layer from a plural variable.
+    ///
+    /// # Panics
+    /// Panics if the layer index or shape is wrong.
+    pub fn write_memory(&mut self, layer: usize, data: PluralVar<f32>) {
+        assert!(layer < self.memory.len(), "memory layer out of range");
+        assert_eq!(
+            data.dims(),
+            (self.array.nxproc(), self.array.nyproc()),
+            "plural shape mismatch"
+        );
+        self.memory[layer] = data;
+    }
+
+    /// Read a register after execution.
+    pub fn register(&self, r: Reg) -> Option<&PluralVar<f32>> {
+        self.regs.get(r)
+    }
+
+    /// Read a memory layer.
+    pub fn memory(&self, layer: usize) -> &PluralVar<f32> {
+        &self.memory[layer]
+    }
+
+    /// The accumulated cost ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    fn reg(&self, r: Reg) -> PluralVar<f32> {
+        self.regs
+            .get(r)
+            .unwrap_or_else(|| panic!("read of unwritten register '{r}'"))
+            .clone()
+    }
+
+    fn masked_write(&mut self, dst: Reg, value: PluralVar<f32>) {
+        let (nx, ny) = (self.array.nxproc(), self.array.nyproc());
+        let prev = self
+            .regs
+            .get(dst)
+            .cloned()
+            .unwrap_or_else(|| PluralVar::splat(nx, ny, 0.0));
+        let merged = PluralVar::from_fn(nx, ny, |x, y| {
+            if self.array.is_active(x, y) {
+                value.get(x, y)
+            } else {
+                prev.get(x, y)
+            }
+        });
+        self.regs.insert(dst, merged);
+    }
+
+    /// Execute one instruction (lockstep, masked) and charge its cost to
+    /// `phase`.
+    pub fn exec(&mut self, phase: &str, instr: &Instr) {
+        let active = self.array.active_count() as f64;
+        match instr {
+            Instr::Splat(dst, v) => {
+                let (nx, ny) = (self.array.nxproc(), self.array.nyproc());
+                self.masked_write(dst, PluralVar::splat(nx, ny, *v));
+            }
+            Instr::Add(dst, a, b) | Instr::Sub(dst, a, b) | Instr::Mul(dst, a, b) => {
+                let va = self.reg(a);
+                let vb = self.reg(b);
+                let out = match instr {
+                    Instr::Add(..) => va.zip_with(&vb, |p, q| p + q),
+                    Instr::Sub(..) => va.zip_with(&vb, |p, q| p - q),
+                    _ => va.zip_with(&vb, |p, q| p * q),
+                };
+                self.masked_write(dst, out);
+                self.ledger.charge(
+                    phase,
+                    OpCounts {
+                        flops_single: active,
+                        ..Default::default()
+                    },
+                );
+            }
+            Instr::Fma(dst, a, b, c) => {
+                let va = self.reg(a);
+                let vb = self.reg(b);
+                let vc = self.reg(c);
+                let prod = va.zip_with(&vb, |p, q| p * q);
+                let out = prod.zip_with(&vc, |p, q| p + q);
+                self.masked_write(dst, out);
+                self.ledger.charge(
+                    phase,
+                    OpCounts {
+                        flops_single: 2.0 * active,
+                        ..Default::default()
+                    },
+                );
+            }
+            Instr::Fetch(dst, src, dir) => {
+                let v = self.reg(src);
+                self.masked_write(dst, xnet_fetch(&v, *dir));
+                self.ledger.charge(
+                    phase,
+                    OpCounts {
+                        xnet_bytes: 4.0 * active,
+                        ..Default::default()
+                    },
+                );
+            }
+            Instr::Load(dst, layer) => {
+                assert!(*layer < self.memory.len(), "load from unbound layer");
+                let v = self.memory[*layer].clone();
+                self.masked_write(dst, v);
+                self.ledger.charge(
+                    phase,
+                    OpCounts {
+                        mem_bytes_direct: 4.0 * active,
+                        ..Default::default()
+                    },
+                );
+            }
+            Instr::Store(layer, src) => {
+                assert!(*layer < self.memory.len(), "store to unbound layer");
+                let v = self.reg(src);
+                let (nx, ny) = (self.array.nxproc(), self.array.nyproc());
+                let prev = self.memory[*layer].clone();
+                self.memory[*layer] = PluralVar::from_fn(nx, ny, |x, y| {
+                    if self.array.is_active(x, y) {
+                        v.get(x, y)
+                    } else {
+                        prev.get(x, y)
+                    }
+                });
+                self.ledger.charge(
+                    phase,
+                    OpCounts {
+                        mem_bytes_direct: 4.0 * active,
+                        ..Default::default()
+                    },
+                );
+            }
+        }
+    }
+
+    /// Run a program under one phase label.
+    pub fn run(&mut self, phase: &str, program: &[Instr]) {
+        for instr in program {
+            self.exec(phase, instr);
+        }
+    }
+
+    /// ACU-side global sum of a register over active PEs.
+    pub fn reduce_sum(&self, r: Reg) -> f64 {
+        let v = self.reg(r);
+        self.array.reduce(&v, 0.0f64, |acc, x| acc + x as f64)
+    }
+}
+
+/// A ready-made kernel: the 8-neighbor X-net mean (one round of Fig. 1's
+/// mesh communication), as an ACU program. Register `x` in, `mean8` out.
+pub fn mean8_program() -> Vec<Instr> {
+    use Direction::*;
+    let mut p = vec![Instr::Splat("acc", 0.0)];
+    for (i, d) in [
+        North, NorthEast, East, SouthEast, South, SouthWest, West, NorthWest,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let tmp: Reg = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"][i];
+        p.push(Instr::Fetch(tmp, "x", d));
+        p.push(Instr::Add("acc", "acc", tmp));
+    }
+    p.push(Instr::Splat("eighth", 1.0 / 8.0));
+    p.push(Instr::Mul("mean8", "acc", "eighth"));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_costs() {
+        let mut acu = Acu::new(4, 4, 0);
+        acu.run(
+            "k",
+            &[
+                Instr::Splat("a", 3.0),
+                Instr::Splat("b", 4.0),
+                Instr::Mul("c", "a", "b"),
+                Instr::Add("d", "c", "a"),
+            ],
+        );
+        assert_eq!(acu.register("d").unwrap().get(2, 2), 15.0);
+        // Two arithmetic instructions x 16 PEs = 32 flops.
+        assert_eq!(acu.ledger().phase("k").unwrap().flops_single, 32.0);
+    }
+
+    #[test]
+    fn fma_counts_two_flops() {
+        let mut acu = Acu::new(2, 2, 0);
+        acu.run(
+            "k",
+            &[
+                Instr::Splat("a", 2.0),
+                Instr::Splat("b", 3.0),
+                Instr::Splat("c", 1.0),
+                Instr::Fma("d", "a", "b", "c"),
+            ],
+        );
+        assert_eq!(acu.register("d").unwrap().get(0, 0), 7.0);
+        assert_eq!(acu.ledger().phase("k").unwrap().flops_single, 8.0);
+    }
+
+    #[test]
+    fn fetch_moves_data_and_charges_xnet() {
+        let mut acu = Acu::new(4, 4, 0);
+        acu.write_memory_free("x", |x, y| (10 * y + x) as f32);
+        acu.run("k", &[Instr::Fetch("n", "x", Direction::North)]);
+        // PE (1, 2) reads from (1, 1).
+        assert_eq!(acu.register("n").unwrap().get(1, 2), 11.0);
+        assert_eq!(acu.ledger().phase("k").unwrap().xnet_bytes, 64.0);
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_memory_costs() {
+        let mut acu = Acu::new(2, 2, 2);
+        acu.write_memory(0, PluralVar::from_fn(2, 2, |x, y| (x + 10 * y) as f32));
+        acu.run("k", &[Instr::Load("r", 0), Instr::Store(1, "r")]);
+        assert_eq!(acu.memory(1).get(1, 1), 11.0);
+        assert_eq!(
+            acu.ledger().phase("k").unwrap().mem_bytes_direct,
+            2.0 * 4.0 * 4.0
+        );
+    }
+
+    #[test]
+    fn masking_freezes_inactive_pes() {
+        let mut acu = Acu::new(4, 4, 0);
+        acu.run("k", &[Instr::Splat("v", 1.0)]);
+        let cond = PluralVar::from_fn(4, 4, |x, _| x < 2);
+        let saved = acu.array_mut().push_active(&cond);
+        acu.run(
+            "k",
+            &[Instr::Splat("one", 1.0), Instr::Add("v", "v", "one")],
+        );
+        acu.array_mut().pop_active(saved);
+        assert_eq!(acu.register("v").unwrap().get(0, 0), 2.0);
+        assert_eq!(
+            acu.register("v").unwrap().get(3, 0),
+            1.0,
+            "masked PE unchanged"
+        );
+    }
+
+    #[test]
+    fn mean8_kernel() {
+        let mut acu = Acu::new(4, 4, 0);
+        acu.write_memory_free("x", |_, _| 5.0);
+        acu.run("mean", &mean8_program());
+        // Constant field: the 8-neighbor mean is the same constant.
+        let m = acu.register("mean8").unwrap();
+        for y in 0..4 {
+            for x in 0..4 {
+                assert!((m.get(x, y) - 5.0).abs() < 1e-6);
+            }
+        }
+        // 8 fetches charged.
+        assert_eq!(
+            acu.ledger().phase("mean").unwrap().xnet_bytes,
+            8.0 * 4.0 * 16.0
+        );
+    }
+
+    #[test]
+    fn reduce_sum_over_active() {
+        let mut acu = Acu::new(4, 4, 0);
+        acu.write_memory_free("x", |x, y| (x + y) as f32);
+        let total = acu.reduce_sum("x");
+        let expect: f64 = (0..4)
+            .flat_map(|y| (0..4).map(move |x| (x + y) as f64))
+            .sum();
+        assert_eq!(total, expect);
+    }
+
+    impl Acu {
+        /// Test helper: write a register directly (bypasses masking).
+        fn write_memory_free(&mut self, r: Reg, f: impl FnMut(usize, usize) -> f32) {
+            let (nx, ny) = (self.array.nxproc(), self.array.nyproc());
+            self.regs.insert(r, PluralVar::from_fn(nx, ny, f));
+        }
+    }
+}

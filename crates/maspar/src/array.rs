@@ -1,0 +1,288 @@
+//! The PE array and plural variables.
+//!
+//! "The MasPar MP-2 ... is a Single Instruction, Multiple Data (SIMD)
+//! massively parallel machine maximally configured with 16384 processors
+//! arranged in a rectangular 8-way nearest neighbor mesh of size
+//! nyproc x nxproc = 128 x 128 operating under the control of an Array
+//! Control Unit. In SIMD or data parallel systems a single program
+//! instruction can execute simultaneously on all of the Processor
+//! Elements (PEs)." (§3.1)
+//!
+//! [`PluralVar<T>`] models an MPL *plural* variable: one instance of `T`
+//! per PE, indexed `(ixproc, iyproc)`. [`PeArray`] carries the array
+//! shape and the *active set* — MPL's plural-`if` masking, under which
+//! inactive PEs ignore instructions.
+
+use sma_grid::Grid;
+
+/// The PE array shape and active set.
+#[derive(Debug, Clone)]
+pub struct PeArray {
+    nxproc: usize,
+    nyproc: usize,
+    /// Active-set mask (plural `if`); `true` = PE participates.
+    active: Grid<bool>,
+}
+
+impl PeArray {
+    /// A fully active `nxproc x nyproc` array.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(nxproc: usize, nyproc: usize) -> Self {
+        assert!(
+            nxproc > 0 && nyproc > 0,
+            "PE array dimensions must be positive"
+        );
+        Self {
+            nxproc,
+            nyproc,
+            active: Grid::filled(nxproc, nyproc, true),
+        }
+    }
+
+    /// The Goddard MP-2 configuration: 128 x 128 = 16384 PEs.
+    pub fn goddard_mp2() -> Self {
+        Self::new(128, 128)
+    }
+
+    /// PEs along x (`nxproc`).
+    pub fn nxproc(&self) -> usize {
+        self.nxproc
+    }
+
+    /// PEs along y (`nyproc`).
+    pub fn nyproc(&self) -> usize {
+        self.nyproc
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.nxproc * self.nyproc
+    }
+
+    /// Whether PE `(ixproc, iyproc)` is currently active.
+    pub fn is_active(&self, ixproc: usize, iyproc: usize) -> bool {
+        self.active.at(ixproc, iyproc)
+    }
+
+    /// Number of active PEs.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Enter a plural-`if`: restrict the active set to PEs where `cond`
+    /// holds (intersected with the current set, as nested plural `if`s
+    /// do on the real machine). Returns the previous mask for restoring.
+    pub fn push_active(&mut self, cond: &PluralVar<bool>) -> Grid<bool> {
+        assert_eq!(
+            cond.dims(),
+            (self.nxproc, self.nyproc),
+            "mask shape mismatch"
+        );
+        let prev = self.active.clone();
+        self.active = self.active.zip_map(cond.as_grid(), |&a, &c| a && c);
+        prev
+    }
+
+    /// Leave a plural-`if`: restore a previously saved mask.
+    pub fn pop_active(&mut self, prev: Grid<bool>) {
+        assert_eq!(
+            prev.dims(),
+            (self.nxproc, self.nyproc),
+            "mask shape mismatch"
+        );
+        self.active = prev;
+    }
+
+    /// Execute a plural instruction: apply `f(ixproc, iyproc, value)` on
+    /// every *active* PE, leaving inactive PEs' values untouched — the
+    /// SIMD lockstep semantics.
+    pub fn plural_map<T: Copy>(
+        &self,
+        var: &PluralVar<T>,
+        mut f: impl FnMut(usize, usize, T) -> T,
+    ) -> PluralVar<T> {
+        assert_eq!(
+            var.dims(),
+            (self.nxproc, self.nyproc),
+            "plural shape mismatch"
+        );
+        PluralVar::from_grid(Grid::from_fn(self.nxproc, self.nyproc, |x, y| {
+            let v = var.get(x, y);
+            if self.active.at(x, y) {
+                f(x, y, v)
+            } else {
+                v
+            }
+        }))
+    }
+
+    /// Global reduction over active PEs (the ACU's `reduceAdd`-style
+    /// operations).
+    pub fn reduce<T: Copy, A>(
+        &self,
+        var: &PluralVar<T>,
+        init: A,
+        mut f: impl FnMut(A, T) -> A,
+    ) -> A {
+        assert_eq!(
+            var.dims(),
+            (self.nxproc, self.nyproc),
+            "plural shape mismatch"
+        );
+        let mut acc = init;
+        for y in 0..self.nyproc {
+            for x in 0..self.nxproc {
+                if self.active.at(x, y) {
+                    acc = f(acc, var.get(x, y));
+                }
+            }
+        }
+        acc
+    }
+}
+
+/// An MPL plural variable: one `T` per PE, addressed `(ixproc, iyproc)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PluralVar<T> {
+    grid: Grid<T>,
+}
+
+impl<T: Copy> PluralVar<T> {
+    /// A plural variable with every PE holding `v`.
+    pub fn splat(nxproc: usize, nyproc: usize, v: T) -> Self {
+        Self {
+            grid: Grid::filled(nxproc, nyproc, v),
+        }
+    }
+
+    /// Build per-PE from `(ixproc, iyproc)` — e.g. the predefined MPL
+    /// plural variables `ixproc`/`iyproc` themselves.
+    pub fn from_fn(nxproc: usize, nyproc: usize, f: impl FnMut(usize, usize) -> T) -> Self {
+        Self {
+            grid: Grid::from_fn(nxproc, nyproc, f),
+        }
+    }
+
+    /// Wrap an existing grid (shape = PE array shape).
+    pub fn from_grid(grid: Grid<T>) -> Self {
+        Self { grid }
+    }
+
+    /// `(nxproc, nyproc)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.grid.dims()
+    }
+
+    /// Value held by PE `(ixproc, iyproc)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, ixproc: usize, iyproc: usize) -> T {
+        self.grid.at(ixproc, iyproc)
+    }
+
+    /// Set the value held by PE `(ixproc, iyproc)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, ixproc: usize, iyproc: usize, v: T) {
+        self.grid.set(ixproc, iyproc, v);
+    }
+
+    /// The underlying grid.
+    pub fn as_grid(&self) -> &Grid<T> {
+        &self.grid
+    }
+
+    /// Elementwise combination of two plural variables (a two-operand
+    /// plural instruction with no masking).
+    pub fn zip_with<U: Copy, V>(
+        &self,
+        other: &PluralVar<U>,
+        mut f: impl FnMut(T, U) -> V,
+    ) -> PluralVar<V> {
+        PluralVar {
+            grid: self.grid.zip_map(other.as_grid(), |&a, &b| f(a, b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goddard_configuration() {
+        let pe = PeArray::goddard_mp2();
+        assert_eq!(pe.nxproc(), 128);
+        assert_eq!(pe.nyproc(), 128);
+        assert_eq!(pe.num_pes(), 16384);
+        assert_eq!(pe.active_count(), 16384);
+    }
+
+    #[test]
+    fn plural_map_applies_everywhere_when_fully_active() {
+        let pe = PeArray::new(4, 4);
+        let v = PluralVar::from_fn(4, 4, |x, y| (x + 10 * y) as i32);
+        let w = pe.plural_map(&v, |_, _, a| a * 2);
+        assert_eq!(w.get(3, 2), 46);
+    }
+
+    #[test]
+    fn plural_if_masks_inactive_pes() {
+        let mut pe = PeArray::new(4, 4);
+        let cond = PluralVar::from_fn(4, 4, |x, _| x < 2);
+        let saved = pe.push_active(&cond);
+        assert_eq!(pe.active_count(), 8);
+        let v = PluralVar::splat(4, 4, 1i32);
+        let w = pe.plural_map(&v, |_, _, a| a + 100);
+        assert_eq!(w.get(0, 0), 101);
+        assert_eq!(w.get(3, 3), 1, "inactive PE must not execute");
+        pe.pop_active(saved);
+        assert_eq!(pe.active_count(), 16);
+    }
+
+    #[test]
+    fn nested_plural_if_intersects() {
+        let mut pe = PeArray::new(4, 4);
+        let outer = PluralVar::from_fn(4, 4, |x, _| x < 2);
+        let inner = PluralVar::from_fn(4, 4, |_, y| y < 2);
+        let s1 = pe.push_active(&outer);
+        let s2 = pe.push_active(&inner);
+        assert_eq!(pe.active_count(), 4);
+        assert!(pe.is_active(1, 1));
+        assert!(!pe.is_active(1, 3));
+        pe.pop_active(s2);
+        assert_eq!(pe.active_count(), 8);
+        pe.pop_active(s1);
+        assert_eq!(pe.active_count(), 16);
+    }
+
+    #[test]
+    fn reduce_respects_active_set() {
+        let mut pe = PeArray::new(4, 4);
+        let v = PluralVar::splat(4, 4, 1u64);
+        assert_eq!(pe.reduce(&v, 0u64, |a, b| a + b), 16);
+        let cond = PluralVar::from_fn(4, 4, |x, y| (x + y) % 2 == 0);
+        let _saved = pe.push_active(&cond);
+        assert_eq!(pe.reduce(&v, 0u64, |a, b| a + b), 8);
+    }
+
+    #[test]
+    fn zip_with_combines_elementwise() {
+        let a = PluralVar::from_fn(2, 2, |x, _| x as i32);
+        let b = PluralVar::from_fn(2, 2, |_, y| y as i32 * 10);
+        let c = a.zip_with(&b, |p, q| p + q);
+        assert_eq!(c.get(1, 1), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn empty_array_rejected() {
+        let _ = PeArray::new(0, 4);
+    }
+}

@@ -1,0 +1,292 @@
+//! Machine cost models and the per-phase ledger.
+//!
+//! The simulator runs on a modern host, so wall-clock time says nothing
+//! about the MP-2. Instead every operation is charged to a ledger priced
+//! with the paper's §3.1 figures, and timing tables (paper Tables 2 and
+//! 4) are read off the ledger:
+//!
+//! * 16384 PEs, 80 ns clock (12.5 MHz);
+//! * sustained 60% of 6.3 GFlops single precision = 3.78 GFlops,
+//!   2.4 GFlops double, 68 BIPS integer;
+//! * PE memory bandwidth 22.4 GB/s direct / 10.6 GB/s indirect
+//!   (aggregate);
+//! * X-net 23.0 GB/s aggregate register-to-register;
+//! * Global Router 1.3 GB/s (18x slower than X-net);
+//! * MasPar Parallel Disk Array: 30 MB/s sustained.
+//!
+//! The sequential baseline is the paper's SGI Onyx R8000/90 (360 MFlops
+//! peak); its sustained fraction is the one calibrated constant
+//! (documented in EXPERIMENTS.md) since the paper reports only peak.
+
+use std::collections::BTreeMap;
+
+/// Operation counts accumulated for one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCounts {
+    /// Single-precision floating-point operations.
+    pub flops_single: f64,
+    /// Double-precision floating-point operations.
+    pub flops_double: f64,
+    /// Integer operations.
+    pub int_ops: f64,
+    /// Bytes moved through PE memory with direct addressing.
+    pub mem_bytes_direct: f64,
+    /// Bytes moved through PE memory with indirect (pointer) addressing.
+    pub mem_bytes_indirect: f64,
+    /// Bytes moved over the X-net mesh.
+    pub xnet_bytes: f64,
+    /// Bytes moved through the global router.
+    pub router_bytes: f64,
+    /// Bytes moved to/from the parallel disk array.
+    pub disk_bytes: f64,
+}
+
+impl OpCounts {
+    /// Elementwise sum.
+    pub fn add(&mut self, o: &OpCounts) {
+        self.flops_single += o.flops_single;
+        self.flops_double += o.flops_double;
+        self.int_ops += o.int_ops;
+        self.mem_bytes_direct += o.mem_bytes_direct;
+        self.mem_bytes_indirect += o.mem_bytes_indirect;
+        self.xnet_bytes += o.xnet_bytes;
+        self.router_bytes += o.router_bytes;
+        self.disk_bytes += o.disk_bytes;
+    }
+}
+
+/// The MP-2 machine-rate model (aggregate, whole-array rates).
+#[derive(Debug, Clone, Copy)]
+pub struct Mp2CostModel {
+    /// Sustained single-precision rate, flops/s.
+    pub flops_single_per_s: f64,
+    /// Sustained double-precision rate, flops/s.
+    pub flops_double_per_s: f64,
+    /// Sustained integer rate, ops/s.
+    pub int_ops_per_s: f64,
+    /// Direct plural memory bandwidth, bytes/s.
+    pub mem_direct_bytes_per_s: f64,
+    /// Indirect plural memory bandwidth, bytes/s.
+    pub mem_indirect_bytes_per_s: f64,
+    /// X-net aggregate bandwidth, bytes/s.
+    pub xnet_bytes_per_s: f64,
+    /// Global router bandwidth, bytes/s.
+    pub router_bytes_per_s: f64,
+    /// Parallel disk array bandwidth, bytes/s.
+    pub disk_bytes_per_s: f64,
+}
+
+impl Default for Mp2CostModel {
+    fn default() -> Self {
+        Self::goddard_mp2()
+    }
+}
+
+impl Mp2CostModel {
+    /// The Goddard 16K-PE MP-2 of §3.1.
+    pub fn goddard_mp2() -> Self {
+        Self {
+            flops_single_per_s: 0.60 * 6.3e9,
+            flops_double_per_s: 2.4e9,
+            int_ops_per_s: 68e9,
+            mem_direct_bytes_per_s: 22.4e9,
+            mem_indirect_bytes_per_s: 10.6e9,
+            xnet_bytes_per_s: 23.0e9,
+            router_bytes_per_s: 1.3e9,
+            disk_bytes_per_s: 30.0e6,
+        }
+    }
+
+    /// Seconds the MP-2 needs for the given operation counts, assuming
+    /// the phases don't overlap (compute and communication serialized —
+    /// conservative, as the SIMD lockstep largely forces anyway).
+    pub fn seconds(&self, ops: &OpCounts) -> f64 {
+        ops.flops_single / self.flops_single_per_s
+            + ops.flops_double / self.flops_double_per_s
+            + ops.int_ops / self.int_ops_per_s
+            + ops.mem_bytes_direct / self.mem_direct_bytes_per_s
+            + ops.mem_bytes_indirect / self.mem_indirect_bytes_per_s
+            + ops.xnet_bytes / self.xnet_bytes_per_s
+            + ops.router_bytes / self.router_bytes_per_s
+            + ops.disk_bytes / self.disk_bytes_per_s
+    }
+
+    /// The §3.1 observation that X-net bandwidth is 18x the router's.
+    pub fn xnet_router_ratio(&self) -> f64 {
+        self.xnet_bytes_per_s / self.router_bytes_per_s
+    }
+}
+
+/// The sequential baseline: SGI Onyx R8000/90, "peak performance of 360
+/// megaflops", compiled `-O3`.
+#[derive(Debug, Clone, Copy)]
+pub struct SgiCostModel {
+    /// Peak rate, flops/s.
+    pub peak_flops_per_s: f64,
+    /// Sustained fraction of peak for the SMA inner loops (calibrated;
+    /// see EXPERIMENTS.md — scalar pointer-heavy code on the R8000
+    /// typically sustained 20-30% of peak).
+    pub sustained_fraction: f64,
+}
+
+impl Default for SgiCostModel {
+    fn default() -> Self {
+        Self {
+            peak_flops_per_s: 360.0e6,
+            sustained_fraction: 0.25,
+        }
+    }
+}
+
+impl SgiCostModel {
+    /// Seconds for a pure-flop workload (sequential code is compute
+    /// bound; memory traffic is folded into the sustained fraction).
+    pub fn seconds(&self, flops: f64) -> f64 {
+        flops / (self.peak_flops_per_s * self.sustained_fraction)
+    }
+}
+
+/// A named-phase ledger: the simulator's substitute for the paper's
+/// per-subroutine timers (Table 2 / Table 4 rows).
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    phases: BTreeMap<String, OpCounts>,
+}
+
+impl CostLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge operations to a phase (created on first use).
+    pub fn charge(&mut self, phase: &str, ops: OpCounts) {
+        self.phases.entry(phase.to_string()).or_default().add(&ops);
+    }
+
+    /// Operation counts of one phase, if charged.
+    pub fn phase(&self, phase: &str) -> Option<&OpCounts> {
+        self.phases.get(phase)
+    }
+
+    /// Iterate `(phase, counts)` in name order.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &OpCounts)> {
+        self.phases.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total counts over all phases.
+    pub fn total(&self) -> OpCounts {
+        let mut t = OpCounts::default();
+        for v in self.phases.values() {
+            t.add(v);
+        }
+        t
+    }
+
+    /// Seconds per phase under a cost model, in name order.
+    pub fn seconds_by_phase(&self, model: &Mp2CostModel) -> Vec<(String, f64)> {
+        self.phases
+            .iter()
+            .map(|(k, v)| (k.clone(), model.seconds(v)))
+            .collect()
+    }
+
+    /// Total seconds under a cost model.
+    pub fn total_seconds(&self, model: &Mp2CostModel) -> f64 {
+        model.seconds(&self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goddard_rates_match_paper() {
+        let m = Mp2CostModel::goddard_mp2();
+        assert!((m.flops_single_per_s - 3.78e9).abs() < 1e6);
+        assert_eq!(m.flops_double_per_s, 2.4e9);
+        // "the X-net bandwidth is 18 times higher than router".
+        assert!((m.xnet_router_ratio() - 17.7).abs() < 0.5);
+    }
+
+    #[test]
+    fn seconds_sum_across_resources() {
+        let m = Mp2CostModel::goddard_mp2();
+        let ops = OpCounts {
+            flops_single: 3.78e9, // exactly 1 second of flops
+            xnet_bytes: 23.0e9,   // exactly 1 second of X-net
+            ..Default::default()
+        };
+        assert!((m.seconds(&ops) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn router_is_much_slower_than_xnet() {
+        let m = Mp2CostModel::goddard_mp2();
+        let via_xnet = OpCounts {
+            xnet_bytes: 1e9,
+            ..Default::default()
+        };
+        let via_router = OpCounts {
+            router_bytes: 1e9,
+            ..Default::default()
+        };
+        assert!(m.seconds(&via_router) > 15.0 * m.seconds(&via_xnet));
+    }
+
+    #[test]
+    fn ledger_accumulates_by_phase() {
+        let mut l = CostLedger::new();
+        l.charge(
+            "surface-fit",
+            OpCounts {
+                flops_single: 100.0,
+                ..Default::default()
+            },
+        );
+        l.charge(
+            "surface-fit",
+            OpCounts {
+                flops_single: 50.0,
+                ..Default::default()
+            },
+        );
+        l.charge(
+            "hypothesis",
+            OpCounts {
+                flops_single: 1000.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(l.phase("surface-fit").unwrap().flops_single, 150.0);
+        assert_eq!(l.total().flops_single, 1150.0);
+        let m = Mp2CostModel::goddard_mp2();
+        let by_phase = l.seconds_by_phase(&m);
+        assert_eq!(by_phase.len(), 2);
+        assert!((l.total_seconds(&m) - by_phase.iter().map(|(_, s)| s).sum::<f64>()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sgi_model_scales_with_sustained_fraction() {
+        let full = SgiCostModel {
+            peak_flops_per_s: 360e6,
+            sustained_fraction: 1.0,
+        };
+        let quarter = SgiCostModel::default();
+        assert!((full.seconds(360e6) - 1.0).abs() < 1e-12);
+        assert!((quarter.seconds(360e6) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_bandwidth_dominates_large_io() {
+        // 490 frames of 512^2 f32 = 514 MB: ~17 s of MPDA time.
+        let m = Mp2CostModel::goddard_mp2();
+        let ops = OpCounts {
+            disk_bytes: 490.0 * 512.0 * 512.0 * 4.0,
+            ..Default::default()
+        };
+        let s = m.seconds(&ops);
+        assert!(s > 15.0 && s < 20.0, "disk time {s}");
+    }
+}

@@ -1,0 +1,278 @@
+//! The assembled machine: PE array + mapping + ledger under one facade.
+//!
+//! [`MasPar`] is what the SMA parallel driver programs against: fold the
+//! frame data, run lockstep plural phases, fetch neighborhoods through a
+//! read-out scheme, and read the accumulated ledger as Table 2/4 rows.
+
+use sma_grid::Grid;
+
+use crate::array::PeArray;
+use crate::cost::{CostLedger, Mp2CostModel, OpCounts};
+use crate::mapping::{DataMapping, FoldedImage, MappingKind};
+use crate::memory::{MemoryBudget, GODDARD_PE_MEMORY_BYTES};
+use crate::readout::{fetch_window_raster, fetch_window_router, fetch_window_snake, ReadoutStats};
+
+/// Machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// PEs along x.
+    pub nxproc: usize,
+    /// PEs along y.
+    pub nyproc: usize,
+    /// Data memory per PE, bytes.
+    pub pe_memory_bytes: usize,
+    /// Cost model for the ledger.
+    pub cost: Mp2CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::goddard_mp2()
+    }
+}
+
+impl MachineConfig {
+    /// The Goddard 128 x 128, 64 KB/PE MP-2.
+    pub fn goddard_mp2() -> Self {
+        Self {
+            nxproc: 128,
+            nyproc: 128,
+            pe_memory_bytes: GODDARD_PE_MEMORY_BYTES,
+            cost: Mp2CostModel::goddard_mp2(),
+        }
+    }
+}
+
+/// Which read-out scheme a neighborhood fetch uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadoutScheme {
+    /// Fig. 3 snake read-out (ordered memory-queued mesh transfer).
+    Snake,
+    /// §4.2 raster-scan bounding-box read-out (the one the paper
+    /// adopted).
+    Raster,
+    /// Point-to-point fetch through the global router (the 18x-slower
+    /// anti-pattern the paper avoided).
+    Router,
+}
+
+/// The machine: array, configuration, and cost ledger.
+#[derive(Debug)]
+pub struct MasPar {
+    config: MachineConfig,
+    array: PeArray,
+    ledger: CostLedger,
+}
+
+impl MasPar {
+    /// Boot a machine.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            array: PeArray::new(config.nxproc, config.nyproc),
+            config,
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// Boot the Goddard MP-2.
+    pub fn goddard_mp2() -> Self {
+        Self::new(MachineConfig::goddard_mp2())
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The PE array (mutable access for plural-if masking).
+    pub fn array_mut(&mut self) -> &mut PeArray {
+        &mut self.array
+    }
+
+    /// The PE array.
+    pub fn array(&self) -> &PeArray {
+        &self.array
+    }
+
+    /// The accumulated ledger.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Charge operations to a named phase directly (used by drivers that
+    /// count their kernel work analytically).
+    pub fn charge(&mut self, phase: &str, ops: OpCounts) {
+        self.ledger.charge(phase, ops);
+    }
+
+    /// Fold an image with the hierarchical mapping sized to this machine,
+    /// charging the load to the ledger as direct memory traffic.
+    ///
+    /// # Panics
+    /// Panics if the folded image would not fit the PE memory.
+    pub fn fold(&mut self, phase: &str, img: &Grid<f32>) -> FoldedImage {
+        let mapping = DataMapping::new(
+            MappingKind::Hierarchical,
+            img.width(),
+            img.height(),
+            self.config.nxproc,
+            self.config.nyproc,
+        );
+        let folded = FoldedImage::fold(img, mapping);
+        assert!(
+            folded.bytes_per_pe() <= self.config.pe_memory_bytes,
+            "folded image ({} B/PE) exceeds PE memory ({} B)",
+            folded.bytes_per_pe(),
+            self.config.pe_memory_bytes
+        );
+        self.ledger.charge(
+            phase,
+            OpCounts {
+                mem_bytes_direct: (img.len() * 4) as f64,
+                ..Default::default()
+            },
+        );
+        folded
+    }
+
+    /// Fetch every `(2n+1)^2` neighborhood of a folded image through the
+    /// chosen read-out scheme, delivering values to `visit` and charging
+    /// the transfers to the ledger.
+    pub fn fetch_windows(
+        &mut self,
+        phase: &str,
+        folded: &FoldedImage,
+        n: usize,
+        scheme: ReadoutScheme,
+        visit: impl FnMut(usize, usize, isize, isize, f32),
+    ) -> ReadoutStats {
+        let stats = match scheme {
+            ReadoutScheme::Snake => fetch_window_snake(folded, n, visit),
+            ReadoutScheme::Raster => fetch_window_raster(folded, n, visit),
+            ReadoutScheme::Router => fetch_window_router(folded, n, visit),
+        };
+        self.charge_readout(phase, &stats);
+        stats
+    }
+
+    /// Charge a read-out's transfers: each plane shift moves 4 bytes per
+    /// PE over the X-net; each memory move is a 4-byte load+store of
+    /// direct plural memory.
+    pub fn charge_readout(&mut self, phase: &str, stats: &ReadoutStats) {
+        let pes = (self.config.nxproc * self.config.nyproc) as f64;
+        self.ledger.charge(
+            phase,
+            OpCounts {
+                xnet_bytes: stats.xnet_values as f64 * 4.0 * pes,
+                mem_bytes_direct: stats.mem_moves as f64 * 8.0 * pes,
+                router_bytes: stats.router_values as f64 * 4.0 * pes,
+                ..Default::default()
+            },
+        );
+    }
+
+    /// The memory budget of an SMA configuration on this machine.
+    pub fn memory_budget(
+        &self,
+        xvr: usize,
+        yvr: usize,
+        nzs: usize,
+        nst: usize,
+        nss: usize,
+    ) -> MemoryBudget {
+        MemoryBudget {
+            xvr,
+            yvr,
+            nzs,
+            nst,
+            nss,
+            pe_memory_bytes: self.config.pe_memory_bytes,
+        }
+    }
+
+    /// Total ledger seconds under this machine's cost model.
+    pub fn total_seconds(&self) -> f64 {
+        self.ledger.total_seconds(&self.config.cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goddard_boot() {
+        let m = MasPar::goddard_mp2();
+        assert_eq!(m.array().num_pes(), 16384);
+        assert_eq!(m.config().pe_memory_bytes, 65536);
+    }
+
+    #[test]
+    fn fold_charges_memory_traffic() {
+        let mut m = MasPar::new(MachineConfig {
+            nxproc: 8,
+            nyproc: 8,
+            ..MachineConfig::goddard_mp2()
+        });
+        let img = Grid::from_fn(32, 32, |x, y| (x + y) as f32);
+        let folded = m.fold("load", &img);
+        assert_eq!(folded.num_layers(), 16);
+        let ops = m.ledger().phase("load").unwrap();
+        assert_eq!(ops.mem_bytes_direct, (32.0 * 32.0 * 4.0));
+        assert_eq!(folded.unfold(), img);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds PE memory")]
+    fn oversized_fold_rejected() {
+        let mut m = MasPar::new(MachineConfig {
+            nxproc: 2,
+            nyproc: 2,
+            pe_memory_bytes: 64, // 16 f32 slots
+            ..MachineConfig::goddard_mp2()
+        });
+        let img = Grid::filled(32, 32, 0.0f32); // 256 layers needed
+        let _ = m.fold("load", &img);
+    }
+
+    #[test]
+    fn fetch_windows_charges_by_scheme() {
+        let mut m = MasPar::new(MachineConfig {
+            nxproc: 4,
+            nyproc: 4,
+            ..MachineConfig::goddard_mp2()
+        });
+        let img = Grid::from_fn(16, 16, |x, y| (x * 16 + y) as f32);
+        let folded = m.fold("load", &img);
+
+        let s1 = m.fetch_windows(
+            "snake",
+            &folded,
+            2,
+            ReadoutScheme::Snake,
+            |_, _, _, _, _| {},
+        );
+        let s2 = m.fetch_windows(
+            "raster",
+            &folded,
+            2,
+            ReadoutScheme::Raster,
+            |_, _, _, _, _| {},
+        );
+        assert!(s1.mem_moves > 0);
+        assert_eq!(s2.mem_moves, 0);
+        let snake_ops = m.ledger().phase("snake").unwrap();
+        let raster_ops = m.ledger().phase("raster").unwrap();
+        assert!(snake_ops.mem_bytes_direct > 0.0);
+        assert_eq!(raster_ops.mem_bytes_direct, 0.0);
+        assert!(m.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn memory_budget_uses_machine_memory() {
+        let m = MasPar::goddard_mp2();
+        let b = m.memory_budget(4, 4, 6, 2, 1);
+        assert!(b.unsegmented_fits());
+        assert_eq!(b.pe_memory_bytes, 65536);
+    }
+}

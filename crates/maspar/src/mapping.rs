@@ -1,0 +1,348 @@
+//! Data mapping: folding `M x N` images onto the PE array.
+//!
+//! "A typical image with dimensions M x N = 512 x 512 pixels, cannot be
+//! stored on the MasPar MP-2 128 x 128 processor grid without storing
+//! several pixels per PE. ... A 2-D hierarchical mapping of plural data
+//! onto PE array instead of a cut-and-stack data mapping was chosen to
+//! minimize latency and inter-processor communication since neighboring
+//! pixels are stored on neighboring processors." (§3.2)
+//!
+//! The hierarchical mapping is the paper's equations (12)–(13):
+//!
+//! ```text
+//! yvr = ceil(M / nyproc),  xvr = ceil(N / nxproc)
+//! iyproc = y div yvr,      ixproc = x div xvr
+//! mem    = (x mod xvr) + xvr * (y mod yvr)                  (12)
+//! x = ixproc * xvr + (mem mod xvr)
+//! y = iyproc * yvr + (mem div xvr)                          (13)
+//! ```
+//!
+//! The cut-and-stack alternative interleaves: pixel `(x, y)` goes to PE
+//! `(x mod nxproc, y mod nyproc)`, layer `(x div nxproc) + xvr * (y div
+//! nyproc)`. Both are bijections; they differ in *where neighbors land* —
+//! [`DataMapping::window_mesh_transfers`] quantifies exactly the
+//! difference the paper's §3.2 argues (and the Fig. 2/readout benches
+//! measure).
+
+use sma_grid::Grid;
+
+use crate::array::PluralVar;
+use crate::xnet::mesh_distance;
+
+/// Which folding scheme to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// The paper's 2-D hierarchical (blocked) mapping, eqs. (12)-(13).
+    Hierarchical,
+    /// The cut-and-stack (cyclic/interleaved) alternative the paper
+    /// rejects.
+    CutAndStack,
+}
+
+/// A concrete mapping of an `M x N` image onto an
+/// `nxproc x nyproc` PE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataMapping {
+    /// Scheme.
+    pub kind: MappingKind,
+    /// Image width `N`.
+    pub n: usize,
+    /// Image height `M`.
+    pub m: usize,
+    /// PEs along x.
+    pub nxproc: usize,
+    /// PEs along y.
+    pub nyproc: usize,
+}
+
+impl DataMapping {
+    /// Create a mapping.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(kind: MappingKind, n: usize, m: usize, nxproc: usize, nyproc: usize) -> Self {
+        assert!(
+            n > 0 && m > 0 && nxproc > 0 && nyproc > 0,
+            "mapping dimensions must be positive"
+        );
+        Self {
+            kind,
+            n,
+            m,
+            nxproc,
+            nyproc,
+        }
+    }
+
+    /// Pixels stored per PE along x: `xvr = ceil(N / nxproc)`.
+    pub fn xvr(&self) -> usize {
+        self.n.div_ceil(self.nxproc)
+    }
+
+    /// Pixels stored per PE along y: `yvr = ceil(M / nyproc)`.
+    pub fn yvr(&self) -> usize {
+        self.m.div_ceil(self.nyproc)
+    }
+
+    /// Memory layers per PE (`xvr * yvr`; e.g. 16 for 512^2 on 128^2).
+    pub fn layers(&self) -> usize {
+        self.xvr() * self.yvr()
+    }
+
+    /// Map pixel `(x, y)` to `(ixproc, iyproc, mem)`.
+    ///
+    /// # Panics
+    /// Panics if the pixel is outside the image.
+    pub fn to_pe(&self, x: usize, y: usize) -> (usize, usize, usize) {
+        assert!(x < self.n && y < self.m, "pixel outside image");
+        let xvr = self.xvr();
+        let yvr = self.yvr();
+        match self.kind {
+            MappingKind::Hierarchical => {
+                let ixproc = x / xvr;
+                let iyproc = y / yvr;
+                let mem = (x % xvr) + xvr * (y % yvr);
+                (ixproc, iyproc, mem)
+            }
+            MappingKind::CutAndStack => {
+                let ixproc = x % self.nxproc;
+                let iyproc = y % self.nyproc;
+                let mem = (x / self.nxproc) + xvr * (y / self.nyproc);
+                (ixproc, iyproc, mem)
+            }
+        }
+    }
+
+    /// Inverse of [`DataMapping::to_pe`]. Returns `None` if the slot does
+    /// not correspond to a pixel (edge PEs of non-divisible images hold
+    /// unused slots).
+    pub fn from_pe(&self, ixproc: usize, iyproc: usize, mem: usize) -> Option<(usize, usize)> {
+        let xvr = self.xvr();
+        let yvr = self.yvr();
+        if ixproc >= self.nxproc || iyproc >= self.nyproc || mem >= xvr * yvr {
+            return None;
+        }
+        let (x, y) = match self.kind {
+            MappingKind::Hierarchical => (ixproc * xvr + mem % xvr, iyproc * yvr + mem / xvr),
+            MappingKind::CutAndStack => (
+                ixproc + (mem % xvr) * self.nxproc,
+                iyproc + (mem / xvr) * self.nyproc,
+            ),
+        };
+        if x < self.n && y < self.m {
+            Some((x, y))
+        } else {
+            None
+        }
+    }
+
+    /// Total X-net mesh hops needed for the PE owning pixel `(x, y)` to
+    /// fetch every pixel of the `(2n+1) x (2n+1)` window centered there
+    /// (one hop count per *off-PE* source, Chebyshev distance on the PE
+    /// torus; same-PE pixels are free). This is the §3.2 latency
+    /// argument, made measurable.
+    pub fn window_mesh_transfers(&self, x: usize, y: usize, n: usize) -> usize {
+        let (px, py, _) = self.to_pe(x, y);
+        let mut hops = 0usize;
+        let ni = n as isize;
+        for dy in -ni..=ni {
+            for dx in -ni..=ni {
+                let sx = x as isize + dx;
+                let sy = y as isize + dy;
+                if sx < 0 || sy < 0 || sx >= self.n as isize || sy >= self.m as isize {
+                    continue;
+                }
+                let (qx, qy, _) = self.to_pe(sx as usize, sy as usize);
+                hops += mesh_distance((px, py), (qx, qy), self.nxproc, self.nyproc);
+            }
+        }
+        hops
+    }
+
+    /// Mean window mesh transfers over all pixels (exact; iterates the
+    /// whole image).
+    pub fn mean_window_mesh_transfers(&self, n: usize) -> f64 {
+        let mut total = 0usize;
+        for y in 0..self.m {
+            for x in 0..self.n {
+                total += self.window_mesh_transfers(x, y, n);
+            }
+        }
+        total as f64 / (self.n * self.m) as f64
+    }
+}
+
+/// An image folded onto the PE array: one [`PluralVar`] per memory layer.
+#[derive(Debug, Clone)]
+pub struct FoldedImage {
+    mapping: DataMapping,
+    /// `layers[mem]` holds, at `(ixproc, iyproc)`, the pixel mapped to
+    /// that slot (or 0.0 for unused slots).
+    layers: Vec<PluralVar<f32>>,
+}
+
+impl FoldedImage {
+    /// Fold an image per `mapping`.
+    ///
+    /// # Panics
+    /// Panics if the image shape differs from the mapping's.
+    pub fn fold(img: &Grid<f32>, mapping: DataMapping) -> Self {
+        assert_eq!(
+            img.dims(),
+            (mapping.n, mapping.m),
+            "image/mapping shape mismatch"
+        );
+        let layers = (0..mapping.layers())
+            .map(|mem| {
+                PluralVar::from_fn(mapping.nxproc, mapping.nyproc, |ix, iy| {
+                    mapping
+                        .from_pe(ix, iy, mem)
+                        .map(|(x, y)| img.at(x, y))
+                        .unwrap_or(0.0)
+                })
+            })
+            .collect();
+        Self { mapping, layers }
+    }
+
+    /// The mapping in use.
+    pub fn mapping(&self) -> DataMapping {
+        self.mapping
+    }
+
+    /// Number of memory layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Access one memory layer as a plural variable.
+    pub fn layer(&self, mem: usize) -> &PluralVar<f32> {
+        &self.layers[mem]
+    }
+
+    /// Read pixel `(x, y)` through the folded representation.
+    pub fn pixel(&self, x: usize, y: usize) -> f32 {
+        let (ix, iy, mem) = self.mapping.to_pe(x, y);
+        self.layers[mem].get(ix, iy)
+    }
+
+    /// Unfold back to a flat image.
+    pub fn unfold(&self) -> Grid<f32> {
+        Grid::from_fn(self.mapping.n, self.mapping.m, |x, y| self.pixel(x, y))
+    }
+
+    /// Bytes of PE memory this folded image occupies per PE (f32 slots).
+    pub fn bytes_per_pe(&self) -> usize {
+        self.num_layers() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: 512 x 512 on 128 x 128 -> 16 px/PE.
+    #[test]
+    fn paper_example_512_on_128() {
+        let m = DataMapping::new(MappingKind::Hierarchical, 512, 512, 128, 128);
+        assert_eq!(m.xvr(), 4);
+        assert_eq!(m.yvr(), 4);
+        assert_eq!(m.layers(), 16);
+    }
+
+    /// Fig. 2's example: M x N = 4 x 4 on nyproc = nxproc = 2.
+    #[test]
+    fn figure2_example_4x4_on_2x2() {
+        let m = DataMapping::new(MappingKind::Hierarchical, 4, 4, 2, 2);
+        assert_eq!(m.xvr(), 2);
+        assert_eq!(m.yvr(), 2);
+        assert_eq!(m.layers(), 4);
+        // Top-left 2x2 block of pixels all lives on PE (0, 0).
+        for (x, y, mem) in [(0, 0, 0), (1, 0, 1), (0, 1, 2), (1, 1, 3)] {
+            assert_eq!(m.to_pe(x, y), (0, 0, mem), "pixel ({x},{y})");
+        }
+        // Pixel (2, 3) lives on PE (1, 1), layer (0 + 2*1) = 2.
+        assert_eq!(m.to_pe(2, 3), (1, 1, 2));
+    }
+
+    #[test]
+    fn hierarchical_is_bijective() {
+        let m = DataMapping::new(MappingKind::Hierarchical, 20, 12, 4, 3);
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..12 {
+            for x in 0..20 {
+                let slot = m.to_pe(x, y);
+                assert!(seen.insert(slot), "slot collision at ({x},{y})");
+                assert_eq!(m.from_pe(slot.0, slot.1, slot.2), Some((x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn cut_and_stack_is_bijective() {
+        let m = DataMapping::new(MappingKind::CutAndStack, 16, 16, 4, 4);
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..16 {
+            for x in 0..16 {
+                let slot = m.to_pe(x, y);
+                assert!(seen.insert(slot), "slot collision at ({x},{y})");
+                assert_eq!(m.from_pe(slot.0, slot.1, slot.2), Some((x, y)));
+            }
+        }
+    }
+
+    #[test]
+    fn non_divisible_images_have_unused_slots() {
+        let m = DataMapping::new(MappingKind::Hierarchical, 5, 5, 2, 2);
+        assert_eq!(m.xvr(), 3);
+        // PE (1, 1), slot referencing x = 1*3 + 2 = 5 >= 5: unused.
+        assert_eq!(m.from_pe(1, 1, 2), None);
+        // But valid slots still invert.
+        let (ix, iy, mem) = m.to_pe(4, 4);
+        assert_eq!(m.from_pe(ix, iy, mem), Some((4, 4)));
+    }
+
+    /// §3.2's claim: hierarchical mapping needs fewer mesh transfers than
+    /// cut-and-stack for local window fetches.
+    #[test]
+    fn hierarchical_beats_cut_and_stack_on_window_fetch() {
+        let h = DataMapping::new(MappingKind::Hierarchical, 64, 64, 8, 8);
+        let c = DataMapping::new(MappingKind::CutAndStack, 64, 64, 8, 8);
+        let th = h.mean_window_mesh_transfers(2);
+        let tc = c.mean_window_mesh_transfers(2);
+        assert!(
+            th < 0.5 * tc,
+            "hierarchical {th:.2} hops should be well under cut-and-stack {tc:.2}"
+        );
+    }
+
+    #[test]
+    fn same_pe_window_pixels_are_free() {
+        // With xvr = yvr = 8, a 3x3 window centered mid-block is entirely
+        // on one PE: zero transfers.
+        let m = DataMapping::new(MappingKind::Hierarchical, 64, 64, 8, 8);
+        assert_eq!(m.window_mesh_transfers(4, 4, 1), 0);
+        // Centered on a block corner it must pay some hops.
+        assert!(m.window_mesh_transfers(8, 8, 1) > 0);
+    }
+
+    #[test]
+    fn fold_unfold_round_trip() {
+        let img = Grid::from_fn(20, 12, |x, y| (x * 100 + y) as f32);
+        for kind in [MappingKind::Hierarchical, MappingKind::CutAndStack] {
+            let m = DataMapping::new(kind, 20, 12, 4, 3);
+            let folded = FoldedImage::fold(&img, m);
+            assert_eq!(folded.unfold(), img, "{kind:?}");
+            assert_eq!(folded.pixel(13, 7), img.at(13, 7));
+        }
+    }
+
+    #[test]
+    fn folded_memory_footprint() {
+        let img = Grid::filled(512, 512, 0.0f32);
+        let m = DataMapping::new(MappingKind::Hierarchical, 512, 512, 128, 128);
+        let folded = FoldedImage::fold(&img, m);
+        assert_eq!(folded.num_layers(), 16);
+        assert_eq!(folded.bytes_per_pe(), 64); // 16 layers x 4 bytes
+    }
+}

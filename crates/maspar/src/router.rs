@@ -1,0 +1,149 @@
+//! The global router — arbitrary PE-to-PE communication.
+//!
+//! "PEs are not only mesh connected but can also communicate with each
+//! other through a multistage circuit-switched interconnection network
+//! known as the Global Router. The Goddard MasPar MP-2 has a three stage
+//! global crossbar router network. The router can sustain data transfers
+//! between distant processors ... at 1.3 GB/s based on four quadrants of
+//! 256 MB/s memory to I/O RAM channels ... So the X-net bandwidth is 18
+//! times higher than router communication." (§3.1)
+//!
+//! The simulator implements the router as a permutation/gather engine
+//! with a contention model: transfers are serialized per destination
+//! (circuit switching grants one connection at a time), so the cost of a
+//! router operation is governed by the *maximum in-degree* of the
+//! communication pattern — 1 for a permutation, up to `num_pes` for an
+//! all-to-one gather.
+
+use crate::array::PluralVar;
+
+/// Outcome of a router operation: delivered values plus the contention
+/// statistics the cost model charges.
+#[derive(Debug, Clone)]
+pub struct RouterResult<T> {
+    /// Values after routing; PEs that received nothing keep their
+    /// original value.
+    pub data: PluralVar<T>,
+    /// Total messages moved.
+    pub messages: usize,
+    /// Maximum number of messages destined to a single PE — the number
+    /// of serialized router rounds the pattern needs.
+    pub max_in_degree: usize,
+}
+
+/// Route `var` so that each PE's value is *sent* to `dest(ixproc, iyproc)`.
+/// `None` destinations send nothing. When several PEs target the same
+/// destination, the last sender in row-major order wins (matching MPL's
+/// `router[...]` store semantics where simultaneous stores are
+/// serialized and one lands last), and the collision count is reflected
+/// in `max_in_degree`.
+pub fn route_send<T: Copy>(
+    var: &PluralVar<T>,
+    mut dest: impl FnMut(usize, usize) -> Option<(usize, usize)>,
+) -> RouterResult<T> {
+    let (nx, ny) = var.dims();
+    let mut out = var.clone();
+    let mut in_degree = vec![0usize; nx * ny];
+    let mut messages = 0usize;
+    for y in 0..ny {
+        for x in 0..nx {
+            if let Some((dx, dy)) = dest(x, y) {
+                assert!(dx < nx && dy < ny, "router destination out of range");
+                out.set(dx, dy, var.get(x, y));
+                in_degree[dy * nx + dx] += 1;
+                messages += 1;
+            }
+        }
+    }
+    RouterResult {
+        data: out,
+        messages,
+        max_in_degree: in_degree.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Gather: each PE *fetches* the value held by `src(ixproc, iyproc)`.
+/// Fetches always succeed (reads don't collide), but the cost model still
+/// charges by the fan-out of the busiest source.
+pub fn route_fetch<T: Copy>(
+    var: &PluralVar<T>,
+    mut src: impl FnMut(usize, usize) -> (usize, usize),
+) -> RouterResult<T> {
+    let (nx, ny) = var.dims();
+    let mut out_degree = vec![0usize; nx * ny];
+    let data = PluralVar::from_fn(nx, ny, |x, y| {
+        let (sx, sy) = src(x, y);
+        assert!(sx < nx && sy < ny, "router source out of range");
+        out_degree[sy * nx + sx] += 1;
+        var.get(sx, sy)
+    });
+    RouterResult {
+        data,
+        messages: nx * ny,
+        max_in_degree: out_degree.iter().copied().max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_has_unit_contention() {
+        let v = PluralVar::from_fn(4, 4, |x, y| (x, y));
+        // Transpose permutation.
+        let r = route_send(&v, |x, y| Some((y, x)));
+        assert_eq!(r.messages, 16);
+        assert_eq!(r.max_in_degree, 1);
+        assert_eq!(r.data.get(1, 3), (3, 1));
+    }
+
+    #[test]
+    fn partial_send_leaves_rest_untouched() {
+        let v = PluralVar::from_fn(4, 4, |x, y| (10 * y + x) as i32);
+        // Only PE (0,0) sends, to (2,2).
+        let r = route_send(
+            &v,
+            |x, y| if (x, y) == (0, 0) { Some((2, 2)) } else { None },
+        );
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.data.get(2, 2), 0);
+        assert_eq!(r.data.get(1, 1), 11, "non-receivers keep their value");
+    }
+
+    #[test]
+    fn gather_contention_counted() {
+        let v = PluralVar::from_fn(4, 4, |x, y| (x + y) as i32);
+        // Everyone fetches from (0, 0): fan-out 16.
+        let r = route_fetch(&v, |_, _| (0, 0));
+        assert_eq!(r.max_in_degree, 16);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(r.data.get(x, y), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_permutation_is_cheap() {
+        let v = PluralVar::from_fn(4, 4, |x, y| (x, y));
+        let r = route_fetch(&v, |x, y| ((x + 1) % 4, y));
+        assert_eq!(r.max_in_degree, 1);
+        assert_eq!(r.data.get(0, 2), (1, 2));
+    }
+
+    #[test]
+    fn all_to_one_send_counts_collisions() {
+        let v = PluralVar::splat(4, 4, 7i32);
+        let r = route_send(&v, |_, _| Some((3, 3)));
+        assert_eq!(r.messages, 16);
+        assert_eq!(r.max_in_degree, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination out of range")]
+    fn bad_destination_rejected() {
+        let v = PluralVar::splat(2, 2, 0i32);
+        let _ = route_send(&v, |_, _| Some((5, 0)));
+    }
+}

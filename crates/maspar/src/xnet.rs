@@ -1,0 +1,183 @@
+//! The X-net 8-way nearest-neighbor mesh.
+//!
+//! "The 2-D array of PEs are interconnected in an 8-way nearest neighbor
+//! X-net mesh ... Direct communication using X-nets has an aggregate
+//! bandwidth of 23.0 GB/s using register to register transfers" (§3.1,
+//! Fig. 1 — "toroidal connections not shown"). A single `xnet` operation
+//! moves one value from every PE to its neighbor in one of the eight
+//! compass directions, simultaneously.
+
+use crate::array::PluralVar;
+
+/// The eight X-net directions. `North` is toward smaller `iyproc`
+/// (matching Fig. 1's row-major PE indexing with y growing downward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `iyproc - 1`.
+    North,
+    /// `iyproc - 1, ixproc + 1`.
+    NorthEast,
+    /// `ixproc + 1`.
+    East,
+    /// `iyproc + 1, ixproc + 1`.
+    SouthEast,
+    /// `iyproc + 1`.
+    South,
+    /// `iyproc + 1, ixproc - 1`.
+    SouthWest,
+    /// `ixproc - 1`.
+    West,
+    /// `iyproc - 1, ixproc - 1`.
+    NorthWest,
+}
+
+/// All eight directions, clockwise from north.
+pub const ALL_DIRECTIONS: [Direction; 8] = [
+    Direction::North,
+    Direction::NorthEast,
+    Direction::East,
+    Direction::SouthEast,
+    Direction::South,
+    Direction::SouthWest,
+    Direction::West,
+    Direction::NorthWest,
+];
+
+impl Direction {
+    /// The `(dx, dy)` step this direction takes on the PE grid.
+    pub const fn delta(self) -> (isize, isize) {
+        match self {
+            Direction::North => (0, -1),
+            Direction::NorthEast => (1, -1),
+            Direction::East => (1, 0),
+            Direction::SouthEast => (1, 1),
+            Direction::South => (0, 1),
+            Direction::SouthWest => (-1, 1),
+            Direction::West => (-1, 0),
+            Direction::NorthWest => (-1, -1),
+        }
+    }
+
+    /// The opposite direction.
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::NorthEast => Direction::SouthWest,
+            Direction::East => Direction::West,
+            Direction::SouthEast => Direction::NorthWest,
+            Direction::South => Direction::North,
+            Direction::SouthWest => Direction::NorthEast,
+            Direction::West => Direction::East,
+            Direction::NorthWest => Direction::SouthEast,
+        }
+    }
+}
+
+/// One X-net transfer: every PE *receives* the value its neighbor in
+/// direction `dir` currently holds (i.e. data moves opposite to `dir`
+/// from the receiver's point of view — `xnet_fetch(North)` reads from the
+/// northern neighbor). Toroidal wrap at the array edges.
+pub fn xnet_fetch<T: Copy>(var: &PluralVar<T>, dir: Direction) -> PluralVar<T> {
+    let (nx, ny) = var.dims();
+    let (dx, dy) = dir.delta();
+    PluralVar::from_fn(nx, ny, |x, y| {
+        let sx = (x as isize + dx).rem_euclid(nx as isize) as usize;
+        let sy = (y as isize + dy).rem_euclid(ny as isize) as usize;
+        var.get(sx, sy)
+    })
+}
+
+/// Shift the whole plural plane so every PE *sends* its value in
+/// direction `dir`: the value at `(x, y)` ends up at `(x+dx, y+dy)`
+/// (toroidal). `xnet_send(v, d) == xnet_fetch(v, d.opposite())`.
+pub fn xnet_send<T: Copy>(var: &PluralVar<T>, dir: Direction) -> PluralVar<T> {
+    xnet_fetch(var, dir.opposite())
+}
+
+/// Number of single X-net hops needed to move data between two PEs using
+/// 8-way steps with toroidal wrap: the Chebyshev distance on the torus.
+pub fn mesh_distance(a: (usize, usize), b: (usize, usize), nxproc: usize, nyproc: usize) -> usize {
+    let dx = toroidal_axis_distance(a.0, b.0, nxproc);
+    let dy = toroidal_axis_distance(a.1, b.1, nyproc);
+    dx.max(dy)
+}
+
+fn toroidal_axis_distance(a: usize, b: usize, n: usize) -> usize {
+    let d = a.abs_diff(b) % n;
+    d.min(n - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_neighbors() {
+        // Fig. 1: each PE has 8 distinct neighbors on a >= 3x3 array.
+        let deltas: std::collections::HashSet<_> =
+            ALL_DIRECTIONS.iter().map(|d| d.delta()).collect();
+        assert_eq!(deltas.len(), 8);
+        assert!(!deltas.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in ALL_DIRECTIONS {
+            assert_eq!(d.opposite().opposite(), d);
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn fetch_reads_from_neighbor() {
+        let v = PluralVar::from_fn(4, 4, |x, y| (10 * y + x) as i32);
+        let n = xnet_fetch(&v, Direction::North);
+        // PE (1, 2) reads from (1, 1).
+        assert_eq!(n.get(1, 2), 11);
+        let e = xnet_fetch(&v, Direction::East);
+        assert_eq!(e.get(1, 2), 22);
+        let se = xnet_fetch(&v, Direction::SouthEast);
+        assert_eq!(se.get(1, 1), 22);
+    }
+
+    #[test]
+    fn toroidal_wrap_at_edges() {
+        let v = PluralVar::from_fn(4, 4, |x, y| (10 * y + x) as i32);
+        let w = xnet_fetch(&v, Direction::West);
+        // PE (0, 1) reads from the wrapped (3, 1).
+        assert_eq!(w.get(0, 1), 13);
+        let n = xnet_fetch(&v, Direction::North);
+        assert_eq!(n.get(2, 0), 32); // wraps to row 3
+    }
+
+    #[test]
+    fn send_and_fetch_are_inverse() {
+        let v = PluralVar::from_fn(5, 3, |x, y| (x * 7 + y) as i32);
+        for d in ALL_DIRECTIONS {
+            let round = xnet_fetch(&xnet_send(&v, d), d);
+            assert_eq!(round, v, "send-then-fetch must round trip for {d:?}");
+        }
+    }
+
+    #[test]
+    fn four_fetches_traverse_diagonally() {
+        // Four NE fetches move data 4 PEs along the diagonal.
+        let v = PluralVar::from_fn(8, 8, |x, y| (x, y));
+        let mut w = v.clone();
+        for _ in 0..4 {
+            w = xnet_fetch(&w, Direction::NorthEast);
+        }
+        assert_eq!(w.get(0, 7), (4, 3));
+    }
+
+    #[test]
+    fn chebyshev_mesh_distance() {
+        assert_eq!(mesh_distance((0, 0), (3, 1), 128, 128), 3);
+        assert_eq!(mesh_distance((5, 5), (5, 5), 128, 128), 0);
+        // Toroidal shortcut: 0 -> 127 is one hop.
+        assert_eq!(mesh_distance((0, 0), (127, 0), 128, 128), 1);
+        assert_eq!(mesh_distance((0, 0), (64, 64), 128, 128), 64);
+    }
+}

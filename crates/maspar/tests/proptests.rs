@@ -1,0 +1,189 @@
+//! Property tests for the machine simulator: mapping bijectivity on
+//! arbitrary shapes, X-net algebra, router contention accounting,
+//! read-out equivalence, and memory-budget monotonicity.
+
+use proptest::prelude::*;
+use sma_grid::Grid;
+
+use maspar_sim::array::{PeArray, PluralVar};
+use maspar_sim::mapping::{DataMapping, FoldedImage, MappingKind};
+use maspar_sim::memory::MemoryBudget;
+use maspar_sim::readout::{fetch_window_raster, fetch_window_snake, snake_path};
+use maspar_sim::router::{route_fetch, route_send};
+use maspar_sim::xnet::{mesh_distance, xnet_fetch, xnet_send, ALL_DIRECTIONS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both mappings are bijections for arbitrary image/array shapes,
+    /// including non-divisible ones.
+    #[test]
+    fn mappings_bijective(
+        n in 1usize..40, m in 1usize..40,
+        nx in 1usize..8, ny in 1usize..8,
+        kind in prop_oneof![Just(MappingKind::Hierarchical), Just(MappingKind::CutAndStack)]
+    ) {
+        let map = DataMapping::new(kind, n, m, nx, ny);
+        let mut seen = std::collections::HashSet::new();
+        for y in 0..m {
+            for x in 0..n {
+                let slot = map.to_pe(x, y);
+                prop_assert!(slot.0 < nx && slot.1 < ny && slot.2 < map.layers());
+                prop_assert!(seen.insert(slot), "slot collision");
+                prop_assert_eq!(map.from_pe(slot.0, slot.1, slot.2), Some((x, y)));
+            }
+        }
+    }
+
+    /// Fold/unfold round-trips for arbitrary shapes and both mappings.
+    #[test]
+    fn fold_unfold_roundtrip(
+        n in 1usize..24, m in 1usize..24,
+        nx in 1usize..6, ny in 1usize..6,
+        kind in prop_oneof![Just(MappingKind::Hierarchical), Just(MappingKind::CutAndStack)],
+        seed in 0u64..500
+    ) {
+        let img = Grid::from_fn(n, m, |x, y| (((x * 31 + y * 17) as u64 ^ seed) % 97) as f32);
+        let folded = FoldedImage::fold(&img, DataMapping::new(kind, n, m, nx, ny));
+        prop_assert_eq!(folded.unfold(), img);
+    }
+
+    /// X-net: a fetch in direction d then its opposite is the identity;
+    /// eight fetches around the compass rose return home.
+    #[test]
+    fn xnet_fetch_algebra(nx in 2usize..10, ny in 2usize..10, seed in 0u64..300) {
+        let v = PluralVar::from_fn(nx, ny, |x, y| ((x * 131 + y * 31) as u64 ^ seed) as i64);
+        for d in ALL_DIRECTIONS {
+            let back = xnet_fetch(&xnet_fetch(&v, d), d.opposite());
+            prop_assert_eq!(&back, &v);
+            let send_back = xnet_fetch(&xnet_send(&v, d), d);
+            prop_assert_eq!(&send_back, &v);
+        }
+    }
+
+    /// n fetches in one direction equal a single n-step toroidal shift.
+    #[test]
+    fn xnet_fetch_composes(nx in 2usize..8, ny in 2usize..8, steps in 1usize..12) {
+        let v = PluralVar::from_fn(nx, ny, |x, y| (x, y));
+        let mut w = v.clone();
+        for _ in 0..steps {
+            w = xnet_fetch(&w, maspar_sim::xnet::Direction::East);
+        }
+        for y in 0..ny {
+            for x in 0..nx {
+                prop_assert_eq!(w.get(x, y), (((x + steps) % nx), y));
+            }
+        }
+    }
+
+    /// Toroidal mesh distance is a metric bounded by half the axis spans.
+    #[test]
+    fn mesh_distance_metric(
+        ax in 0usize..16, ay in 0usize..16,
+        bx in 0usize..16, by in 0usize..16,
+        cx in 0usize..16, cy in 0usize..16
+    ) {
+        let n = 16;
+        let d = |p, q| mesh_distance(p, q, n, n);
+        let (a, b, c) = ((ax, ay), (bx, by), (cx, cy));
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c), "triangle inequality");
+        prop_assert!(d(a, b) <= n / 2);
+    }
+
+    /// Router permutations have unit contention and are invertible.
+    #[test]
+    fn router_permutation(nx in 2usize..8, ny in 2usize..8, shift in 1usize..6) {
+        let v = PluralVar::from_fn(nx, ny, |x, y| (x, y));
+        let r = route_send(&v, |x, y| Some(((x + shift) % nx, y)));
+        prop_assert_eq!(r.max_in_degree, 1);
+        prop_assert_eq!(r.messages, nx * ny);
+        let back = route_fetch(&r.data, |x, y| ((x + shift) % nx, y));
+        prop_assert_eq!(&back.data, &v);
+    }
+
+    /// Gather-from-one has contention equal to the PE count.
+    #[test]
+    fn router_hotspot_contention(nx in 2usize..8, ny in 2usize..8) {
+        let v = PluralVar::from_fn(nx, ny, |x, y| (x + y) as i32);
+        let r = route_fetch(&v, |_, _| (0, 0));
+        prop_assert_eq!(r.max_in_degree, nx * ny);
+    }
+
+    /// Snake path visits the full window exactly once with unit steps,
+    /// for any half-width.
+    #[test]
+    fn snake_path_properties(n in 0usize..12) {
+        let p = snake_path(n);
+        prop_assert_eq!(p.len(), (2 * n + 1) * (2 * n + 1));
+        let set: std::collections::HashSet<_> = p.iter().collect();
+        prop_assert_eq!(set.len(), p.len());
+        for w in p.windows(2) {
+            let (dx, dy) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+            prop_assert!(dx.abs() <= 1 && dy.abs() <= 1 && (dx, dy) != (0, 0));
+        }
+    }
+
+    /// Snake and raster read-outs deliver identical value sets on random
+    /// foldings.
+    #[test]
+    fn readouts_equivalent(
+        w in 6usize..16, np in 2usize..4, n in 1usize..3, seed in 0u64..200
+    ) {
+        let img = Grid::from_fn(w, w, |x, y| (((x * 7 + y * 13) as u64 ^ seed) % 251) as f32);
+        let folded = FoldedImage::fold(&img, DataMapping::new(MappingKind::Hierarchical, w, w, np, np));
+        let collect = |snake: bool| {
+            let mut got: Vec<(usize, usize, isize, isize, u32)> = Vec::new();
+            let vis = |x: usize, y: usize, dx: isize, dy: isize, v: f32| {
+                got.push((x, y, dx, dy, v as u32));
+            };
+            if snake {
+                fetch_window_snake(&folded, n, vis);
+            } else {
+                fetch_window_raster(&folded, n, vis);
+            }
+            got.sort_unstable();
+            got
+        };
+        prop_assert_eq!(collect(true), collect(false));
+    }
+
+    /// Memory totals are strictly monotone in segment rows and the chosen
+    /// Z always fits while Z+1 never does.
+    #[test]
+    fn memory_budget_choice_is_maximal(nzs in 2usize..16, xvr in 1usize..6) {
+        let b = MemoryBudget {
+            xvr, yvr: xvr, nzs, nst: 2, nss: 1,
+            pe_memory_bytes: 64 * 1024,
+        };
+        if let Some(z) = b.max_segment_rows() {
+            prop_assert!(b.total_bytes(z) <= b.pe_memory_bytes);
+            if z < 2 * nzs + 1 {
+                prop_assert!(b.total_bytes(z + 1) > b.pe_memory_bytes);
+            }
+        }
+    }
+
+    /// Active-set masking: a plural op never touches masked PEs, and
+    /// restoring the mask restores full participation.
+    #[test]
+    fn plural_if_isolation(nx in 2usize..8, ny in 2usize..8, bit in 0usize..4) {
+        let mut pe = PeArray::new(nx, ny);
+        let cond = PluralVar::from_fn(nx, ny, |x, y| (x + y) & (1 << bit) != 0);
+        let v = PluralVar::from_fn(nx, ny, |x, y| (x * 100 + y) as i64);
+        let saved = pe.push_active(&cond);
+        let w = pe.plural_map(&v, |_, _, a| a + 1_000_000);
+        for y in 0..ny {
+            for x in 0..nx {
+                if cond.get(x, y) {
+                    prop_assert_eq!(w.get(x, y), v.get(x, y) + 1_000_000);
+                } else {
+                    prop_assert_eq!(w.get(x, y), v.get(x, y));
+                }
+            }
+        }
+        pe.pop_active(saved);
+        prop_assert_eq!(pe.active_count(), nx * ny);
+    }
+}

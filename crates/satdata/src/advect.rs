@@ -1,0 +1,113 @@
+//! Semi-Lagrangian advection of scene fields by a flow.
+//!
+//! Frame `t+1` is produced by transporting frame `t` along the ground-
+//! truth flow: `I_{t+1}(q) = I_t(q - F(q))` (backward trace, bilinear
+//! sampling). For the slowly varying flows used here, the per-pixel
+//! ground-truth correspondence of pixel `p` at time `t` is `p -> p + F(p)`
+//! to sub-pixel accuracy, which is what the SMA accuracy tests score
+//! against.
+
+use sma_grid::warp::sample_bilinear;
+use sma_grid::{BorderPolicy, FlowField, Grid};
+
+/// Advect a scalar field one step along `flow` (backward semi-Lagrangian).
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn advect(field: &Grid<f32>, flow: &FlowField, policy: BorderPolicy) -> Grid<f32> {
+    assert_eq!(field.dims(), flow.dims(), "advect shape mismatch");
+    Grid::from_fn(field.width(), field.height(), |x, y| {
+        let v = flow.at(x, y);
+        sample_bilinear(field, x as f32 - v.u, y as f32 - v.v, policy)
+    })
+}
+
+/// Advect with sub-stepping: split the step into `n` backward substeps,
+/// re-evaluating the flow along the trace. More accurate for strongly
+/// curved flows (hurricane eyewall); equal to [`advect`] when `n == 1`.
+///
+/// # Panics
+/// Panics if shapes differ or `n == 0`.
+pub fn advect_substeps(
+    field: &Grid<f32>,
+    flow: &FlowField,
+    n: usize,
+    policy: BorderPolicy,
+) -> Grid<f32> {
+    assert!(n > 0, "need at least one substep");
+    assert_eq!(field.dims(), flow.dims(), "advect shape mismatch");
+    let dt = 1.0 / n as f32;
+    Grid::from_fn(field.width(), field.height(), |x, y| {
+        // Trace backward through n substeps, sampling the (static) flow
+        // at each intermediate position.
+        let mut px = x as f32;
+        let mut py = y as f32;
+        for _ in 0..n {
+            let ix = px.round().clamp(0.0, (field.width() - 1) as f32) as usize;
+            let iy = py.round().clamp(0.0, (field.height() - 1) as f32) as usize;
+            let v = flow.at(ix, iy);
+            px -= v.u * dt;
+            py -= v.v * dt;
+        }
+        sample_bilinear(field, px, py, policy)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_grid::Vec2;
+
+    #[test]
+    fn uniform_flow_translates() {
+        let img = Grid::from_fn(16, 16, |x, y| (x * 3 + y) as f32);
+        let flow = FlowField::uniform(16, 16, Vec2::new(2.0, 1.0));
+        let out = advect(&img, &flow, BorderPolicy::Clamp);
+        // out(x, y) = img(x-2, y-1): the scene moved by (+2, +1).
+        for y in 2..15 {
+            for x in 3..15 {
+                assert!((out.at(x, y) - img.at(x - 2, y - 1)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_flow_is_identity() {
+        let img = Grid::from_fn(12, 12, |x, y| ((x * y) % 7) as f32);
+        let out = advect(&img, &FlowField::zeros(12, 12), BorderPolicy::Clamp);
+        assert!(img.max_abs_diff(&out) < 1e-6);
+    }
+
+    #[test]
+    fn substep_one_matches_plain() {
+        let img = Grid::from_fn(16, 16, |x, y| (x + y) as f32);
+        let flow = FlowField::from_fn(16, 16, |x, _| Vec2::new((x as f32 * 0.3).sin(), 0.5));
+        let a = advect(&img, &flow, BorderPolicy::Clamp);
+        let b = advect_substeps(&img, &flow, 1, BorderPolicy::Clamp);
+        // Substep path rounds the trace start; equal for this small flow.
+        assert!(a.max_abs_diff(&b) < 0.6);
+    }
+
+    #[test]
+    fn advection_preserves_constants() {
+        let img = Grid::filled(10, 10, 4.25f32);
+        let flow = FlowField::uniform(10, 10, Vec2::new(1.3, -0.7));
+        let out = advect(&img, &flow, BorderPolicy::Clamp);
+        for &v in out.iter() {
+            assert!((v - 4.25).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn advection_conserves_range() {
+        // Bilinear sampling cannot create new extrema.
+        let img = Grid::from_fn(16, 16, |x, y| ((x * 7 + y * 3) % 11) as f32);
+        let flow = FlowField::from_fn(16, 16, |x, y| {
+            Vec2::new((y as f32 * 0.2).sin(), (x as f32 * 0.2).cos())
+        });
+        let out = advect(&img, &flow, BorderPolicy::Clamp);
+        let (lo, hi) = img.min_max();
+        let (olo, ohi) = out.min_max();
+        assert!(olo >= lo - 1e-4 && ohi <= hi + 1e-4);
+    }
+}

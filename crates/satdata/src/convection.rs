@@ -1,0 +1,220 @@
+//! Convective-cell flow — the thunderstorm model.
+//!
+//! A mid-afternoon Florida thunderstorm (the paper's §5.2 dataset) is a
+//! field of convective cells: strong updraft cores whose cloud tops grow
+//! and spread into divergent anvil outflow, superposed on a steering
+//! (environmental) wind. At cloud-top level the horizontal motion seen by
+//! a satellite is the steering flow plus radial divergence away from each
+//! active core — non-rigid motion where neighboring patches *diverge*,
+//! precisely what breaks rigid-motion trackers.
+
+use sma_grid::{FlowField, Grid, Vec2};
+
+/// One convective cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvectiveCell {
+    /// Core x (pixels).
+    pub cx: f32,
+    /// Core y (pixels).
+    pub cy: f32,
+    /// Anvil radius scale (pixels).
+    pub radius: f32,
+    /// Peak outflow speed at `radius` (pixels/frame).
+    pub outflow: f32,
+    /// Cloud-top brightness/height amplitude of the cell (0..=1) and its
+    /// growth rate per frame (brightness amplitude multiplies the dome
+    /// profile added to the scene).
+    pub amplitude: f32,
+    /// Per-frame multiplicative growth of `amplitude` (1.0 = steady,
+    /// >1 growing, <1 decaying).
+    pub growth: f32,
+}
+
+impl ConvectiveCell {
+    /// Outflow velocity contribution of this cell at a point: radial,
+    /// growing linearly to `outflow` at `radius`, decaying exponentially
+    /// beyond.
+    pub fn velocity(&self, x: f32, y: f32) -> Vec2 {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r < 1e-6 {
+            return Vec2::ZERO;
+        }
+        let speed = if r <= self.radius {
+            self.outflow * r / self.radius
+        } else {
+            self.outflow * (-(r - self.radius) / self.radius).exp()
+        };
+        Vec2::new(speed * dx / r, speed * dy / r)
+    }
+
+    /// Smooth dome profile (Gaussian of the radius) the cell adds to the
+    /// cloud-top brightness/height field.
+    pub fn dome(&self, x: f32, y: f32) -> f32 {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let r2 = dx * dx + dy * dy;
+        let s = self.radius * 0.75;
+        self.amplitude * (-r2 / (2.0 * s * s)).exp()
+    }
+
+    /// The cell one frame later: same geometry, grown amplitude (capped
+    /// at 1).
+    pub fn grown(&self) -> Self {
+        Self {
+            amplitude: (self.amplitude * self.growth).min(1.0),
+            ..*self
+        }
+    }
+}
+
+/// A thunderstorm scene: steering wind plus a set of convective cells.
+#[derive(Debug, Clone)]
+pub struct ThunderstormScene {
+    /// Uniform environmental steering wind (pixels/frame).
+    pub steering: Vec2,
+    /// Active cells.
+    pub cells: Vec<ConvectiveCell>,
+}
+
+impl ThunderstormScene {
+    /// Total cloud-top velocity at a point.
+    pub fn velocity(&self, x: f32, y: f32) -> Vec2 {
+        self.cells
+            .iter()
+            .fold(self.steering, |acc, c| acc + c.velocity(x, y))
+    }
+
+    /// Dense flow field.
+    pub fn flow_field(&self, w: usize, h: usize) -> FlowField {
+        FlowField::from_fn(w, h, |x, y| self.velocity(x as f32, y as f32))
+    }
+
+    /// Sum of all cell domes over a frame (added to the background cloud
+    /// texture to brighten/raise cloud tops over the cores).
+    pub fn dome_field(&self, w: usize, h: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| {
+            self.cells.iter().map(|c| c.dome(x as f32, y as f32)).sum()
+        })
+    }
+
+    /// Advance cell lifecycle by one frame (growth/decay only; cores are
+    /// quasi-stationary over the paper's ~1 min rapid-scan interval).
+    pub fn step(&self) -> Self {
+        Self {
+            steering: self.steering,
+            cells: self.cells.iter().map(|c| c.grown()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> ConvectiveCell {
+        ConvectiveCell {
+            cx: 20.0,
+            cy: 20.0,
+            radius: 8.0,
+            outflow: 2.0,
+            amplitude: 0.5,
+            growth: 1.1,
+        }
+    }
+
+    #[test]
+    fn outflow_is_radial_and_outward() {
+        let c = cell();
+        for &(x, y) in &[(28.0f32, 20.0f32), (20.0, 12.0), (26.0, 26.0)] {
+            let v = c.velocity(x, y);
+            let radial = Vec2::new(x - 20.0, y - 20.0);
+            // Parallel to radius (cross product ~ 0) and outward (dot > 0).
+            assert!((v.u * radial.v - v.v * radial.u).abs() < 1e-4);
+            assert!(v.dot(&radial) > 0.0);
+        }
+    }
+
+    #[test]
+    fn outflow_peaks_at_radius() {
+        let c = cell();
+        let at_radius = c.velocity(28.0, 20.0).magnitude();
+        assert!((at_radius - 2.0).abs() < 1e-5);
+        assert!(c.velocity(24.0, 20.0).magnitude() < at_radius);
+        assert!(c.velocity(40.0, 20.0).magnitude() < at_radius);
+    }
+
+    #[test]
+    fn core_is_stationary() {
+        let c = cell();
+        assert_eq!(c.velocity(20.0, 20.0), Vec2::ZERO);
+    }
+
+    #[test]
+    fn dome_is_peaked_at_core() {
+        let c = cell();
+        assert!((c.dome(20.0, 20.0) - 0.5).abs() < 1e-6);
+        assert!(c.dome(25.0, 20.0) < 0.5);
+        assert!(c.dome(60.0, 60.0) < 1e-3);
+    }
+
+    #[test]
+    fn growth_caps_at_one() {
+        let mut c = ConvectiveCell {
+            amplitude: 0.9,
+            growth: 1.5,
+            ..cell()
+        };
+        for _ in 0..10 {
+            c = c.grown();
+        }
+        assert!(c.amplitude <= 1.0);
+        assert!((c.amplitude - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scene_superposes_steering_and_cells() {
+        let scene = ThunderstormScene {
+            steering: Vec2::new(1.0, 0.0),
+            cells: vec![cell()],
+        };
+        // Far from the cell: just steering.
+        let far = scene.velocity(200.0, 200.0);
+        assert!((far.u - 1.0).abs() < 1e-3 && far.v.abs() < 1e-3);
+        // At radius right of core: steering + outflow (+2, 0).
+        let near = scene.velocity(28.0, 20.0);
+        assert!((near.u - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scene_step_grows_all_cells() {
+        let scene = ThunderstormScene {
+            steering: Vec2::ZERO,
+            cells: vec![cell(), cell()],
+        };
+        let next = scene.step();
+        for (a, b) in scene.cells.iter().zip(next.cells.iter()) {
+            assert!(b.amplitude > a.amplitude);
+        }
+    }
+
+    #[test]
+    fn dome_field_sums_cells() {
+        let scene = ThunderstormScene {
+            steering: Vec2::ZERO,
+            cells: vec![
+                cell(),
+                ConvectiveCell {
+                    cx: 40.0,
+                    cy: 40.0,
+                    ..cell()
+                },
+            ],
+        };
+        let d = scene.dome_field(64, 64);
+        assert!(d.at(20, 20) > 0.4);
+        assert!(d.at(40, 40) > 0.4);
+        assert!(d.at(5, 60) < 0.05);
+    }
+}

@@ -1,0 +1,362 @@
+//! Ready-made sequence datasets — analogs of the paper's three GOES
+//! scenes, each with dense ground-truth motion.
+
+use sma_grid::{BorderPolicy, FlowField, Grid, Vec2};
+
+use crate::advect::advect;
+use crate::convection::{ConvectiveCell, ThunderstormScene};
+use crate::stereo_synth::{synthesize_stereo_pair, StereoPair};
+use crate::texture::{cloud_mask, cloud_texture, TextureParams};
+use crate::vortex::RankineVortex;
+
+/// One timestep of a sequence: the co-registered intensity image and
+/// cloud-top height (surface) map — the `(I(t), z(t))` pair the SMA
+/// algorithm consumes.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Visible-channel intensity, `[0, 1]`-ish.
+    pub intensity: Grid<f32>,
+    /// Cloud-top height map (arbitrary units, 0 = surface).
+    pub height: Grid<f32>,
+}
+
+/// A time sequence with ground truth.
+#[derive(Debug, Clone)]
+pub struct SceneSequence {
+    /// Dataset label.
+    pub name: String,
+    /// Frames `t = 0 .. T-1`.
+    pub frames: Vec<Frame>,
+    /// Truth flow `t -> t+1` for `t = 0 .. T-2` (pixel at `(x, y)` in
+    /// frame `t` moves by `truth_flows[t].at(x, y)`).
+    pub truth_flows: Vec<FlowField>,
+    /// Nominal frame interval in minutes (context only).
+    pub interval_minutes: f32,
+    /// Parallax gain for stereo synthesis; `None` for monocular
+    /// sequences (Luis, Florida) where intensity is treated as a digital
+    /// surface, exactly as the paper does.
+    pub stereo_gain: Option<f32>,
+}
+
+impl SceneSequence {
+    /// Number of frames `T`.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the sequence has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frame dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.frames[0].intensity.dims()
+    }
+
+    /// Synthesize the rectified stereo pair for frame `t`; `None` for
+    /// monocular sequences or out-of-range `t`.
+    pub fn stereo_pair(&self, t: usize) -> Option<StereoPair> {
+        let gain = self.stereo_gain?;
+        let frame = self.frames.get(t)?;
+        Some(synthesize_stereo_pair(
+            &frame.intensity,
+            &frame.height,
+            gain,
+        ))
+    }
+
+    /// The surface input the SMA algorithm would use at frame `t`:
+    /// the height map for stereo sequences, the intensity image itself
+    /// for monocular ones ("treating the intensity data as a digital
+    /// surface", §2).
+    pub fn surface(&self, t: usize) -> &Grid<f32> {
+        if self.stereo_gain.is_some() {
+            &self.frames[t].height
+        } else {
+            &self.frames[t].intensity
+        }
+    }
+}
+
+/// Shared generator: advect an initial `(intensity, height)` scene by a
+/// per-step flow field.
+fn advected_sequence(
+    name: &str,
+    intensity0: Grid<f32>,
+    height0: Grid<f32>,
+    flow: &FlowField,
+    frames: usize,
+    interval_minutes: f32,
+    stereo_gain: Option<f32>,
+) -> SceneSequence {
+    assert!(frames >= 2, "a motion sequence needs at least two frames");
+    let mut seq = SceneSequence {
+        name: name.to_string(),
+        frames: vec![Frame {
+            intensity: intensity0,
+            height: height0,
+        }],
+        truth_flows: Vec::new(),
+        interval_minutes,
+        stereo_gain,
+    };
+    for _ in 1..frames {
+        let prev = seq.frames.last().expect("non-empty frames");
+        let next = Frame {
+            intensity: advect(&prev.intensity, flow, BorderPolicy::Clamp),
+            height: advect(&prev.height, flow, BorderPolicy::Clamp),
+        };
+        seq.frames.push(next);
+        seq.truth_flows.push(flow.clone());
+    }
+    seq
+}
+
+/// Hurricane Frederic analog: stereoscopic vortex scene.
+///
+/// The paper's §5.1 dataset is four 512 x 512 GOES-6/7 visible pairs at
+/// ~7.5 min intervals. This analog builds a fractal cloud field organized
+/// by a Rankine vortex (bright, high eyewall; darker, lower outer bands),
+/// advects it by the vortex flow, and marks the sequence stereoscopic so
+/// [`SceneSequence::stereo_pair`] can synthesize GOES-6/7-like views.
+/// Displacements are ~2–3 px/frame at the eyewall.
+pub fn hurricane_frederic_analog(size: usize, frames: usize, seed: u64) -> SceneSequence {
+    assert!(size >= 32, "scene too small for a vortex");
+    let vortex = RankineVortex::centered(size, size, 2.5);
+    let flow = vortex.flow_field(size, size);
+
+    let tex = cloud_texture(size, size, seed, TextureParams::default());
+    // Radial envelope: dense high cloud near the eyewall, thinning
+    // outward; a clear eye inside ~rmax/2.
+    let (cx, cy, rmax) = (vortex.cx, vortex.cy, vortex.rmax);
+    let envelope = Grid::from_fn(size, size, |x, y| {
+        let dx = x as f32 - cx;
+        let dy = y as f32 - cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        let eye = 1.0 - (-((r / (0.5 * rmax)).powi(2))).exp(); // 0 in the eye
+        let band = (-(r - rmax).powi(2) / (2.0 * (2.5 * rmax).powi(2))).exp();
+        eye * band
+    });
+    let intensity = tex.zip_map(&envelope, |&t, &e| (0.15 + 0.85 * t) * e + 0.05);
+    // Cloud-top heights follow brightness: the eyewall towers, outer
+    // bands are lower; a floor of 0 over the (clear) eye and far field.
+    let mask = cloud_mask(&intensity, 0.25, 0.15);
+    let height = intensity.zip_map(&mask, |&i, &m| m * (2.0 + 8.0 * i));
+
+    advected_sequence(
+        "hurricane-frederic-analog",
+        intensity,
+        height,
+        &flow,
+        frames,
+        7.5,
+        Some(0.5),
+    )
+}
+
+/// Hurricane Luis analog: monocular rapid-scan vortex scene.
+///
+/// §5's Luis dataset is 490 GOES-9 frames at ~1.5 min intervals with no
+/// stereo; the intensity image is treated as a digital surface. The
+/// rapid-scan interval means small per-frame displacements (~1 px).
+pub fn hurricane_luis_analog(size: usize, frames: usize, seed: u64) -> SceneSequence {
+    assert!(size >= 32, "scene too small for a vortex");
+    let vortex = RankineVortex {
+        inflow: 0.1,
+        ..RankineVortex::centered(size, size, 1.0)
+    };
+    let flow = vortex.flow_field(size, size);
+    let tex = cloud_texture(size, size, seed ^ 0x1015, TextureParams::default());
+    let intensity = tex.map(|&t| 0.1 + 0.8 * t);
+    let height = intensity.clone(); // monocular: intensity is the surface
+    let mut seq = advected_sequence(
+        "hurricane-luis-analog",
+        intensity,
+        height,
+        &flow,
+        frames,
+        1.5,
+        None,
+    );
+    seq.name = "hurricane-luis-analog".to_string();
+    seq
+}
+
+/// GOES-9 Florida thunderstorm analog: monocular rapid-scan convection.
+///
+/// §5.2's dataset is 49 frames at ~1 min intervals over Florida. The
+/// analog superposes growing convective cells (divergent anvil outflow)
+/// on a steering wind; cloud brightness has both advected texture and
+/// growing domes over the cores.
+pub fn florida_thunderstorm_analog(size: usize, frames: usize, seed: u64) -> SceneSequence {
+    assert!(size >= 32, "scene too small for convection");
+    assert!(frames >= 2, "a motion sequence needs at least two frames");
+    let s = size as f32;
+    let mut scene = ThunderstormScene {
+        steering: Vec2::new(0.8, 0.3),
+        cells: vec![
+            ConvectiveCell {
+                cx: s * 0.35,
+                cy: s * 0.4,
+                radius: s * 0.12,
+                outflow: 0.8,
+                amplitude: 0.5,
+                growth: 1.03,
+            },
+            ConvectiveCell {
+                cx: s * 0.65,
+                cy: s * 0.55,
+                radius: s * 0.1,
+                outflow: 0.6,
+                amplitude: 0.35,
+                growth: 1.05,
+            },
+            ConvectiveCell {
+                cx: s * 0.5,
+                cy: s * 0.75,
+                radius: s * 0.08,
+                outflow: 0.5,
+                amplitude: 0.25,
+                growth: 1.02,
+            },
+        ],
+    };
+    let flow = scene.flow_field(size, size);
+
+    let tex = cloud_texture(size, size, seed ^ 0xF10A, TextureParams::default());
+    let mut texture_layer = tex.map(|&t| 0.1 + 0.5 * t);
+
+    let make_frame = |texture_layer: &Grid<f32>, scene: &ThunderstormScene| -> Frame {
+        let domes = scene.dome_field(size, size);
+        let intensity = texture_layer.zip_map(&domes, |&t, &d| (t + d).min(1.0));
+        let height = intensity.clone(); // monocular digital surface
+        Frame { intensity, height }
+    };
+
+    let mut frames_vec = vec![make_frame(&texture_layer, &scene)];
+    let mut truth_flows = Vec::new();
+    for _ in 1..frames {
+        texture_layer = advect(&texture_layer, &flow, BorderPolicy::Clamp);
+        scene = scene.step();
+        frames_vec.push(make_frame(&texture_layer, &scene));
+        truth_flows.push(flow.clone());
+    }
+    SceneSequence {
+        name: "florida-thunderstorm-analog".to_string(),
+        frames: frames_vec,
+        truth_flows,
+        interval_minutes: 1.0,
+        stereo_gain: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frederic_shape_and_truth() {
+        let seq = hurricane_frederic_analog(64, 4, 9);
+        assert_eq!(seq.len(), 4); // T = 4, like the paper
+        assert_eq!(seq.truth_flows.len(), 3);
+        assert_eq!(seq.dims(), (64, 64));
+        assert!(seq.stereo_gain.is_some());
+        assert!((seq.interval_minutes - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frederic_eye_is_dark_eyewall_bright() {
+        let seq = hurricane_frederic_analog(96, 2, 3);
+        let i = &seq.frames[0].intensity;
+        let eye = i.at(48, 48);
+        // Mean around the eyewall radius (rmax = 16).
+        let mut wall = 0.0f32;
+        let mut n = 0;
+        for k in 0..32 {
+            let ang = k as f32 * std::f32::consts::TAU / 32.0;
+            let x = (48.0 + 16.0 * ang.cos()) as usize;
+            let y = (48.0 + 16.0 * ang.sin()) as usize;
+            wall += i.at(x, y);
+            n += 1;
+        }
+        wall /= n as f32;
+        assert!(wall > eye + 0.1, "eyewall {wall} should outshine eye {eye}");
+    }
+
+    #[test]
+    fn frederic_stereo_pair_available() {
+        let seq = hurricane_frederic_analog(64, 2, 5);
+        let pair = seq.stereo_pair(0).unwrap();
+        assert_eq!(pair.left.dims(), (64, 64));
+        // Heights are nonzero somewhere, so views must differ.
+        assert!(pair.left.max_abs_diff(&pair.right) > 1e-3);
+        assert!(seq.stereo_pair(10).is_none());
+    }
+
+    #[test]
+    fn frederic_frames_actually_move() {
+        let seq = hurricane_frederic_analog(64, 2, 7);
+        let d = seq.frames[0].intensity.rms_diff(&seq.frames[1].intensity);
+        assert!(d > 1e-3, "consecutive frames should differ, rms {d}");
+    }
+
+    #[test]
+    fn luis_is_monocular_with_digital_surface() {
+        let seq = hurricane_luis_analog(48, 3, 2);
+        assert!(seq.stereo_gain.is_none());
+        assert!(seq.stereo_pair(0).is_none());
+        // Surface == intensity for monocular sequences.
+        assert_eq!(seq.surface(0), &seq.frames[0].intensity);
+        assert!((seq.interval_minutes - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn luis_motion_is_small_per_frame() {
+        let seq = hurricane_luis_analog(64, 2, 4);
+        let max_mag = seq.truth_flows[0].magnitude_plane().min_max().1;
+        assert!(
+            max_mag <= 1.5,
+            "rapid-scan motion should be ~1 px, got {max_mag}"
+        );
+    }
+
+    #[test]
+    fn florida_has_growing_cells() {
+        let seq = florida_thunderstorm_analog(64, 5, 11);
+        assert_eq!(seq.len(), 5);
+        // Brightness over the strongest core grows frame over frame.
+        let (cx, cy) = (22usize, 26usize); // 0.35 * 64, 0.4 * 64
+        let first = seq.frames[0].intensity.at(cx, cy);
+        let last = seq.frames[4].intensity.at(cx, cy);
+        assert!(last > first, "core should brighten: {first} -> {last}");
+    }
+
+    #[test]
+    fn florida_flow_includes_steering() {
+        let seq = florida_thunderstorm_analog(64, 2, 1);
+        // A corner far from all cells moves with ~the steering wind.
+        let v = seq.truth_flows[0].at(2, 2);
+        assert!((v.u - 0.8).abs() < 0.3);
+        assert!((v.v - 0.3).abs() < 0.3);
+    }
+
+    #[test]
+    fn stereo_surface_is_height() {
+        let seq = hurricane_frederic_analog(64, 2, 5);
+        assert_eq!(seq.surface(0), &seq.frames[0].height);
+    }
+
+    #[test]
+    fn sequences_are_deterministic() {
+        let a = florida_thunderstorm_analog(48, 3, 123);
+        let b = florida_thunderstorm_analog(48, 3, 123);
+        assert_eq!(a.frames[2].intensity, b.frames[2].intensity);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two frames")]
+    fn single_frame_rejected() {
+        let _ = florida_thunderstorm_analog(48, 1, 0);
+    }
+}

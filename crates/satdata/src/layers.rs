@@ -1,0 +1,235 @@
+//! Multi-layer cloud decks with independent motion.
+//!
+//! The paper motivates the semi-fluid model with multi-layer clouds:
+//! "is also well-suited for tracking multi-layered clouds since tracers
+//! in each layer are modeled as separate small surface patches with
+//! independent first order deformations". This module composites several
+//! decks, each with its own height, texture, coverage and velocity; the
+//! top (highest) opaque deck wins at each pixel, so layer boundaries are
+//! exactly the fragmented, discontinuous correspondence structure Fsemi
+//! was built for.
+
+use sma_grid::{BorderPolicy, FlowField, Grid, Vec2};
+
+use crate::advect::advect;
+use crate::texture::{cloud_mask, cloud_texture, TextureParams};
+
+/// One cloud deck.
+#[derive(Debug, Clone)]
+pub struct CloudLayer {
+    /// Cloud-top height of the deck (arbitrary units; larger = higher =
+    /// occludes lower decks).
+    pub height: f32,
+    /// Per-frame velocity of the deck (pixels/frame).
+    pub velocity: Vec2,
+    /// Opacity mask (0 = clear, 1 = opaque).
+    pub mask: Grid<f32>,
+    /// Visible brightness texture of the deck.
+    pub brightness: Grid<f32>,
+}
+
+impl CloudLayer {
+    /// Generate a deck from fractal texture: `threshold` controls
+    /// coverage, `height` its cloud-top level, `velocity` its motion.
+    pub fn generate(
+        w: usize,
+        h: usize,
+        seed: u64,
+        threshold: f32,
+        height: f32,
+        velocity: Vec2,
+    ) -> Self {
+        let tex = cloud_texture(w, h, seed, TextureParams::default());
+        let mask = cloud_mask(&tex, threshold, 0.15);
+        // Brightness: texture contrast over the cloudy parts, brighter for
+        // higher decks (colder tops are brighter in IR; keep the same
+        // convention for visible for simplicity).
+        let brightness = tex.map(|&t| 0.4 + 0.6 * t);
+        Self {
+            height,
+            velocity,
+            mask,
+            brightness,
+        }
+    }
+
+    /// The deck one frame later: mask and brightness advected rigidly by
+    /// the deck velocity.
+    pub fn step(&self) -> Self {
+        let flow = FlowField::uniform(self.mask.width(), self.mask.height(), self.velocity);
+        Self {
+            height: self.height,
+            velocity: self.velocity,
+            mask: advect(&self.mask, &flow, BorderPolicy::Wrap),
+            brightness: advect(&self.brightness, &flow, BorderPolicy::Wrap),
+        }
+    }
+}
+
+/// A stack of decks plus a dim ground/sea background.
+#[derive(Debug, Clone)]
+pub struct LayeredScene {
+    /// Decks, any order; compositing sorts by height.
+    pub layers: Vec<CloudLayer>,
+    /// Background brightness (0..1) for clear-sky pixels.
+    pub background: f32,
+}
+
+impl LayeredScene {
+    /// Composite to `(intensity, height)` frames: at each pixel the
+    /// highest deck with mask > 0.5 provides brightness and height;
+    /// clear pixels get the background brightness and height 0.
+    pub fn composite(&self) -> (Grid<f32>, Grid<f32>) {
+        assert!(
+            !self.layers.is_empty(),
+            "layered scene needs at least one layer"
+        );
+        let (w, h) = self.layers[0].mask.dims();
+        // Indices sorted by descending height: first opaque hit wins.
+        let mut order: Vec<usize> = (0..self.layers.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.layers[b]
+                .height
+                .partial_cmp(&self.layers[a].height)
+                .expect("finite heights")
+        });
+        let mut intensity = Grid::filled(w, h, self.background);
+        let mut height = Grid::filled(w, h, 0.0f32);
+        for y in 0..h {
+            for x in 0..w {
+                for &li in &order {
+                    let l = &self.layers[li];
+                    if l.mask.at(x, y) > 0.5 {
+                        intensity.set(x, y, l.brightness.at(x, y));
+                        height.set(x, y, l.height);
+                        break;
+                    }
+                }
+            }
+        }
+        (intensity, height)
+    }
+
+    /// True per-pixel flow of the *visible* surface: each pixel moves with
+    /// the deck that is visible there (clear sky pixels get zero flow).
+    pub fn visible_flow(&self) -> FlowField {
+        assert!(
+            !self.layers.is_empty(),
+            "layered scene needs at least one layer"
+        );
+        let (w, h) = self.layers[0].mask.dims();
+        let mut order: Vec<usize> = (0..self.layers.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.layers[b]
+                .height
+                .partial_cmp(&self.layers[a].height)
+                .expect("finite heights")
+        });
+        FlowField::from_fn(w, h, |x, y| {
+            for &li in &order {
+                if self.layers[li].mask.at(x, y) > 0.5 {
+                    return self.layers[li].velocity;
+                }
+            }
+            Vec2::ZERO
+        })
+    }
+
+    /// Advance every deck one frame.
+    pub fn step(&self) -> Self {
+        Self {
+            layers: self.layers.iter().map(|l| l.step()).collect(),
+            background: self.background,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_layer_scene() -> LayeredScene {
+        LayeredScene {
+            layers: vec![
+                CloudLayer::generate(48, 48, 1, 0.55, 10.0, Vec2::new(1.0, 0.0)),
+                CloudLayer::generate(48, 48, 2, 0.45, 5.0, Vec2::new(-1.0, 0.5)),
+            ],
+            background: 0.1,
+        }
+    }
+
+    #[test]
+    fn composite_prefers_higher_deck() {
+        let scene = two_layer_scene();
+        let (intensity, height) = scene.composite();
+        assert_eq!(intensity.dims(), (48, 48));
+        // Wherever the high deck is opaque, the height must be 10.
+        for y in 0..48 {
+            for x in 0..48 {
+                if scene.layers[0].mask.at(x, y) > 0.5 {
+                    assert_eq!(height.at(x, y), 10.0, "high deck must win at ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_sky_gets_background() {
+        let scene = two_layer_scene();
+        let (intensity, height) = scene.composite();
+        for y in 0..48 {
+            for x in 0..48 {
+                let any_cloud = scene.layers.iter().any(|l| l.mask.at(x, y) > 0.5);
+                if !any_cloud {
+                    assert_eq!(intensity.at(x, y), 0.1);
+                    assert_eq!(height.at(x, y), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn visible_flow_matches_winning_layer() {
+        let scene = two_layer_scene();
+        let flow = scene.visible_flow();
+        for y in 0..48 {
+            for x in 0..48 {
+                let v = flow.at(x, y);
+                if scene.layers[0].mask.at(x, y) > 0.5 {
+                    assert_eq!(v, Vec2::new(1.0, 0.0));
+                } else if scene.layers[1].mask.at(x, y) > 0.5 {
+                    assert_eq!(v, Vec2::new(-1.0, 0.5));
+                } else {
+                    assert_eq!(v, Vec2::ZERO);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_translates_decks_independently() {
+        let scene = two_layer_scene();
+        let next = scene.step();
+        // Deck 0 moves +1 in x: its mask at (x, y) becomes the old mask at
+        // (x-1, y) (toroidal wrap), to bilinear accuracy.
+        let old = &scene.layers[0].mask;
+        let new = &next.layers[0].mask;
+        let mut diff = 0.0f32;
+        let mut count = 0;
+        for y in 2..46 {
+            for x in 2..46 {
+                diff += (new.at(x, y) - old.at(x - 1, y)).abs();
+                count += 1;
+            }
+        }
+        let mean = diff / count as f32;
+        assert!(mean < 1e-3, "mean abs shift error {mean}");
+    }
+
+    #[test]
+    fn layer_coverage_is_nontrivial() {
+        let scene = two_layer_scene();
+        let cov0 = crate::texture::coverage(&scene.layers[0].mask);
+        assert!(cov0 > 0.1 && cov0 < 0.9, "coverage {cov0} should be mixed");
+    }
+}

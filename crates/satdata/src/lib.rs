@@ -1,0 +1,50 @@
+//! # sma-satdata
+//!
+//! Synthetic GOES-like satellite cloud scenes with ground-truth motion.
+//!
+//! The paper evaluates on three proprietary NASA datasets:
+//!
+//! * **Hurricane Frederic** — GOES-6/7 stereoscopic visible imagery,
+//!   Sept 12 1979, four 512 x 512 pairs at ~7.5 min intervals (§5.1);
+//! * **Hurricane Luis** — GOES-9 rapid-scan, 490 frames, ~1.5 min
+//!   interval, monocular (§5);
+//! * **Florida thunderstorm** — GOES-9 rapid-scan, 49 frames, ~1 min
+//!   interval, monocular (§5.2).
+//!
+//! Those tapes are not available, so this crate synthesizes the closest
+//! controllable equivalents (see DESIGN.md, substitution table): fractal
+//! cloud texture advected by analytic flow fields — a Rankine vortex for
+//! the hurricanes, growing convective cells with divergent outflow for
+//! the thunderstorm, and independently moving multi-layer decks for the
+//! multilayer-cloud scenario the SMA model is designed for. Every
+//! sequence carries its exact generating flow as ground truth, which is
+//! *stronger* than the paper's reference (32 manually tracked wind
+//! barbs): we can score dense RMS error, not just 32 points — and also
+//! sample 32 tracer points to mirror the paper's protocol exactly.
+//!
+//! Stereo pairs are synthesized from the intensity + height fields by
+//! parallax warping ([`stereo_synth`]), giving the ASA substrate a
+//! disparity signal whose ground truth is the height field itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advect;
+pub mod convection;
+pub mod dataset;
+pub mod layers;
+pub mod multispectral;
+pub mod noise;
+pub mod ocean;
+pub mod stereo_synth;
+pub mod texture;
+pub mod tracers;
+pub mod vortex;
+
+pub use dataset::{
+    florida_thunderstorm_analog, hurricane_frederic_analog, hurricane_luis_analog, Frame,
+    SceneSequence,
+};
+pub use stereo_synth::{synthesize_stereo_pair, StereoPair};
+pub use tracers::pick_tracers;
+pub use vortex::RankineVortex;

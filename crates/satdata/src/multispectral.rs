@@ -1,0 +1,135 @@
+//! Multispectral frame synthesis — the infrared companion channel.
+//!
+//! GOES imagers carry visible and infrared channels; the §6 extension
+//! "using multispectral information" needs a second channel whose
+//! information content differs from the visible one. For cloud scenes
+//! the physics is simple: **IR brightness temperature tracks cloud-top
+//! height** (higher tops are colder). We synthesize an IR channel as an
+//! affine function of the height map, plus a channel-specific texture
+//! term, so that:
+//!
+//! * features invisible in the visible channel (two decks with equal
+//!   albedo but different heights) are distinct in IR;
+//! * the IR channel advects with the same ground-truth motion.
+
+use sma_grid::Grid;
+
+use crate::dataset::SceneSequence;
+use crate::noise::ValueNoise;
+
+/// IR synthesis parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IrParams {
+    /// Brightness-temperature-like value of the clear-sky surface
+    /// (warm = high value before inversion; we emit *inverted* IR where
+    /// higher = colder = higher cloud, so images correlate positively
+    /// with height).
+    pub surface_level: f32,
+    /// IR response per unit cloud height.
+    pub lapse_per_height: f32,
+    /// Amplitude of channel-specific emissivity texture.
+    pub texture_amp: f32,
+    /// Seed for the emissivity texture.
+    pub seed: u64,
+}
+
+impl Default for IrParams {
+    fn default() -> Self {
+        Self {
+            surface_level: 0.1,
+            lapse_per_height: 0.08,
+            texture_amp: 0.05,
+            seed: 0x1F,
+        }
+    }
+}
+
+/// Synthesize the IR channel for one frame from its height map:
+/// `ir = surface_level + lapse * height + texture`, clamped to `[0, 1]`.
+pub fn ir_from_height(height: &Grid<f32>, params: IrParams) -> Grid<f32> {
+    let noise = ValueNoise::new(params.seed);
+    Grid::from_fn(height.width(), height.height(), |x, y| {
+        let tex = (noise.fbm(x as f32 * 0.08, y as f32 * 0.08, 3, 0.5) - 0.5) * 2.0;
+        (params.surface_level
+            + params.lapse_per_height * height.at(x, y)
+            + params.texture_amp * tex)
+            .clamp(0.0, 1.0)
+    })
+}
+
+/// The IR channel sequence of a scene: one IR frame per timestep,
+/// derived from each frame's height map (so it advects with the truth
+/// flow exactly as the heights do).
+pub fn ir_sequence(seq: &SceneSequence, params: IrParams) -> Vec<Grid<f32>> {
+    seq.frames
+        .iter()
+        .map(|f| ir_from_height(&f.height, params))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hurricane_frederic_analog;
+
+    #[test]
+    fn ir_increases_with_height() {
+        let h = Grid::from_fn(16, 16, |x, _| x as f32);
+        let ir = ir_from_height(
+            &h,
+            IrParams {
+                texture_amp: 0.0,
+                ..IrParams::default()
+            },
+        );
+        for y in 0..16 {
+            for x in 1..13 {
+                assert!(ir.at(x, y) >= ir.at(x - 1, y), "IR must rise with height");
+            }
+        }
+    }
+
+    #[test]
+    fn ir_clamped_to_unit_range() {
+        let h = Grid::from_fn(8, 8, |x, _| x as f32 * 100.0);
+        let ir = ir_from_height(&h, IrParams::default());
+        let (lo, hi) = ir.min_max();
+        assert!(lo >= 0.0 && hi <= 1.0);
+        assert_eq!(ir.at(7, 0), 1.0); // saturated over very high tops
+    }
+
+    #[test]
+    fn ir_sequence_tracks_frames() {
+        let seq = hurricane_frederic_analog(48, 3, 4);
+        let irs = ir_sequence(&seq, IrParams::default());
+        assert_eq!(irs.len(), 3);
+        assert_eq!(irs[0].dims(), (48, 48));
+        // IR differs from the visible channel (different information).
+        assert!(irs[0].rms_diff(&seq.frames[0].intensity) > 0.05);
+        // And moves frame to frame like the heights do.
+        assert!(irs[0].rms_diff(&irs[1]) > 1e-4);
+    }
+
+    #[test]
+    fn equal_albedo_decks_distinct_in_ir() {
+        // Two regions with the same visible brightness but different
+        // heights must separate in IR.
+        let h = Grid::from_fn(16, 16, |x, _| if x < 8 { 2.0f32 } else { 9.0 });
+        let ir = ir_from_height(
+            &h,
+            IrParams {
+                texture_amp: 0.0,
+                ..IrParams::default()
+            },
+        );
+        assert!(ir.at(12, 8) - ir.at(3, 8) > 0.3);
+    }
+
+    #[test]
+    fn deterministic_given_params() {
+        let h = Grid::from_fn(16, 16, |x, y| (x + y) as f32 * 0.3);
+        let a = ir_from_height(&h, IrParams::default());
+        let b = ir_from_height(&h, IrParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Seeded value noise and fractal (fBm) octaves.
+//!
+//! The cloud texture generator needs smooth, band-limited, *reproducible*
+//! random fields. We use classic value noise: a lattice of hashed random
+//! values, bilinearly interpolated with a smoothstep fade, summed over
+//! octaves.
+
+/// Deterministic lattice value noise with fractal octave summation.
+#[derive(Debug, Clone)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// Create a noise source from a seed; equal seeds give equal fields.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Hash a lattice point to a value in `[0, 1)`.
+    ///
+    /// SplitMix64-style finalizer over the packed coordinates — cheap,
+    /// stateless, and well distributed (each lattice point is independent
+    /// of its neighbors, which is what value noise needs).
+    fn lattice(&self, ix: i64, iy: i64) -> f32 {
+        let mut h = self
+            .seed
+            .wrapping_add(0x9e3779b97f4a7c15)
+            .wrapping_add((ix as u64).wrapping_mul(0xbf58476d1ce4e5b9))
+            .wrapping_add((iy as u64).wrapping_mul(0x94d049bb133111eb));
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+        (h >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Single-octave smooth noise at continuous coordinates, in `[0, 1)`.
+    pub fn sample(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = smoothstep(x - x0);
+        let fy = smoothstep(y - y0);
+        let (ix, iy) = (x0 as i64, y0 as i64);
+        let v00 = self.lattice(ix, iy);
+        let v10 = self.lattice(ix + 1, iy);
+        let v01 = self.lattice(ix, iy + 1);
+        let v11 = self.lattice(ix + 1, iy + 1);
+        let top = v00 + fx * (v10 - v00);
+        let bot = v01 + fx * (v11 - v01);
+        top + fy * (bot - top)
+    }
+
+    /// Fractal Brownian motion: `octaves` octaves with lacunarity 2 and
+    /// persistence `gain`, normalized to `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `octaves == 0`.
+    pub fn fbm(&self, x: f32, y: f32, octaves: usize, gain: f32) -> f32 {
+        assert!(octaves > 0, "fbm needs at least one octave");
+        let mut amp = 1.0f32;
+        let mut freq = 1.0f32;
+        let mut sum = 0.0f32;
+        let mut norm = 0.0f32;
+        for oct in 0..octaves {
+            // Offset octaves so their lattices don't align.
+            let off = oct as f32 * 37.31;
+            sum += amp * self.sample(x * freq + off, y * freq - off);
+            norm += amp;
+            amp *= gain;
+            freq *= 2.0;
+        }
+        sum / norm
+    }
+}
+
+/// Cubic smoothstep fade `3t^2 - 2t^3` for interpolation weights.
+#[inline]
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = ValueNoise::new(42);
+        let b = ValueNoise::new(42);
+        for i in 0..20 {
+            let (x, y) = (i as f32 * 0.7, i as f32 * 1.3);
+            assert_eq!(a.sample(x, y), b.sample(x, y));
+            assert_eq!(a.fbm(x, y, 4, 0.5), b.fbm(x, y, 4, 0.5));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise::new(1);
+        let b = ValueNoise::new(2);
+        let differs = (0..50).any(|i| {
+            let (x, y) = (i as f32 * 0.31, i as f32 * 0.77);
+            (a.sample(x, y) - b.sample(x, y)).abs() > 1e-6
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn range_is_unit_interval() {
+        let n = ValueNoise::new(7);
+        for i in 0..40 {
+            for j in 0..40 {
+                let v = n.fbm(i as f32 * 0.23, j as f32 * 0.31, 5, 0.5);
+                assert!((0.0..=1.0).contains(&v), "fbm out of range: {v}");
+                let s = n.sample(i as f32 * 0.23, j as f32 * 0.31);
+                assert!((0.0..1.0).contains(&s), "sample out of range: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_across_lattice_cells() {
+        let n = ValueNoise::new(3);
+        // Values just either side of a lattice line must nearly agree.
+        let a = n.sample(4.9999, 2.5);
+        let b = n.sample(5.0001, 2.5);
+        assert!((a - b).abs() < 1e-3);
+    }
+
+    #[test]
+    fn interpolates_lattice_values_at_integers() {
+        let n = ValueNoise::new(9);
+        // At integer coordinates, sample == lattice value (fade weights 0).
+        let v = n.sample(3.0, 4.0);
+        let again = n.sample(3.0, 4.0);
+        assert_eq!(v, again);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn fbm_has_more_detail_than_single_octave() {
+        // Total variation along a line is larger with more octaves.
+        let n = ValueNoise::new(5);
+        let tv = |oct: usize| -> f32 {
+            let mut sum = 0.0;
+            let mut prev = n.fbm(0.0, 0.5, oct, 0.5);
+            for i in 1..200 {
+                let v = n.fbm(i as f32 * 0.05, 0.5, oct, 0.5);
+                sum += (v - prev).abs();
+                prev = v;
+            }
+            sum
+        };
+        assert!(tv(5) > tv(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one octave")]
+    fn zero_octaves_rejected() {
+        let _ = ValueNoise::new(0).fbm(0.0, 0.0, 0, 0.5);
+    }
+}

@@ -1,0 +1,332 @@
+//! Ocean eddies and polar sea ice — the paper's other application
+//! domains.
+//!
+//! The abstract names "polar sea ice, or ocean currents" alongside
+//! clouds as targets for deformable motion tracking, and §1 adds "ocean
+//! eddies and currents that maintain identifiable features in
+//! multispectral imagery". Two generators:
+//!
+//! * [`EddyField`] — a superposition of Rankine-like gyres (mesoscale
+//!   eddies) over a background current: smooth, rotational, non-rigid
+//!   flow tracked on SST-like texture;
+//! * [`IceField`] — rigid floes drifting independently over dark water:
+//!   piecewise-*rigid* motion with sharp boundaries — the fragmented
+//!   correspondence case (like multi-layer clouds, but with hard
+//!   discontinuities at every floe edge).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sma_grid::{BorderPolicy, FlowField, Grid, Vec2};
+
+use crate::advect::advect;
+use crate::dataset::{Frame, SceneSequence};
+use crate::texture::{cloud_texture, TextureParams};
+use crate::vortex::RankineVortex;
+
+/// A field of ocean eddies over a background current.
+#[derive(Debug, Clone)]
+pub struct EddyField {
+    /// Background (geostrophic) current, pixels/frame.
+    pub background: Vec2,
+    /// The gyres (alternating-sense eddies).
+    pub eddies: Vec<RankineVortex>,
+}
+
+impl EddyField {
+    /// A reproducible field of `count` eddies in a `size x size` domain,
+    /// with alternating rotation senses and radii ~ size/10.
+    pub fn generate(size: usize, count: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = size as f32;
+        let eddies = (0..count)
+            .map(|k| RankineVortex {
+                cx: rng.gen_range(0.2 * s..0.8 * s),
+                cy: rng.gen_range(0.2 * s..0.8 * s),
+                vmax: rng.gen_range(0.6..1.4),
+                rmax: rng.gen_range(0.08 * s..0.14 * s),
+                inflow: 0.0,
+                sense: if k % 2 == 0 { 1.0 } else { -1.0 },
+            })
+            .collect();
+        Self {
+            background: Vec2::new(0.4, 0.1),
+            eddies,
+        }
+    }
+
+    /// Total velocity at a point.
+    pub fn velocity(&self, x: f32, y: f32) -> Vec2 {
+        self.eddies
+            .iter()
+            .fold(self.background, |acc, e| acc + e.velocity(x, y))
+    }
+
+    /// Dense flow field.
+    pub fn flow_field(&self, w: usize, h: usize) -> FlowField {
+        FlowField::from_fn(w, h, |x, y| self.velocity(x as f32, y as f32))
+    }
+}
+
+/// Ocean-current analog sequence: SST-like texture advected by an eddy
+/// field (monocular; the texture is the digital surface).
+pub fn ocean_current_analog(size: usize, frames: usize, seed: u64) -> SceneSequence {
+    assert!(size >= 32, "domain too small for eddies");
+    assert!(frames >= 2, "a motion sequence needs at least two frames");
+    let field = EddyField::generate(size, 4, seed);
+    let flow = field.flow_field(size, size);
+    let sst = cloud_texture(
+        size,
+        size,
+        seed ^ 0x0CEA,
+        TextureParams {
+            base_freq: 0.06,
+            ..Default::default()
+        },
+    )
+    .map(|&t| 0.2 + 0.6 * t);
+
+    let mut frames_vec = vec![Frame {
+        intensity: sst.clone(),
+        height: sst.clone(),
+    }];
+    let mut truth = Vec::new();
+    let mut current = sst;
+    for _ in 1..frames {
+        current = advect(&current, &flow, BorderPolicy::Clamp);
+        frames_vec.push(Frame {
+            intensity: current.clone(),
+            height: current.clone(),
+        });
+        truth.push(flow.clone());
+    }
+    SceneSequence {
+        name: "ocean-current-analog".to_string(),
+        frames: frames_vec,
+        truth_flows: truth,
+        interval_minutes: 60.0,
+        stereo_gain: None,
+    }
+}
+
+/// One rigid sea-ice floe: an ellipse with its own drift.
+#[derive(Debug, Clone, Copy)]
+pub struct Floe {
+    /// Center x at t = 0.
+    pub cx: f32,
+    /// Center y at t = 0.
+    pub cy: f32,
+    /// Semi-axis along x.
+    pub ax: f32,
+    /// Semi-axis along y.
+    pub ay: f32,
+    /// Drift velocity, pixels/frame.
+    pub drift: Vec2,
+    /// Surface brightness of the floe (ice is bright, water dark).
+    pub brightness: f32,
+}
+
+impl Floe {
+    /// Whether `(x, y)` lies inside the floe at time-step `t`.
+    pub fn contains(&self, x: f32, y: f32, t: f32) -> bool {
+        let dx = (x - self.cx - self.drift.u * t) / self.ax;
+        let dy = (y - self.cy - self.drift.v * t) / self.ay;
+        dx * dx + dy * dy <= 1.0
+    }
+}
+
+/// A field of independently drifting floes.
+#[derive(Debug, Clone)]
+pub struct IceField {
+    /// The floes; earlier entries render on top.
+    pub floes: Vec<Floe>,
+    /// Open-water brightness.
+    pub water: f32,
+}
+
+impl IceField {
+    /// A reproducible pack of up to `count` non-overlapping floes in a
+    /// `size x size` domain (real floes collide rather than stack, and
+    /// overlap would create spurious occlusion churn).
+    pub fn generate(size: usize, count: usize, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1CE);
+        let s = size as f32;
+        let mut floes: Vec<Floe> = Vec::with_capacity(count);
+        let mut attempts = 0;
+        while floes.len() < count && attempts < count * 50 {
+            attempts += 1;
+            let cand = Floe {
+                cx: rng.gen_range(0.15 * s..0.85 * s),
+                cy: rng.gen_range(0.15 * s..0.85 * s),
+                ax: rng.gen_range(0.06 * s..0.14 * s),
+                ay: rng.gen_range(0.06 * s..0.14 * s),
+                drift: Vec2::new(rng.gen_range(-1.2..1.2), rng.gen_range(-1.2..1.2)),
+                brightness: rng.gen_range(0.7..0.95),
+            };
+            let clear = floes.iter().all(|f| {
+                let d = ((f.cx - cand.cx).powi(2) + (f.cy - cand.cy).powi(2)).sqrt();
+                d > f.ax.max(f.ay) + cand.ax.max(cand.ay) + 3.0
+            });
+            if clear {
+                floes.push(cand);
+            }
+        }
+        Self { floes, water: 0.08 }
+    }
+
+    /// Render the intensity image at time-step `t` (texture on each floe
+    /// keyed to the floe so it drifts rigidly with it).
+    pub fn render(&self, size: usize, t: f32, seed: u64) -> Grid<f32> {
+        let tex = cloud_texture(
+            size,
+            size,
+            seed ^ 0xF10E,
+            TextureParams {
+                base_freq: 0.15,
+                octaves: 3,
+                ..Default::default()
+            },
+        );
+        Grid::from_fn(size, size, |x, y| {
+            for f in &self.floes {
+                if f.contains(x as f32, y as f32, t) {
+                    // Texture sampled bilinearly in floe-local (drift-
+                    // compensated) coordinates so it moves rigidly — and
+                    // sub-pixel-exactly — with the floe.
+                    let lx = x as f32 - f.drift.u * t;
+                    let ly = y as f32 - f.drift.v * t;
+                    let v = sma_grid::warp::sample_bilinear(&tex, lx, ly, BorderPolicy::Wrap);
+                    return f.brightness * (0.55 + 0.45 * v);
+                }
+            }
+            self.water
+        })
+    }
+
+    /// The true velocity of the *visible* surface at time-step `t`
+    /// (water reports zero).
+    pub fn visible_flow(&self, size: usize, t: f32) -> FlowField {
+        FlowField::from_fn(size, size, |x, y| {
+            for f in &self.floes {
+                if f.contains(x as f32, y as f32, t) {
+                    return f.drift;
+                }
+            }
+            Vec2::ZERO
+        })
+    }
+}
+
+/// Sea-ice analog sequence: drifting floes rendered per timestep.
+pub fn sea_ice_analog(size: usize, frames: usize, seed: u64) -> SceneSequence {
+    assert!(size >= 32, "domain too small for floes");
+    assert!(frames >= 2, "a motion sequence needs at least two frames");
+    let field = IceField::generate(size, 5, seed);
+    let frames_vec: Vec<Frame> = (0..frames)
+        .map(|t| {
+            let img = field.render(size, t as f32, seed);
+            Frame {
+                intensity: img.clone(),
+                height: img,
+            }
+        })
+        .collect();
+    let truth = (0..frames - 1)
+        .map(|t| field.visible_flow(size, t as f32))
+        .collect();
+    SceneSequence {
+        name: "sea-ice-analog".to_string(),
+        frames: frames_vec,
+        truth_flows: truth,
+        interval_minutes: 360.0,
+        stereo_gain: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eddy_field_superposes() {
+        let f = EddyField::generate(64, 3, 7);
+        assert_eq!(f.eddies.len(), 3);
+        // Far corner: close to background (eddies decay).
+        let v = f.velocity(1.0, 1.0);
+        assert!((v - f.background).magnitude() < 1.5);
+    }
+
+    #[test]
+    fn eddies_alternate_sense() {
+        let f = EddyField::generate(64, 4, 3);
+        assert_eq!(f.eddies[0].sense, 1.0);
+        assert_eq!(f.eddies[1].sense, -1.0);
+        assert_eq!(f.eddies[2].sense, 1.0);
+    }
+
+    #[test]
+    fn ocean_sequence_shape_and_determinism() {
+        let a = ocean_current_analog(48, 3, 5);
+        let b = ocean_current_analog(48, 3, 5);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.truth_flows.len(), 2);
+        assert_eq!(a.frames[2].intensity, b.frames[2].intensity);
+        assert!(a.stereo_gain.is_none());
+    }
+
+    #[test]
+    fn floe_drifts_rigidly() {
+        let f = Floe {
+            cx: 20.0,
+            cy: 20.0,
+            ax: 5.0,
+            ay: 3.0,
+            drift: Vec2::new(2.0, -1.0),
+            brightness: 0.8,
+        };
+        assert!(f.contains(20.0, 20.0, 0.0));
+        assert!(!f.contains(20.0, 20.0, 5.0)); // moved away
+        assert!(f.contains(30.0, 15.0, 5.0)); // center at t=5
+    }
+
+    #[test]
+    fn ice_renders_bright_floes_on_dark_water() {
+        let field = IceField::generate(64, 4, 9);
+        let img = field.render(64, 0.0, 9);
+        let (lo, hi) = img.min_max();
+        assert!(lo < 0.1, "water must be dark, min {lo}");
+        assert!(hi > 0.6, "ice must be bright, max {hi}");
+    }
+
+    #[test]
+    fn floes_do_not_overlap() {
+        let field = IceField::generate(72, 5, 3);
+        for (i, a) in field.floes.iter().enumerate() {
+            for b in &field.floes[i + 1..] {
+                let d = ((a.cx - b.cx).powi(2) + (a.cy - b.cy).powi(2)).sqrt();
+                assert!(d > a.ax.max(a.ay) + b.ax.max(b.ay), "floes overlap");
+            }
+        }
+        assert!(!field.floes.is_empty());
+    }
+
+    #[test]
+    fn ice_flow_is_piecewise_rigid() {
+        let field = IceField::generate(64, 3, 2);
+        let flow = field.visible_flow(64, 0.0);
+        // Every nonzero vector equals one of the floe drifts exactly.
+        let drifts: Vec<Vec2> = field.floes.iter().map(|f| f.drift).collect();
+        for (_, v) in flow.enumerate() {
+            if v.magnitude() > 0.0 {
+                assert!(drifts.iter().any(|d| (*d - v).magnitude() < 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn ice_sequence_moves_floes() {
+        let seq = sea_ice_analog(64, 3, 4);
+        assert_eq!(seq.len(), 3);
+        let d = seq.frames[0].intensity.rms_diff(&seq.frames[1].intensity);
+        assert!(d > 1e-3, "floes should move between frames");
+    }
+}

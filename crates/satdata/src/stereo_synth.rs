@@ -1,0 +1,131 @@
+//! Stereo pair synthesis from intensity + height.
+//!
+//! Two geostationary satellites separated by a large baseline (GOES-6/7
+//! subtended "an angle of about 135 degrees with respect to the center of
+//! the Earth") see a cloud at height `z` displaced horizontally between
+//! the two views by a parallax disparity proportional to `z` (after
+//! rectification the displacement is along scan lines). We synthesize the
+//! right view from the left view and the height map with the linear model
+//! `d(x, y) = gain * z(x, y)`, which preserves exactly the property the
+//! ASA substrate needs: disparity *is* height, so ASA's recovered heights
+//! can be scored against the generator's truth.
+
+use sma_grid::warp::sample_bilinear;
+use sma_grid::{BorderPolicy, Grid};
+
+/// A rectified stereo pair with its generating truth.
+#[derive(Debug, Clone)]
+pub struct StereoPair {
+    /// Left (reference) view.
+    pub left: Grid<f32>,
+    /// Right view, displaced by parallax.
+    pub right: Grid<f32>,
+    /// The true disparity plane used to synthesize `right`.
+    pub true_disparity: Grid<f32>,
+    /// Pixels of disparity per unit height (the viewing-geometry gain).
+    pub gain: f32,
+}
+
+/// Synthesize a rectified stereo pair with the convention that a feature
+/// at `left(x, y)` appears at `right(x + d, y)`: the right view is
+/// resampled as `right(x, y) = left(x - d, y)` with `d = gain * height`.
+/// A correlation matcher searching `right(x + d)` against the `left(x)`
+/// template therefore recovers `+d` — the same convention `sma-stereo`
+/// uses.
+///
+/// The warp is a backward resampling of the left view, so occlusion
+/// effects at steep height discontinuities are approximated by stretching
+/// (adequate for cloud decks, which the paper's correlation matcher also
+/// blurs across).
+///
+/// # Panics
+/// Panics if shapes differ or `gain` is not finite.
+pub fn synthesize_stereo_pair(left: &Grid<f32>, height: &Grid<f32>, gain: f32) -> StereoPair {
+    assert_eq!(left.dims(), height.dims(), "stereo synth shape mismatch");
+    assert!(gain.is_finite(), "gain must be finite");
+    let disparity = height.map(|&z| gain * z);
+    let right = Grid::from_fn(left.width(), left.height(), |x, y| {
+        sample_bilinear(
+            left,
+            x as f32 - disparity.at(x, y),
+            y as f32,
+            BorderPolicy::Clamp,
+        )
+    });
+    StereoPair {
+        left: left.clone(),
+        right,
+        true_disparity: disparity,
+        gain,
+    }
+}
+
+impl StereoPair {
+    /// Convert a disparity estimate back to heights with this pair's gain.
+    ///
+    /// # Panics
+    /// Panics if `gain == 0`.
+    pub fn disparity_to_height(&self, disparity: &Grid<f32>) -> Grid<f32> {
+        assert!(self.gain != 0.0, "zero-gain pair cannot invert disparity");
+        disparity.map(|&d| d / self.gain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_scene_gives_identical_views() {
+        let left = Grid::from_fn(32, 32, |x, y| ((x * 7 + y * 3) % 13) as f32);
+        let height = Grid::filled(32, 32, 0.0f32);
+        let pair = synthesize_stereo_pair(&left, &height, 0.5);
+        assert!(pair.left.max_abs_diff(&pair.right) < 1e-5);
+        assert_eq!(pair.true_disparity.min_max(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn uniform_height_shifts_uniformly() {
+        let left = Grid::from_fn(32, 32, |x, y| (x + y) as f32);
+        let height = Grid::filled(32, 32, 4.0f32);
+        let pair = synthesize_stereo_pair(&left, &height, 0.5);
+        // d = 2: right(x, y) = left(x - 2, y), i.e. the cloud feature at
+        // left(x) shows up at right(x + 2).
+        for y in 0..32 {
+            for x in 2..32 {
+                assert!((pair.right.at(x, y) - pair.left.at(x - 2, y)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn disparity_is_gain_times_height() {
+        let left = Grid::filled(16, 16, 1.0f32);
+        let height = Grid::from_fn(16, 16, |x, _| x as f32 * 0.5);
+        let pair = synthesize_stereo_pair(&left, &height, 0.8);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert!((pair.true_disparity.at(x, y) - 0.8 * height.at(x, y)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn height_round_trip() {
+        let left = Grid::filled(8, 8, 1.0f32);
+        let height = Grid::from_fn(8, 8, |x, y| (x + y) as f32);
+        let pair = synthesize_stereo_pair(&left, &height, 0.4);
+        let recovered = pair.disparity_to_height(&pair.true_disparity);
+        assert!(recovered.max_abs_diff(&height) < 1e-5);
+    }
+
+    #[test]
+    fn vertical_structure_unchanged() {
+        // Disparity moves pixels along rows only; columns of a horizontal
+        // stripe pattern are untouched.
+        let left = Grid::from_fn(16, 16, |_, y| (y % 4) as f32);
+        let height = Grid::from_fn(16, 16, |x, _| x as f32 * 0.2);
+        let pair = synthesize_stereo_pair(&left, &height, 1.0);
+        assert!(pair.left.max_abs_diff(&pair.right) < 1e-4);
+    }
+}

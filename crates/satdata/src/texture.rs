@@ -1,0 +1,119 @@
+//! Cloud texture and cloud-deck masks.
+//!
+//! Visible-channel cloud imagery is bright, lumpy and multi-scale; the
+//! fractal-noise texture here reproduces those statistics well enough for
+//! correlation matching and surface fitting to behave as they do on real
+//! GOES frames (plenty of local structure, smooth large-scale envelope).
+
+use sma_grid::Grid;
+
+use crate::noise::ValueNoise;
+
+/// Parameters of the fractal cloud texture.
+#[derive(Debug, Clone, Copy)]
+pub struct TextureParams {
+    /// Base spatial frequency in cycles per pixel (typical 0.02–0.08;
+    /// lower = larger cloud blobs).
+    pub base_freq: f32,
+    /// Number of fBm octaves (4–6 gives realistic multiscale lumpiness).
+    pub octaves: usize,
+    /// Per-octave amplitude decay (0.4–0.6).
+    pub gain: f32,
+}
+
+impl Default for TextureParams {
+    fn default() -> Self {
+        Self {
+            base_freq: 0.04,
+            octaves: 5,
+            gain: 0.5,
+        }
+    }
+}
+
+/// Generate a `[0, 1]` fractal cloud texture, contrast-stretched so the
+/// full unit range is used (raw fBm concentrates near 0.5).
+pub fn cloud_texture(width: usize, height: usize, seed: u64, params: TextureParams) -> Grid<f32> {
+    let noise = ValueNoise::new(seed);
+    let raw = Grid::from_fn(width, height, |x, y| {
+        noise.fbm(
+            x as f32 * params.base_freq,
+            y as f32 * params.base_freq,
+            params.octaves,
+            params.gain,
+        )
+    });
+    raw.normalized(0.0, 1.0)
+}
+
+/// Soft-threshold a texture into a cloud deck: values below `threshold`
+/// become clear sky (0), values above ramp smoothly to full opacity over
+/// `softness`.
+pub fn cloud_mask(texture: &Grid<f32>, threshold: f32, softness: f32) -> Grid<f32> {
+    assert!(softness > 0.0, "mask softness must be positive");
+    texture.map(|&v| ((v - threshold) / softness).clamp(0.0, 1.0))
+}
+
+/// Coverage fraction: share of pixels with mask above 0.5.
+pub fn coverage(mask: &Grid<f32>) -> f32 {
+    if mask.is_empty() {
+        return 0.0;
+    }
+    mask.iter().filter(|&&v| v > 0.5).count() as f32 / mask.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn texture_in_unit_range_and_deterministic() {
+        let a = cloud_texture(32, 32, 11, TextureParams::default());
+        let b = cloud_texture(32, 32, 11, TextureParams::default());
+        assert_eq!(a, b);
+        let (lo, hi) = a.min_max();
+        assert!(lo >= 0.0 && hi <= 1.0);
+        assert!(
+            hi - lo > 0.2,
+            "texture should have contrast, got span {}",
+            hi - lo
+        );
+    }
+
+    #[test]
+    fn texture_is_smooth_at_pixel_scale() {
+        let t = cloud_texture(64, 64, 3, TextureParams::default());
+        // Neighboring pixels differ far less than the global span.
+        let mut max_step = 0.0f32;
+        for y in 0..64 {
+            for x in 1..64 {
+                max_step = max_step.max((t.at(x, y) - t.at(x - 1, y)).abs());
+            }
+        }
+        let (lo, hi) = t.min_max();
+        assert!(max_step < 0.5 * (hi - lo));
+    }
+
+    #[test]
+    fn mask_thresholds() {
+        let t = Grid::from_vec(3, 1, vec![0.1, 0.5, 0.9]);
+        let m = cloud_mask(&t, 0.4, 0.2);
+        assert_eq!(m.at(0, 0), 0.0);
+        assert!((m.at(1, 0) - 0.5).abs() < 1e-6);
+        assert_eq!(m.at(2, 0), 1.0);
+    }
+
+    #[test]
+    fn coverage_counts_cloudy_fraction() {
+        let m = Grid::from_vec(4, 1, vec![0.0, 0.6, 0.7, 0.2]);
+        assert!((coverage(&m) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_threshold_gives_more_coverage() {
+        let t = cloud_texture(48, 48, 8, TextureParams::default());
+        let lo = coverage(&cloud_mask(&t, 0.3, 0.1));
+        let hi = coverage(&cloud_mask(&t, 0.7, 0.1));
+        assert!(lo > hi);
+    }
+}

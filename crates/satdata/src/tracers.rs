@@ -1,0 +1,165 @@
+//! Tracer-point selection — the "manual wind barb" protocol.
+//!
+//! The paper validates against "32 particles (pixels)" tracked manually
+//! by an expert meteorologist, "treated as the reference or true
+//! estimate". We reproduce that protocol: pick well-separated, cloudy,
+//! textured pixels and read their true displacement from the generating
+//! flow. The selection is deterministic given the seed.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use sma_grid::{FlowField, Grid, Vec2};
+
+/// A tracer point with its ground-truth displacement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tracer {
+    /// Pixel x.
+    pub x: usize,
+    /// Pixel y.
+    pub y: usize,
+    /// True displacement over one frame interval.
+    pub truth: Vec2,
+}
+
+/// Pick up to `count` tracer points that are (a) cloudy — intensity above
+/// `min_intensity`, (b) at least `min_separation` pixels apart, and
+/// (c) at least `margin` pixels from the border (so every SMA window fits).
+/// Truth displacements are read from `flow`.
+///
+/// Returns fewer than `count` tracers if the scene cannot support them —
+/// callers should check, mirroring how a meteorologist only marks wind
+/// barbs on trackable cloud features.
+pub fn pick_tracers(
+    intensity: &Grid<f32>,
+    flow: &FlowField,
+    count: usize,
+    min_intensity: f32,
+    min_separation: usize,
+    margin: usize,
+    seed: u64,
+) -> Vec<Tracer> {
+    assert_eq!(intensity.dims(), flow.dims(), "tracer shape mismatch");
+    let (w, h) = intensity.dims();
+    if w <= 2 * margin || h <= 2 * margin {
+        return Vec::new();
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tracers: Vec<Tracer> = Vec::with_capacity(count);
+    let sep2 = (min_separation * min_separation) as isize;
+    // Bounded rejection sampling: deterministic and cheap; 200 attempts
+    // per requested tracer is ample for realistic coverage.
+    let max_attempts = count * 200;
+    for _ in 0..max_attempts {
+        if tracers.len() >= count {
+            break;
+        }
+        let x = rng.gen_range(margin..w - margin);
+        let y = rng.gen_range(margin..h - margin);
+        if intensity.at(x, y) < min_intensity {
+            continue;
+        }
+        let far_enough = tracers.iter().all(|t| {
+            let dx = t.x as isize - x as isize;
+            let dy = t.y as isize - y as isize;
+            dx * dx + dy * dy >= sep2
+        });
+        if !far_enough {
+            continue;
+        }
+        tracers.push(Tracer {
+            x,
+            y,
+            truth: flow.at(x, y),
+        });
+    }
+    tracers
+}
+
+/// The pixel coordinates of a tracer set (for [`FlowField::compare_at`]).
+pub fn tracer_points(tracers: &[Tracer]) -> Vec<(usize, usize)> {
+    tracers.iter().map(|t| (t.x, t.y)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloudy_scene() -> (Grid<f32>, FlowField) {
+        let intensity = Grid::from_fn(
+            64,
+            64,
+            |x, y| if (x / 8 + y / 8) % 2 == 0 { 0.9 } else { 0.1 },
+        );
+        let flow = FlowField::from_fn(64, 64, |x, _| Vec2::new(x as f32 * 0.01, 1.0));
+        (intensity, flow)
+    }
+
+    #[test]
+    fn respects_cloud_threshold() {
+        let (i, f) = cloudy_scene();
+        let t = pick_tracers(&i, &f, 32, 0.5, 4, 3, 7);
+        assert!(!t.is_empty());
+        for tr in &t {
+            assert!(
+                i.at(tr.x, tr.y) >= 0.5,
+                "tracer on clear sky at ({},{})",
+                tr.x,
+                tr.y
+            );
+        }
+    }
+
+    #[test]
+    fn respects_separation_and_margin() {
+        let (i, f) = cloudy_scene();
+        let t = pick_tracers(&i, &f, 20, 0.5, 8, 5, 7);
+        for (a_idx, a) in t.iter().enumerate() {
+            assert!(a.x >= 5 && a.x < 59 && a.y >= 5 && a.y < 59);
+            for b in &t[a_idx + 1..] {
+                let d2 =
+                    (a.x as isize - b.x as isize).pow(2) + (a.y as isize - b.y as isize).pow(2);
+                assert!(d2 >= 64, "tracers too close: {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn truth_comes_from_flow() {
+        let (i, f) = cloudy_scene();
+        let t = pick_tracers(&i, &f, 10, 0.5, 4, 3, 7);
+        for tr in &t {
+            assert_eq!(tr.truth, f.at(tr.x, tr.y));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (i, f) = cloudy_scene();
+        let a = pick_tracers(&i, &f, 32, 0.5, 4, 3, 42);
+        let b = pick_tracers(&i, &f, 32, 0.5, 4, 3, 42);
+        assert_eq!(a, b);
+        let c = pick_tracers(&i, &f, 32, 0.5, 4, 3, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_protocol_32_points() {
+        let (i, f) = cloudy_scene();
+        let t = pick_tracers(&i, &f, 32, 0.5, 4, 3, 1);
+        assert_eq!(t.len(), 32);
+        assert_eq!(tracer_points(&t).len(), 32);
+    }
+
+    #[test]
+    fn impossible_request_returns_fewer() {
+        // All-dark scene: nothing is cloudy.
+        let dark = Grid::filled(32, 32, 0.0f32);
+        let f = FlowField::zeros(32, 32);
+        let t = pick_tracers(&dark, &f, 32, 0.5, 4, 3, 1);
+        assert!(t.is_empty());
+        // Tiny scene with huge margin.
+        let (i, f) = cloudy_scene();
+        let t2 = pick_tracers(&i, &f, 32, 0.5, 4, 40, 1);
+        assert!(t2.is_empty());
+    }
+}

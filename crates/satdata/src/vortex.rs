@@ -1,0 +1,175 @@
+//! Rankine vortex flow — the hurricane wind model.
+//!
+//! A hurricane's horizontal wind field is classically modelled as a
+//! Rankine (combined) vortex: solid-body rotation inside the radius of
+//! maximum wind, decaying tangential speed outside, plus a radial inflow
+//! component that gives the characteristic spiral. This produces exactly
+//! the kind of non-rigid, locally-deforming cloud motion the SMA model
+//! targets: nearby patches rotate, shear and converge rather than
+//! translating rigidly.
+
+use sma_grid::{FlowField, Vec2};
+
+/// A Rankine vortex with spiral inflow.
+#[derive(Debug, Clone, Copy)]
+pub struct RankineVortex {
+    /// Vortex center x (pixels).
+    pub cx: f32,
+    /// Vortex center y (pixels).
+    pub cy: f32,
+    /// Maximum tangential speed (pixels per frame interval).
+    pub vmax: f32,
+    /// Radius of maximum wind (pixels).
+    pub rmax: f32,
+    /// Inflow fraction: radial speed = `inflow * tangential speed`,
+    /// directed toward the center (0 = pure rotation, ~0.2 typical).
+    pub inflow: f32,
+    /// Rotation sense: `+1.0` counter-clockwise (northern hemisphere on
+    /// image coordinates with y down appears clockwise), `-1.0` reversed.
+    pub sense: f32,
+}
+
+impl RankineVortex {
+    /// A hurricane-like default centered in a `w x h` frame: eye at the
+    /// center, `vmax` ~2.5 px/frame at ~1/6 of the frame width.
+    pub fn centered(w: usize, h: usize, vmax: f32) -> Self {
+        Self {
+            cx: w as f32 / 2.0,
+            cy: h as f32 / 2.0,
+            vmax,
+            rmax: w as f32 / 6.0,
+            inflow: 0.15,
+            sense: 1.0,
+        }
+    }
+
+    /// Tangential speed profile at radius `r` (Rankine):
+    /// `vmax * r / rmax` inside, `vmax * rmax / r` outside.
+    pub fn tangential_speed(&self, r: f32) -> f32 {
+        if r <= 0.0 {
+            0.0
+        } else if r <= self.rmax {
+            self.vmax * r / self.rmax
+        } else {
+            self.vmax * self.rmax / r
+        }
+    }
+
+    /// Velocity at a point (pixels per frame interval).
+    pub fn velocity(&self, x: f32, y: f32) -> Vec2 {
+        let dx = x - self.cx;
+        let dy = y - self.cy;
+        let r = (dx * dx + dy * dy).sqrt();
+        if r < 1e-6 {
+            return Vec2::ZERO;
+        }
+        let vt = self.tangential_speed(r) * self.sense;
+        // Unit tangential (perpendicular to radial) and unit inward radial.
+        let (tx, ty) = (-dy / r, dx / r);
+        let (rx, ry) = (-dx / r, -dy / r);
+        let vin = self.inflow * self.tangential_speed(r);
+        Vec2::new(vt * tx + vin * rx, vt * ty + vin * ry)
+    }
+
+    /// The dense flow field over a `w x h` frame.
+    pub fn flow_field(&self, w: usize, h: usize) -> FlowField {
+        FlowField::from_fn(w, h, |x, y| self.velocity(x as f32, y as f32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vortex() -> RankineVortex {
+        RankineVortex {
+            cx: 32.0,
+            cy: 32.0,
+            vmax: 3.0,
+            rmax: 10.0,
+            inflow: 0.0,
+            sense: 1.0,
+        }
+    }
+
+    #[test]
+    fn speed_peaks_at_rmax() {
+        let v = vortex();
+        assert!((v.tangential_speed(10.0) - 3.0).abs() < 1e-6);
+        assert!(v.tangential_speed(5.0) < 3.0);
+        assert!(v.tangential_speed(20.0) < 3.0);
+        assert_eq!(v.tangential_speed(0.0), 0.0);
+    }
+
+    #[test]
+    fn inner_profile_is_solid_body() {
+        let v = vortex();
+        // Solid body: speed proportional to radius.
+        assert!((v.tangential_speed(5.0) - 1.5).abs() < 1e-6);
+        assert!((v.tangential_speed(2.0) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outer_profile_decays_inversely() {
+        let v = vortex();
+        assert!((v.tangential_speed(20.0) - 1.5).abs() < 1e-6);
+        assert!((v.tangential_speed(30.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pure_rotation_is_perpendicular_to_radius() {
+        let v = vortex();
+        for &(x, y) in &[(40.0f32, 32.0f32), (32.0, 20.0), (25.0, 25.0)] {
+            let vel = v.velocity(x, y);
+            let radial = Vec2::new(x - 32.0, y - 32.0);
+            assert!(vel.dot(&radial).abs() < 1e-4, "not tangential at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn inflow_points_inward() {
+        let v = RankineVortex {
+            inflow: 0.5,
+            ..vortex()
+        };
+        let vel = v.velocity(42.0, 32.0); // 10 px right of center
+                                          // Radial component: dot with inward unit vector (-1, 0) > 0.
+        assert!(vel.u < 0.0, "inflow must move the point toward the eye");
+    }
+
+    #[test]
+    fn eye_is_calm() {
+        let v = vortex();
+        assert_eq!(v.velocity(32.0, 32.0), Vec2::ZERO);
+        let near = v.velocity(32.5, 32.0).magnitude();
+        assert!(near < 0.3);
+    }
+
+    #[test]
+    fn sense_reverses_rotation() {
+        let ccw = vortex();
+        let cw = RankineVortex {
+            sense: -1.0,
+            ..vortex()
+        };
+        let a = ccw.velocity(40.0, 32.0);
+        let b = cw.velocity(40.0, 32.0);
+        assert!((a.u + b.u).abs() < 1e-6);
+        assert!((a.v + b.v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_field_samples_velocity() {
+        let v = RankineVortex::centered(64, 64, 2.0);
+        let f = v.flow_field(64, 64);
+        assert_eq!(f.dims(), (64, 64));
+        let sample = f.at(48, 32);
+        let direct = v.velocity(48.0, 32.0);
+        assert!((sample.u - direct.u).abs() < 1e-6);
+        assert!((sample.v - direct.v).abs() < 1e-6);
+        // Max speed in the field is about vmax (plus inflow component).
+        let max_mag = f.magnitude_plane().min_max().1;
+        assert!(max_mag <= 2.0 * 1.2 + 1e-3);
+        assert!(max_mag > 1.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the synthetic scene generators: determinism,
+//! physical invariants of the flow models, advection conservation, and
+//! stereo-synthesis consistency.
+
+use proptest::prelude::*;
+use sma_grid::{BorderPolicy, FlowField, Grid, Vec2};
+use sma_satdata::advect::advect;
+use sma_satdata::convection::{ConvectiveCell, ThunderstormScene};
+use sma_satdata::stereo_synth::synthesize_stereo_pair;
+use sma_satdata::texture::{cloud_mask, cloud_texture, coverage, TextureParams};
+use sma_satdata::tracers::pick_tracers;
+use sma_satdata::{florida_thunderstorm_analog, hurricane_frederic_analog, RankineVortex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed => same scene; different seed => different scene.
+    #[test]
+    fn generators_deterministic(seed in 0u64..1000) {
+        let a = hurricane_frederic_analog(48, 2, seed);
+        let b = hurricane_frederic_analog(48, 2, seed);
+        prop_assert_eq!(&a.frames[1].intensity, &b.frames[1].intensity);
+        let c = hurricane_frederic_analog(48, 2, seed ^ 0xFFFF);
+        prop_assert!(a.frames[0].intensity != c.frames[0].intensity);
+    }
+
+    /// Rankine tangential speed is maximal exactly at rmax and decays on
+    /// both sides; velocity magnitude never exceeds vmax * (1 + inflow).
+    #[test]
+    fn rankine_speed_profile(
+        vmax in 0.5f32..5.0,
+        rmax in 4.0f32..20.0,
+        inflow in 0.0f32..0.5,
+        r in 0.1f32..60.0
+    ) {
+        let v = RankineVortex { cx: 0.0, cy: 0.0, vmax, rmax, inflow, sense: 1.0 };
+        let s = v.tangential_speed(r);
+        prop_assert!(s <= vmax + 1e-5);
+        prop_assert!(s >= 0.0);
+        let speed = v.velocity(r, 0.0).magnitude();
+        prop_assert!(speed <= vmax * (1.0 + inflow) + 1e-4);
+        // Monotone rise inside, decay outside.
+        if r < rmax {
+            prop_assert!(v.tangential_speed(r) <= v.tangential_speed(rmax) + 1e-6);
+        } else {
+            prop_assert!(v.tangential_speed(r) <= v.tangential_speed(rmax) + 1e-6);
+        }
+    }
+
+    /// The vortex flow field is divergence-free away from the eye when
+    /// inflow is zero (pure rotation): numerically check the discrete
+    /// divergence is small relative to the speed scale.
+    #[test]
+    fn pure_rotation_is_nearly_divergence_free(vmax in 1.0f32..3.0) {
+        let v = RankineVortex { cx: 24.0, cy: 24.0, vmax, rmax: 8.0, inflow: 0.0, sense: 1.0 };
+        let f = v.flow_field(48, 48);
+        for &(x, y) in &[(36usize, 24usize), (24, 10), (32, 32)] {
+            let dudx = (f.at(x + 1, y).u - f.at(x - 1, y).u) / 2.0;
+            let dvdy = (f.at(x, y + 1).v - f.at(x, y - 1).v) / 2.0;
+            prop_assert!((dudx + dvdy).abs() < 0.05 * vmax,
+                "divergence {} at ({x},{y})", dudx + dvdy);
+        }
+    }
+
+    /// Convective outflow has positive divergence at the core region.
+    #[test]
+    fn convection_diverges_at_core(outflow in 0.5f32..3.0, radius in 4.0f32..10.0) {
+        let c = ConvectiveCell { cx: 24.0, cy: 24.0, radius, outflow, amplitude: 0.5, growth: 1.0 };
+        let scene = ThunderstormScene { steering: Vec2::ZERO, cells: vec![c] };
+        let f = scene.flow_field(48, 48);
+        let (x, y) = (24usize, 24usize);
+        let dudx = (f.at(x + 1, y).u - f.at(x - 1, y).u) / 2.0;
+        let dvdy = (f.at(x, y + 1).v - f.at(x, y - 1).v) / 2.0;
+        prop_assert!(dudx + dvdy > 0.0, "core divergence {}", dudx + dvdy);
+    }
+
+    /// Advection by any flow preserves the value range (bilinear warp is
+    /// a convex combination).
+    #[test]
+    fn advection_preserves_range(seed in 0u64..300, u in -2.0f32..2.0, v in -2.0f32..2.0) {
+        let img = cloud_texture(32, 32, seed, TextureParams::default());
+        let flow = FlowField::uniform(32, 32, Vec2::new(u, v));
+        let out = advect(&img, &flow, BorderPolicy::Clamp);
+        let (lo, hi) = img.min_max();
+        let (olo, ohi) = out.min_max();
+        prop_assert!(olo >= lo - 1e-4 && ohi <= hi + 1e-4);
+    }
+
+    /// Stereo synthesis with zero gain gives identical views for any
+    /// height field; with positive gain the disparity is proportional to
+    /// height everywhere.
+    #[test]
+    fn stereo_gain_scaling(gain in 0.1f32..2.0, seed in 0u64..300) {
+        let tex = cloud_texture(24, 24, seed, TextureParams::default());
+        let height = cloud_texture(24, 24, seed ^ 1, TextureParams::default())
+            .map(|&t| t * 5.0);
+        let zero = synthesize_stereo_pair(&tex, &height, 0.0);
+        prop_assert!(zero.left.max_abs_diff(&zero.right) < 1e-6);
+        let pair = synthesize_stereo_pair(&tex, &height, gain);
+        for y in 0..24 {
+            for x in 0..24 {
+                prop_assert!((pair.true_disparity.at(x, y) - gain * height.at(x, y)).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// Tracers always respect threshold, margin and mutual separation.
+    #[test]
+    fn tracer_constraints(seed in 0u64..500, sep in 2usize..8, margin in 2usize..8) {
+        let seq = florida_thunderstorm_analog(48, 2, seed);
+        let t = pick_tracers(&seq.frames[0].intensity, &seq.truth_flows[0], 16, 0.4, sep, margin, seed);
+        for (i, a) in t.iter().enumerate() {
+            prop_assert!(a.x >= margin && a.x < 48 - margin);
+            prop_assert!(a.y >= margin && a.y < 48 - margin);
+            prop_assert!(seq.frames[0].intensity.at(a.x, a.y) >= 0.4);
+            for b in &t[i + 1..] {
+                let d2 = (a.x as isize - b.x as isize).pow(2) + (a.y as isize - b.y as isize).pow(2);
+                prop_assert!(d2 >= (sep * sep) as isize);
+            }
+        }
+    }
+
+    /// Mask coverage is monotone in the threshold.
+    #[test]
+    fn coverage_monotone_in_threshold(seed in 0u64..300) {
+        let tex = cloud_texture(40, 40, seed, TextureParams::default());
+        let mut prev = f32::INFINITY;
+        for t in [0.2f32, 0.4, 0.6, 0.8] {
+            let c = coverage(&cloud_mask(&tex, t, 0.1));
+            prop_assert!(c <= prev + 1e-6);
+            prev = c;
+        }
+    }
+
+    /// Sequence truth flows connect frames: advecting frame t by the
+    /// truth flow approximates frame t+1 (the generator's construction,
+    /// checked from the outside).
+    #[test]
+    fn truth_flow_connects_frames(seed in 0u64..100) {
+        let seq = hurricane_frederic_analog(48, 2, seed);
+        let predicted = advect(&seq.frames[0].intensity, &seq.truth_flows[0], BorderPolicy::Clamp);
+        let err = predicted.rms_diff(&seq.frames[1].intensity);
+        prop_assert!(err < 1e-5, "advection mismatch {err}");
+    }
+
+    /// Frame dimensions and counts are as requested.
+    #[test]
+    fn sequence_shape(frames in 2usize..6, size in 32usize..64) {
+        let seq = florida_thunderstorm_analog(size, frames, 3);
+        prop_assert_eq!(seq.len(), frames);
+        prop_assert_eq!(seq.truth_flows.len(), frames - 1);
+        prop_assert_eq!(seq.dims(), (size, size));
+        let g: &Grid<f32> = seq.surface(0);
+        prop_assert_eq!(g.dims(), (size, size));
+    }
+}

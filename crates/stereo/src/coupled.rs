@@ -1,0 +1,145 @@
+//! Coupled stereo and motion estimation (§6: "coupling stereo and motion
+//! estimation"; the paper cites Kambhamettu, Palaniappan & Hasler,
+//! "Coupled, multi-resolution stereo and motion analysis", ISCV 1995 as
+//! the fuller treatment).
+//!
+//! The idea: disparity at time `t+1` is not independent of disparity at
+//! `t` — cloud decks persist, so the motion-advected `d(t)` is a strong
+//! prior for `d(t+1)`. [`refine_disparity_with_motion`] fuses the two
+//! (confidence-weighted), and [`temporal_consistency`] measures how much
+//! a disparity sequence violates the motion prior — the quantity the
+//! coupling reduces.
+
+use sma_grid::warp::warp_by_flow;
+use sma_grid::{BorderPolicy, FlowField, Grid};
+
+/// Fuse an independently estimated disparity map at `t+1` with the
+/// motion-advected disparity from `t`:
+///
+/// ```text
+/// d_fused(q) = (1 - alpha) * d_t1(q) + alpha * d_t(q - flow)
+/// ```
+///
+/// `alpha` is the weight of the temporal prior (0 = pure per-frame
+/// stereo, 1 = pure advection). The advected prior is resampled with the
+/// same backward warp the scene generator uses, so a correct flow maps
+/// deck structure exactly.
+///
+/// # Panics
+/// Panics if shapes differ or `alpha` is outside `[0, 1]`.
+pub fn refine_disparity_with_motion(
+    d_t: &Grid<f32>,
+    d_t1: &Grid<f32>,
+    flow: &FlowField,
+    alpha: f32,
+) -> Grid<f32> {
+    assert_eq!(d_t.dims(), d_t1.dims(), "disparity shape mismatch");
+    assert_eq!(d_t.dims(), flow.dims(), "flow shape mismatch");
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    // warp_by_flow pulls d_t forward: predicted(q) = d_t(q - flow(q))
+    // requires inverting the flow; for the small per-frame motions of
+    // rapid-scan imagery, -flow is the standard first-order inverse.
+    let neg = FlowField::from_fn(flow.width(), flow.height(), |x, y| -flow.at(x, y));
+    let predicted = warp_by_flow(d_t, &neg, BorderPolicy::Clamp);
+    d_t1.zip_map(&predicted, |&indep, &prior| {
+        (1.0 - alpha) * indep + alpha * prior
+    })
+}
+
+/// Mean absolute temporal inconsistency of a disparity pair under a
+/// motion field: `mean |d_t1(q) - d_t(q - flow(q))|` over the interior.
+pub fn temporal_consistency(d_t: &Grid<f32>, d_t1: &Grid<f32>, flow: &FlowField) -> f32 {
+    assert_eq!(d_t.dims(), d_t1.dims(), "disparity shape mismatch");
+    let neg = FlowField::from_fn(flow.width(), flow.height(), |x, y| -flow.at(x, y));
+    let predicted = warp_by_flow(d_t, &neg, BorderPolicy::Clamp);
+    let (w, h) = d_t.dims();
+    let m = 4usize.min(w / 4).min(h / 4);
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for y in m..h - m {
+        for x in m..w - m {
+            sum += (d_t1.at(x, y) - predicted.at(x, y)).abs() as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (sum / n as f64) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_grid::Vec2;
+
+    fn deck(w: usize, h: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| {
+            ((x as f32 * 0.3).sin() + (y as f32 * 0.2).cos()) * 2.0 + 4.0
+        })
+    }
+
+    #[test]
+    fn alpha_zero_returns_independent_estimate() {
+        let d0 = deck(32, 32);
+        let d1 = d0.map(|v| v + 1.0);
+        let flow = FlowField::zeros(32, 32);
+        let fused = refine_disparity_with_motion(&d0, &d1, &flow, 0.0);
+        assert!(fused.max_abs_diff(&d1) < 1e-6);
+    }
+
+    #[test]
+    fn alpha_one_returns_advected_prior() {
+        let d0 = deck(32, 32);
+        let d1 = Grid::filled(32, 32, 0.0f32);
+        let flow = FlowField::zeros(32, 32);
+        let fused = refine_disparity_with_motion(&d0, &d1, &flow, 1.0);
+        assert!(fused.max_abs_diff(&d0) < 1e-6);
+    }
+
+    #[test]
+    fn coupling_denoises_stereo() {
+        // True disparity advects by (2, 0). The independent t+1 estimate
+        // is the truth plus deterministic noise; fusing with the advected
+        // t-map halves the error.
+        let d0 = deck(48, 48);
+        let flow = FlowField::uniform(48, 48, Vec2::new(2.0, 0.0));
+        let neg = FlowField::from_fn(48, 48, |x, y| -flow.at(x, y));
+        let d1_true = warp_by_flow(&d0, &neg, BorderPolicy::Clamp);
+        let noisy = Grid::from_fn(48, 48, |x, y| {
+            let n = if (x * 7 + y * 13) % 2 == 0 { 0.5 } else { -0.5 };
+            d1_true.at(x, y) + n
+        });
+        let fused = refine_disparity_with_motion(&d0, &noisy, &flow, 0.5);
+        let e_before = noisy.rms_diff(&d1_true);
+        let e_after = fused.rms_diff(&d1_true);
+        assert!(
+            e_after < 0.6 * e_before,
+            "fused {e_after} vs noisy {e_before}"
+        );
+    }
+
+    #[test]
+    fn consistency_metric_detects_wrong_flow() {
+        let d0 = deck(48, 48);
+        let flow = FlowField::uniform(48, 48, Vec2::new(2.0, 0.0));
+        let neg = FlowField::from_fn(48, 48, |x, y| -flow.at(x, y));
+        let d1 = warp_by_flow(&d0, &neg, BorderPolicy::Clamp);
+        let right = temporal_consistency(&d0, &d1, &flow);
+        let wrong =
+            temporal_consistency(&d0, &d1, &FlowField::uniform(48, 48, Vec2::new(-2.0, 0.0)));
+        assert!(right < 0.1, "consistent pair scores {right}");
+        assert!(
+            wrong > 3.0 * right,
+            "wrong flow must look inconsistent: {wrong} vs {right}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0, 1]")]
+    fn bad_alpha_rejected() {
+        let d = deck(8, 8);
+        let _ = refine_disparity_with_motion(&d, &d, &FlowField::zeros(8, 8), 1.5);
+    }
+}

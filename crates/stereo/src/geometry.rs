@@ -1,0 +1,130 @@
+//! Satellite viewing geometry: disparity to cloud-top height.
+//!
+//! "The estimated disparity or depth maps can be transformed into surface
+//! maps z(t) of cloud-top heights for time instant t using satellite and
+//! sensor geometry information" (§2.1). For two geostationary satellites
+//! whose sub-satellite points subtend a baseline angle `2*alpha` at the
+//! target, a cloud at height `h` above the surface shifts between the
+//! rectified views by approximately
+//!
+//! ```text
+//! d [pixels] = h * (tan(alpha_east) + tan(alpha_west)) / pixel_size
+//! ```
+//!
+//! — the classic stereo-parallax relation, linear in height for the
+//! near-nadir geometry of meteorological stereo. GOES-6/7 subtended
+//! "about 135 degrees with respect to the center of the Earth", an
+//! unusually large baseline that makes the parallax gain large and the
+//! height retrieval correspondingly sensitive.
+
+/// Viewing geometry of a rectified geostationary stereo pair.
+#[derive(Debug, Clone, Copy)]
+pub struct SatelliteGeometry {
+    /// Local viewing zenith angle of the east satellite at the target
+    /// (degrees).
+    pub east_zenith_deg: f32,
+    /// Local viewing zenith angle of the west satellite (degrees).
+    pub west_zenith_deg: f32,
+    /// Ground size of one pixel (km) at the analysis point. Frederic
+    /// pixels "span approximately 1 sq-km" at image center.
+    pub pixel_km: f32,
+}
+
+impl SatelliteGeometry {
+    /// The GOES-6/7 Hurricane Frederic configuration: a ~135 degree
+    /// baseline puts each satellite roughly 67.5 degrees from the
+    /// midpoint; the effective local zenith angles at the storm were
+    /// smaller — we use 45/45 as a representative symmetric geometry with
+    /// 1 km pixels.
+    pub fn goes_frederic() -> Self {
+        Self {
+            east_zenith_deg: 45.0,
+            west_zenith_deg: 45.0,
+            pixel_km: 1.0,
+        }
+    }
+
+    /// Disparity gain: pixels of parallax per km of cloud height.
+    ///
+    /// # Panics
+    /// Panics if either zenith angle is >= 90 degrees.
+    pub fn gain_px_per_km(&self) -> f32 {
+        assert!(
+            self.east_zenith_deg < 90.0 && self.west_zenith_deg < 90.0,
+            "zenith angles must be below the horizon"
+        );
+        (self.east_zenith_deg.to_radians().tan() + self.west_zenith_deg.to_radians().tan())
+            / self.pixel_km
+    }
+
+    /// Cloud height (km) from a disparity (pixels).
+    pub fn height_km(&self, disparity_px: f32) -> f32 {
+        disparity_px / self.gain_px_per_km()
+    }
+
+    /// Disparity (pixels) from a cloud height (km).
+    pub fn disparity_px(&self, height_km: f32) -> f32 {
+        height_km * self.gain_px_per_km()
+    }
+
+    /// Convert a whole disparity plane to heights.
+    pub fn height_map(&self, disparity: &sma_grid::Grid<f32>) -> sma_grid::Grid<f32> {
+        let g = self.gain_px_per_km();
+        disparity.map(|&d| d / g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_45_degree_gain() {
+        let g = SatelliteGeometry::goes_frederic();
+        // tan 45 + tan 45 = 2 px/km at 1 km pixels.
+        assert!((g.gain_px_per_km() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn height_disparity_round_trip() {
+        let g = SatelliteGeometry {
+            east_zenith_deg: 30.0,
+            west_zenith_deg: 50.0,
+            pixel_km: 4.0,
+        };
+        for h in [0.0f32, 2.0, 10.0, 16.5] {
+            let d = g.disparity_px(h);
+            assert!((g.height_km(d) - h).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn coarser_pixels_reduce_gain() {
+        // Frederic border pixels span ~4 sq-km: 4x coarser, 4x less gain.
+        let center = SatelliteGeometry::goes_frederic();
+        let border = SatelliteGeometry {
+            pixel_km: 2.0,
+            ..center
+        };
+        assert!((center.gain_px_per_km() / border.gain_px_per_km() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn height_map_scales_plane() {
+        let g = SatelliteGeometry::goes_frederic();
+        let disp = sma_grid::Grid::from_fn(4, 4, |x, _| x as f32);
+        let h = g.height_map(&disp);
+        assert!((h.at(2, 0) - 1.0).abs() < 1e-6); // 2 px / (2 px/km)
+    }
+
+    #[test]
+    #[should_panic(expected = "below the horizon")]
+    fn horizon_geometry_rejected() {
+        let g = SatelliteGeometry {
+            east_zenith_deg: 90.0,
+            west_zenith_deg: 45.0,
+            pixel_km: 1.0,
+        };
+        let _ = g.gain_px_per_km();
+    }
+}

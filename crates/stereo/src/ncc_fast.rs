@@ -1,0 +1,199 @@
+//! Integral-image fast path for NCC disparity search.
+//!
+//! [`crate::ncc::ncc_score`] re-reads every template pixel for every
+//! candidate disparity — `O(window^2)` per score. For a *fixed* search
+//! range the window statistics can be precomputed once with summed-area
+//! tables: per-view sums and squared sums, plus one cross-product table
+//! per candidate disparity. Each score then costs a handful of table
+//! lookups. Same spirit as the paper's §4.1 template-mapping precompute:
+//! hoist work shared by overlapping windows.
+//!
+//! Semantics note: the fast path computes statistics over *clipped*
+//! windows (border windows shrink), while the reference path clamps
+//! out-of-range pixels. Interior scores agree to floating-point
+//! round-off — asserted by tests — and the hierarchical matcher only
+//! trusts interior scores anyway.
+
+use sma_grid::{Grid, IntegralImage};
+
+/// Precomputed tables for NCC over a fixed disparity range.
+pub struct NccPrecomp {
+    left_sum: IntegralImage,
+    left_sq: IntegralImage,
+    right_sum: IntegralImage,
+    right_sq: IntegralImage,
+    /// `cross[k]` integrates `left(x, y) * right(x + d_min + k, y)`.
+    cross: Vec<IntegralImage>,
+    d_min: isize,
+    n: usize,
+    dims: (usize, usize),
+}
+
+impl NccPrecomp {
+    /// Build tables for disparities `d_min ..= d_max` with template
+    /// half-width `n`.
+    ///
+    /// # Panics
+    /// Panics if the views differ in shape or `d_min > d_max`.
+    pub fn build(
+        left: &Grid<f32>,
+        right: &Grid<f32>,
+        d_min: isize,
+        d_max: isize,
+        n: usize,
+    ) -> Self {
+        assert_eq!(left.dims(), right.dims(), "stereo pair shape mismatch");
+        assert!(d_min <= d_max, "empty disparity range");
+        let (w, h) = left.dims();
+        let cross = (d_min..=d_max)
+            .map(|d| {
+                let prod = Grid::from_fn(w, h, |x, y| {
+                    let sx = (x as isize + d).clamp(0, w as isize - 1) as usize;
+                    left.at(x, y) * right.at(sx, y)
+                });
+                IntegralImage::build(&prod)
+            })
+            .collect();
+        Self {
+            left_sum: IntegralImage::build(left),
+            left_sq: IntegralImage::build_squared(left),
+            right_sum: IntegralImage::build(right),
+            right_sq: IntegralImage::build_squared(right),
+            cross,
+            d_min,
+            n,
+            dims: (w, h),
+        }
+    }
+
+    /// The covered disparity range.
+    pub fn range(&self) -> (isize, isize) {
+        (self.d_min, self.d_min + self.cross.len() as isize - 1)
+    }
+
+    /// NCC score at `(x, y)` for disparity `d` in O(1). Valid for
+    /// interior pixels (full template in range on both views); returns
+    /// `None` if `d` is outside the precomputed range or the windows
+    /// would clip.
+    pub fn score(&self, x: usize, y: usize, d: isize) -> Option<f64> {
+        let (w, h) = self.dims;
+        let k = d.checked_sub(self.d_min)? as usize;
+        if k >= self.cross.len() {
+            return None;
+        }
+        let n = self.n;
+        // Interior check for both windows.
+        let xi = x as isize;
+        let right_x = xi + d;
+        if x < n || y < n || x + n >= w || y + n >= h {
+            return None;
+        }
+        if right_x - (n as isize) < 0 || right_x + n as isize >= w as isize {
+            return None;
+        }
+        let rx = right_x as usize;
+        let count = ((2 * n + 1) * (2 * n + 1)) as f64;
+        let sl = self.left_sum.window_sum(x, y, n);
+        let sr = self.right_sum.window_sum(rx, y, n);
+        let sll = self.left_sq.window_sum(x, y, n);
+        let srr = self.right_sq.window_sum(rx, y, n);
+        let slr = self.cross[k].window_sum(x, y, n);
+        let cov = slr - sl * sr / count;
+        let vl = sll - sl * sl / count;
+        let vr = srr - sr * sr / count;
+        if vl < 1e-8 || vr < 1e-8 {
+            return Some(0.0);
+        }
+        Some(cov / (vl * vr).sqrt())
+    }
+
+    /// Best disparity at `(x, y)` over the precomputed range (integer
+    /// only; no sub-pixel refinement). `None` if the pixel is too close
+    /// to the border for any candidate.
+    pub fn best(&self, x: usize, y: usize) -> Option<(isize, f64)> {
+        let (lo, hi) = self.range();
+        let mut out: Option<(isize, f64)> = None;
+        for d in lo..=hi {
+            if let Some(s) = self.score(x, y, d) {
+                if out.is_none_or(|(_, bs)| s > bs) {
+                    out = Some((d, s));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ncc::ncc_score;
+    use sma_grid::warp::translate;
+    use sma_grid::BorderPolicy;
+
+    fn textured(w: usize, h: usize) -> Grid<f32> {
+        let noise = Grid::from_fn(w, h, |x, y| {
+            let mut v = (x as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+            v ^= v >> 29;
+            v = v.wrapping_mul(0xBF58476D1CE4E5B9);
+            v ^= v >> 32;
+            (v % 1024) as f32 / 1024.0 * 8.0
+        });
+        sma_grid::filter::binomial_smooth(&noise, BorderPolicy::Reflect)
+    }
+
+    #[test]
+    fn fast_scores_match_reference_interior() {
+        let left = textured(48, 48);
+        let right = translate(&left, -3.0, 0.0, BorderPolicy::Clamp);
+        let pre = NccPrecomp::build(&left, &right, -5, 5, 3);
+        for &(x, y) in &[(20usize, 20usize), (24, 16), (30, 30)] {
+            for d in -5isize..=5 {
+                let fast = pre.score(x, y, d).expect("interior pixel");
+                let reference = ncc_score(&left, &right, x, y, d, 3);
+                // The product table is accumulated from f32 products, the
+                // reference in f64: agreement to ~1e-5 is the f32 floor.
+                assert!(
+                    (fast - reference).abs() < 1e-4,
+                    "({x},{y},{d}): fast {fast} vs ref {reference}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_best_finds_true_shift() {
+        let left = textured(48, 48);
+        let right = translate(&left, -4.0, 0.0, BorderPolicy::Clamp);
+        let pre = NccPrecomp::build(&left, &right, -6, 6, 3);
+        let (d, s) = pre.best(24, 24).unwrap();
+        assert_eq!(d, 4);
+        assert!(s > 0.9);
+    }
+
+    #[test]
+    fn border_and_out_of_range_return_none() {
+        let left = textured(32, 32);
+        let pre = NccPrecomp::build(&left, &left, -2, 2, 3);
+        assert!(pre.score(1, 16, 0).is_none(), "left border");
+        assert!(pre.score(16, 1, 0).is_none(), "top border");
+        assert!(pre.score(16, 16, 5).is_none(), "outside range");
+        assert!(pre.score(30, 16, 2).is_none(), "right window clips");
+        assert!(pre.score(16, 16, 0).is_some());
+    }
+
+    #[test]
+    fn textureless_scores_zero() {
+        let flat = Grid::filled(32, 32, 2.0f32);
+        let pre = NccPrecomp::build(&flat, &flat, -2, 2, 3);
+        assert_eq!(pre.score(16, 16, 0), Some(0.0));
+    }
+
+    #[test]
+    fn range_reported() {
+        let img = textured(16, 16);
+        let pre = NccPrecomp::build(&img, &img, -3, 7, 2);
+        assert_eq!(pre.range(), (-3, 7));
+    }
+}

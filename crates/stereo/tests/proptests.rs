@@ -1,0 +1,105 @@
+//! Property tests for the ASA substrate: NCC invariances, disparity
+//! search correctness on random shifts, geometry round-trips, coupled
+//! stereo-motion fusion bounds.
+
+use proptest::prelude::*;
+use sma_grid::warp::translate;
+use sma_grid::{BorderPolicy, FlowField, Grid, Vec2};
+use sma_stereo::coupled::refine_disparity_with_motion;
+use sma_stereo::geometry::SatelliteGeometry;
+use sma_stereo::ncc::{best_disparity, ncc_score};
+
+/// Aperiodic smooth texture (hash noise, smoothed).
+fn textured(w: usize, h: usize, seed: u64) -> Grid<f32> {
+    let noise = Grid::from_fn(w, h, |x, y| {
+        let mut v = (x as u64 ^ seed.rotate_left(7)).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+        v ^= v >> 29;
+        v = v.wrapping_mul(0xBF58476D1CE4E5B9);
+        v ^= v >> 32;
+        (v % 1024) as f32 / 1024.0 * 8.0
+    });
+    sma_grid::filter::binomial_smooth(&noise, BorderPolicy::Reflect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// NCC is bounded in [-1, 1] and exactly 1 against itself.
+    #[test]
+    fn ncc_bounds(seed in 0u64..500, d in -5isize..=5) {
+        let a = textured(32, 32, seed);
+        let b = textured(32, 32, seed ^ 99);
+        let s = ncc_score(&a, &b, 16, 16, d, 3);
+        prop_assert!((-1.0..=1.0).contains(&s), "score {s}");
+        let self_s = ncc_score(&a, &a, 16, 16, 0, 3);
+        prop_assert!((self_s - 1.0).abs() < 1e-9);
+    }
+
+    /// NCC is invariant to affine intensity transforms of either view.
+    #[test]
+    fn ncc_affine_invariance(
+        seed in 0u64..300, gain in 0.1f32..5.0, offset in -50.0f32..50.0
+    ) {
+        let a = textured(24, 24, seed);
+        let b = a.map(|&v| gain * v + offset);
+        let s = ncc_score(&a, &b, 12, 12, 0, 3);
+        prop_assert!((s - 1.0).abs() < 1e-5, "score {s}");
+    }
+
+    /// The 1-D search recovers any integer shift inside its range.
+    #[test]
+    fn search_recovers_integer_shift(seed in 0u64..200, d in -5isize..=5) {
+        let left = textured(48, 48, seed);
+        let right = translate(&left, -(d as f32), 0.0, BorderPolicy::Clamp);
+        let m = best_disparity(&left, &right, 24, 24, 0, 6, 3);
+        prop_assert!((m.disparity - d as f32).abs() < 0.35,
+            "found {} want {d}", m.disparity);
+        prop_assert!(m.score > 0.8);
+    }
+
+    /// Geometry disparity<->height round-trips for any valid geometry.
+    #[test]
+    fn geometry_roundtrip(
+        east in 5.0f32..80.0, west in 5.0f32..80.0,
+        px in 0.5f32..8.0, h in 0.0f32..20.0
+    ) {
+        let g = SatelliteGeometry { east_zenith_deg: east, west_zenith_deg: west, pixel_km: px };
+        let d = g.disparity_px(h);
+        prop_assert!((g.height_km(d) - h).abs() < 1e-3);
+        prop_assert!(g.gain_px_per_km() > 0.0);
+    }
+
+    /// Coupled fusion is a convex combination: the fused value always
+    /// lies between the independent estimate and the advected prior.
+    #[test]
+    fn coupled_fusion_convex(seed in 0u64..200, alpha in 0.0f32..1.0) {
+        let d0 = textured(24, 24, seed);
+        let d1 = textured(24, 24, seed ^ 7);
+        let flow = FlowField::uniform(24, 24, Vec2::new(1.0, 0.0));
+        let fused = refine_disparity_with_motion(&d0, &d1, &flow, alpha);
+        let neg = FlowField::from_fn(24, 24, |x, y| -flow.at(x, y));
+        let prior = sma_grid::warp::warp_by_flow(&d0, &neg, BorderPolicy::Clamp);
+        for y in 0..24 {
+            for x in 0..24 {
+                let lo = d1.at(x, y).min(prior.at(x, y)) - 1e-4;
+                let hi = d1.at(x, y).max(prior.at(x, y)) + 1e-4;
+                let v = fused.at(x, y);
+                prop_assert!(v >= lo && v <= hi, "non-convex at ({x},{y})");
+            }
+        }
+    }
+
+    /// The subpixel refinement never moves more than half a pixel from
+    /// the best integer disparity.
+    #[test]
+    fn subpixel_bounded(seed in 0u64..200, frac in -0.45f32..0.45) {
+        let left = textured(48, 48, seed);
+        let right = translate(&left, -(2.0 + frac), 0.0, BorderPolicy::Clamp);
+        let m = best_disparity(&left, &right, 24, 24, 0, 5, 3);
+        // True disparity 2 + frac in (1.55, 2.45): estimate within 0.5 of
+        // the nearest integer and within 0.5 of truth.
+        prop_assert!((m.disparity - (2.0 + frac)).abs() < 0.5,
+            "estimate {} truth {}", m.disparity, 2.0 + frac);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sma-surface
+//!
+//! Local differential geometry of digital surfaces — the geometric layer
+//! between raw `z(x, y)` (or intensity) grids and the SMA motion models.
+//!
+//! Paper §2.2 Step 2: "Each z(t_m) and z(t_{m+1}) pixel within the
+//! neighborhoods ... is fitted with a continuous quadratic surface patch
+//! centered at that pixel. Least squares surface fitting using a
+//! surface-patch neighborhood of (2Nz+1) x (2Nz+1) pixels centered around
+//! the pixel of interest leads to solving a 6 x 6 matrix using the
+//! Gaussian-elimination method. These quadratic surface patches are then
+//! used to compute the unit normals in the surface maps at each pixel."
+//!
+//! This crate implements:
+//!
+//! * [`QuadraticPatch`] — the 6-coefficient local model
+//!   `z = c_xx x^2 + c_yy y^2 + c_xy xy + c_x x + c_y y + c_0` and its
+//!   analytic derivatives;
+//! * [`fit`] — per-pixel least-squares patch fitting, both the faithful
+//!   Gaussian-elimination path and a precomputed-moment fast path (the
+//!   window moments are position-independent, an optimization the MP-2
+//!   implementation also exploits by batching);
+//! * [`geometry`] — per-pixel geometric variables: unit normal
+//!   `[n_i, n_j, n_k]`, first-fundamental-form coefficients
+//!   `E = 1 + z_x^2`, `G = 1 + z_y^2`, and the surface discriminant
+//!   `D = z_xx z_yy - z_xy^2` used by the semi-fluid template mapping
+//!   (eqs. 10–11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod geometry;
+pub mod quadratic;
+
+pub use fit::{fit_patch, fit_patch_ge, FitContext};
+pub use geometry::{GeomField, GeomVars};
+pub use quadratic::QuadraticPatch;

@@ -1,0 +1,214 @@
+//! The 6-coefficient quadratic surface patch.
+
+use sma_linalg::Vec3;
+
+/// A quadratic patch in pixel-local coordinates `(u, v)` centered on the
+/// pixel of interest:
+///
+/// ```text
+/// z(u, v) = c_xx u^2 + c_yy v^2 + c_xy u v + c_x u + c_y v + c_0
+/// ```
+///
+/// The six coefficients are exactly the unknowns of the paper's per-pixel
+/// 6 x 6 least-squares solve. All local differential quantities the SMA
+/// error functional needs fall out analytically at the patch center:
+/// gradient `(z_x, z_y) = (c_x, c_y)`, Hessian entries
+/// `z_xx = 2 c_xx`, `z_yy = 2 c_yy`, `z_xy = c_xy`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QuadraticPatch {
+    /// Coefficient of `u^2`.
+    pub cxx: f64,
+    /// Coefficient of `v^2`.
+    pub cyy: f64,
+    /// Coefficient of `u v`.
+    pub cxy: f64,
+    /// Coefficient of `u`.
+    pub cx: f64,
+    /// Coefficient of `v`.
+    pub cy: f64,
+    /// Constant term (patch height at the center pixel).
+    pub c0: f64,
+}
+
+impl QuadraticPatch {
+    /// Construct from the solver's coefficient vector in the fixed basis
+    /// order `[u^2, v^2, uv, u, v, 1]`.
+    pub fn from_coeffs(c: &[f64; 6]) -> Self {
+        Self {
+            cxx: c[0],
+            cyy: c[1],
+            cxy: c[2],
+            cx: c[3],
+            cy: c[4],
+            c0: c[5],
+        }
+    }
+
+    /// The coefficient vector in basis order `[u^2, v^2, uv, u, v, 1]`.
+    pub fn coeffs(&self) -> [f64; 6] {
+        [self.cxx, self.cyy, self.cxy, self.cx, self.cy, self.c0]
+    }
+
+    /// Evaluate the patch at local offset `(u, v)`.
+    #[inline]
+    pub fn eval(&self, u: f64, v: f64) -> f64 {
+        self.cxx * u * u + self.cyy * v * v + self.cxy * u * v + self.cx * u + self.cy * v + self.c0
+    }
+
+    /// First derivatives `(z_x, z_y)` at local offset `(u, v)`.
+    #[inline]
+    pub fn gradient_at(&self, u: f64, v: f64) -> (f64, f64) {
+        (
+            2.0 * self.cxx * u + self.cxy * v + self.cx,
+            2.0 * self.cyy * v + self.cxy * u + self.cy,
+        )
+    }
+
+    /// Gradient at the patch center: `(c_x, c_y)`.
+    #[inline]
+    pub fn gradient(&self) -> (f64, f64) {
+        (self.cx, self.cy)
+    }
+
+    /// Second derivatives `(z_xx, z_yy, z_xy)` (constant over the patch).
+    #[inline]
+    pub fn hessian(&self) -> (f64, f64, f64) {
+        (2.0 * self.cxx, 2.0 * self.cyy, self.cxy)
+    }
+
+    /// Unit surface normal `[n_i, n_j, n_k]` at the patch center.
+    #[inline]
+    pub fn unit_normal(&self) -> Vec3 {
+        Vec3::unit_normal_from_gradient(self.cx, self.cy)
+    }
+
+    /// First-fundamental-form coefficient `E = 1 + z_x^2` (paper's
+    /// `E = 1 + (dz/dx)^2`).
+    #[inline]
+    pub fn e_coeff(&self) -> f64 {
+        1.0 + self.cx * self.cx
+    }
+
+    /// First-fundamental-form coefficient `G = 1 + z_y^2`.
+    #[inline]
+    pub fn g_coeff(&self) -> f64 {
+        1.0 + self.cy * self.cy
+    }
+
+    /// Discriminant of the quadratic form, `D = z_xx z_yy - z_xy^2`
+    /// (4 c_xx c_yy - c_xy^2). This is the quantity the semi-fluid
+    /// template mapping matches before/after motion (eqs. 10–11): it
+    /// measures the local shape class (elliptic / parabolic / hyperbolic)
+    /// of the intensity surface and is invariant to translation and to
+    /// adding any linear ramp.
+    #[inline]
+    pub fn discriminant(&self) -> f64 {
+        let (zxx, zyy, zxy) = self.hessian();
+        zxx * zyy - zxy * zxy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patch() -> QuadraticPatch {
+        QuadraticPatch {
+            cxx: 0.5,
+            cyy: -0.25,
+            cxy: 0.1,
+            cx: 2.0,
+            cy: -1.0,
+            c0: 3.0,
+        }
+    }
+
+    #[test]
+    fn eval_matches_polynomial() {
+        let p = patch();
+        let (u, v) = (1.5, -2.0);
+        let expect = 0.5 * u * u - 0.25 * v * v + 0.1 * u * v + 2.0 * u - 1.0 * v + 3.0;
+        assert!((p.eval(u, v) - expect).abs() < 1e-12);
+        assert_eq!(p.eval(0.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn coeff_round_trip() {
+        let p = patch();
+        assert_eq!(QuadraticPatch::from_coeffs(&p.coeffs()), p);
+    }
+
+    #[test]
+    fn gradient_analytic_vs_numeric() {
+        let p = patch();
+        let h = 1e-6;
+        for &(u, v) in &[(0.0, 0.0), (1.0, 2.0), (-0.5, 0.7)] {
+            let (gx, gy) = p.gradient_at(u, v);
+            let nx = (p.eval(u + h, v) - p.eval(u - h, v)) / (2.0 * h);
+            let ny = (p.eval(u, v + h) - p.eval(u, v - h)) / (2.0 * h);
+            assert!((gx - nx).abs() < 1e-5);
+            assert!((gy - ny).abs() < 1e-5);
+        }
+        assert_eq!(p.gradient(), (2.0, -1.0));
+    }
+
+    #[test]
+    fn hessian_constant() {
+        let p = patch();
+        assert_eq!(p.hessian(), (1.0, -0.5, 0.1));
+    }
+
+    #[test]
+    fn fundamental_form_coefficients() {
+        let p = patch();
+        assert!((p.e_coeff() - 5.0).abs() < 1e-12); // 1 + 2^2
+        assert!((p.g_coeff() - 2.0).abs() < 1e-12); // 1 + 1^2
+    }
+
+    #[test]
+    fn discriminant_classifies_shape() {
+        // Bowl (elliptic): positive discriminant.
+        let bowl = QuadraticPatch {
+            cxx: 1.0,
+            cyy: 1.0,
+            ..Default::default()
+        };
+        assert!(bowl.discriminant() > 0.0);
+        // Saddle (hyperbolic): negative.
+        let saddle = QuadraticPatch {
+            cxx: 1.0,
+            cyy: -1.0,
+            ..Default::default()
+        };
+        assert!(saddle.discriminant() < 0.0);
+        // Cylinder (parabolic): zero.
+        let cyl = QuadraticPatch {
+            cxx: 1.0,
+            cyy: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(cyl.discriminant(), 0.0);
+    }
+
+    #[test]
+    fn discriminant_invariant_to_linear_ramp() {
+        let p = patch();
+        let ramped = QuadraticPatch {
+            cx: p.cx + 5.0,
+            cy: p.cy - 3.0,
+            c0: p.c0 + 10.0,
+            ..p
+        };
+        assert_eq!(p.discriminant(), ramped.discriminant());
+    }
+
+    #[test]
+    fn normal_of_flat_patch_is_up() {
+        let flat = QuadraticPatch {
+            c0: 7.0,
+            ..Default::default()
+        };
+        let n = flat.unit_normal();
+        assert!((n.k - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sma — Semi-Fluid Motion Analysis
+//!
+//! Facade crate for the reproduction of Palaniappan, Faisal, Kambhamettu
+//! & Hasler, *"Implementation of an Automatic Semi-Fluid Motion Analysis
+//! Algorithm on a Massively Parallel Computer"*, IPPS 1996.
+//!
+//! Re-exports the workspace crates under short names:
+//!
+//! * [`grid`] — 2-D containers, windows, pyramids, warping, flow fields;
+//! * [`linalg`] — small dense solvers (the paper's 6x6 Gaussian
+//!   elimination kernel);
+//! * [`surface`] — quadratic patch fitting, normals, fundamental forms,
+//!   discriminants;
+//! * [`stereo`] — the ASA coarse-to-fine stereo substrate;
+//! * [`satdata`] — synthetic GOES-like cloud scenes with ground truth;
+//! * [`maspar`] — the MasPar MP-2 SIMD machine simulator and cost model;
+//! * [`core`] — the SMA algorithm itself (continuous and semi-fluid
+//!   models, hypothesis search, drivers).
+//!
+//! See `examples/quickstart.rs` for a minimal end-to-end run.
+
+#![forbid(unsafe_code)]
+
+pub use maspar_sim as maspar;
+pub use sma_core as core;
+pub use sma_grid as grid;
+pub use sma_linalg as linalg;
+pub use sma_satdata as satdata;
+pub use sma_stereo as stereo;
+pub use sma_surface as surface;

@@ -1,0 +1,92 @@
+//! Machine-size independence: the SMA result must be identical on any
+//! PE-array shape — the data mapping changes which PE computes which
+//! pixel and what the communication costs, never the numbers. (The
+//! paper's algorithm is deterministic SIMD; this is the simulator-level
+//! statement of that.)
+
+use sma::core::maspar_driver::track_on_maspar;
+use sma::core::sequential::Region;
+use sma::core::{MotionModel, SmaConfig};
+use sma::maspar::machine::{MachineConfig, MasPar, ReadoutScheme};
+use sma::satdata::hurricane_luis_analog;
+
+fn run_on(nproc: usize, scheme: ReadoutScheme) -> sma::core::sequential::SmaResult {
+    let seq = hurricane_luis_analog(48, 2, 64);
+    let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
+    let mut machine = MasPar::new(MachineConfig {
+        nxproc: nproc,
+        nyproc: nproc,
+        ..MachineConfig::goddard_mp2()
+    });
+    track_on_maspar(
+        &mut machine,
+        &seq.frames[0].intensity,
+        &seq.frames[1].intensity,
+        seq.surface(0),
+        seq.surface(1),
+        &cfg,
+        Region::Interior {
+            margin: cfg.margin() + 4,
+        },
+        scheme,
+    )
+    .result
+}
+
+#[test]
+fn results_identical_across_pe_array_sizes() {
+    let small = run_on(4, ReadoutScheme::Raster);
+    let medium = run_on(8, ReadoutScheme::Raster);
+    let large = run_on(16, ReadoutScheme::Raster);
+    for (x, y) in small.region.pixels() {
+        let a = small.estimates.at(x, y);
+        assert_eq!(a, medium.estimates.at(x, y), "4 vs 8 PEs at ({x},{y})");
+        assert_eq!(a, large.estimates.at(x, y), "4 vs 16 PEs at ({x},{y})");
+    }
+}
+
+#[test]
+fn ledger_costs_depend_on_machine_but_results_do_not() {
+    let seq = hurricane_luis_analog(48, 2, 64);
+    let cfg = SmaConfig::small_test(MotionModel::Continuous);
+    let run = |nproc: usize| {
+        let mut machine = MasPar::new(MachineConfig {
+            nxproc: nproc,
+            nyproc: nproc,
+            ..MachineConfig::goddard_mp2()
+        });
+        let report = track_on_maspar(
+            &mut machine,
+            &seq.frames[0].intensity,
+            &seq.frames[1].intensity,
+            seq.surface(0),
+            seq.surface(1),
+            &cfg,
+            Region::Interior {
+                margin: cfg.margin() + 4,
+            },
+            ReadoutScheme::Raster,
+        );
+        (report, machine.total_seconds())
+    };
+    let (r4, _t4) = run(4);
+    let (r16, _t16) = run(16);
+    // Results equal.
+    for (x, y) in r4.result.region.pixels() {
+        assert_eq!(r4.result.estimates.at(x, y), r16.result.estimates.at(x, y));
+    }
+    // More PEs => fewer pixels per PE => fewer memory layers.
+    assert!(r4.layers > r16.layers, "{} vs {}", r4.layers, r16.layers);
+}
+
+#[test]
+fn all_three_readout_schemes_agree() {
+    let raster = run_on(8, ReadoutScheme::Raster);
+    let snake = run_on(8, ReadoutScheme::Snake);
+    let router = run_on(8, ReadoutScheme::Router);
+    for (x, y) in raster.region.pixels() {
+        let a = raster.estimates.at(x, y);
+        assert_eq!(a, snake.estimates.at(x, y), "snake differs at ({x},{y})");
+        assert_eq!(a, router.estimates.at(x, y), "router differs at ({x},{y})");
+    }
+}

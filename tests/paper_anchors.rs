@@ -1,0 +1,141 @@
+//! The paper's quantitative anchors, asserted through the public facade:
+//! table rows, memory example, speed-ups, operation counts. These are
+//! the claims EXPERIMENTS.md reports.
+
+use sma::core::timing::{paper, Mp2Rates, SgiRates, SmaWorkload};
+use sma::core::SmaConfig;
+use sma::maspar::cost::Mp2CostModel;
+use sma::maspar::mapping::{DataMapping, MappingKind};
+use sma::maspar::memory::{MemoryBudget, GODDARD_PE_MEMORY_BYTES};
+use sma::maspar::readout::scheme_op_estimate;
+
+#[test]
+fn table2_total_is_9_298_hours() {
+    let cfg = SmaConfig::hurricane_frederic();
+    let w = SmaWorkload::from_config(&cfg, 512, 512);
+    let total = Mp2Rates::default().breakdown(&w).total();
+    assert!((total - paper::TABLE2_TOTAL_S).abs() < 0.1);
+    assert!((total / 3600.0 - 9.298).abs() < 0.01);
+}
+
+#[test]
+fn table4_predicted_from_table2_calibration() {
+    let cfg = SmaConfig::goes9_florida();
+    let w = SmaWorkload::from_config(&cfg, 512, 512);
+    let total = Mp2Rates::default().breakdown(&w).total();
+    let rel = (total - paper::TABLE4_TOTAL_S).abs() / paper::TABLE4_TOTAL_S;
+    assert!(rel < 0.10, "Table 4 total off by {:.1}%", rel * 100.0);
+}
+
+#[test]
+fn headline_speedups() {
+    let mp2 = Mp2Rates::default();
+    let sgi = SgiRates::default();
+
+    let fred = SmaConfig::hurricane_frederic();
+    let wf = SmaWorkload::from_config(&fred, 512, 512);
+    let s_fred = sgi.seconds(&wf, fred.model) / mp2.breakdown(&wf).total();
+    assert!(
+        s_fred > 1000.0 && s_fred < 1100.0,
+        "Frederic speedup {s_fred} (paper 1025)"
+    );
+
+    let goes = SmaConfig::goes9_florida();
+    let wg = SmaWorkload::from_config(&goes, 512, 512);
+    let s_goes = sgi.seconds(&wg, goes.model) / mp2.breakdown(&wg).total();
+    assert!(
+        s_goes > 150.0 && s_goes < 230.0,
+        "GOES-9 speedup {s_goes} (paper 193)"
+    );
+
+    let luis = SmaConfig::hurricane_luis();
+    let wl = SmaWorkload::from_config(&luis, 512, 512);
+    let s_luis = sgi.seconds(&wl, luis.model) / mp2.breakdown(&wl).total();
+    assert!(s_luis > 100.0, "Luis speedup {s_luis} (paper: over 150)");
+
+    // Ordering shape: semi-fluid gains most, Luis least windows => least
+    // total work but similar gain class to GOES-9.
+    assert!(s_fred > s_goes);
+}
+
+#[test]
+fn memory_example_67_7_kb() {
+    // "a relatively small search area of 23 x 23 and with 16 pixel
+    // elements stored per PE would still require 67.7 KB per PE".
+    let b = MemoryBudget {
+        xvr: 4,
+        yvr: 4,
+        nzs: 11,
+        nst: 2,
+        nss: 1,
+        pe_memory_bytes: GODDARD_PE_MEMORY_BYTES,
+    };
+    assert_eq!(b.unsegmented_template_bytes(), 67_712); // 67.7 decimal KB
+    assert!(!b.unsegmented_fits());
+    assert!(b.num_segments().unwrap() > 1);
+}
+
+#[test]
+fn xnet_is_18x_router() {
+    // "So the X-net bandwidth is 18 times higher than router
+    // communication."
+    let m = Mp2CostModel::goddard_mp2();
+    let ratio = m.xnet_router_ratio();
+    assert!((ratio - 18.0).abs() < 0.4, "ratio {ratio}");
+}
+
+#[test]
+fn mapping_example_16_pixels_per_pe() {
+    // "to map a 512 x 512 image onto a 128 x 128 PE array would require
+    // storing 16 pixels per PE".
+    let m = DataMapping::new(MappingKind::Hierarchical, 512, 512, 128, 128);
+    assert_eq!(m.layers(), 16);
+}
+
+#[test]
+fn raster_readout_beats_snake_for_frederic_template() {
+    // §4.2's conclusion for the 121 x 121 z-template at 16 px/PE.
+    let (snake, raster) = scheme_op_estimate(60, 4, 4);
+    assert!(raster < snake, "raster {raster} must beat snake {snake}");
+}
+
+#[test]
+fn per_pixel_operation_counts() {
+    // §3's computational-burden paragraph, verbatim numbers.
+    let cfg = SmaConfig::hurricane_frederic();
+    assert_eq!(cfg.hypotheses_per_pixel(), 169);
+    assert_eq!(cfg.terms_per_hypothesis(), 14_641);
+    let w = SmaWorkload::from_config(&cfg, 512, 512);
+    assert_eq!(w.pixels, 262_144); // "dense motion field for 262144 pixels"
+    assert_eq!(w.surface_fit_ges, 1_048_576); // "4 x 512 x 512 = 1048576"
+}
+
+#[test]
+fn fig4_projection_consistency() {
+    // Projecting the Fig. 4 121x121 per-pixel time over the frame must
+    // land on the ~397-day §5.1 projection.
+    let cfg = SmaConfig::hurricane_frederic();
+    let days = SgiRates::default().per_pixel_seconds(&cfg, 60) * 512.0 * 512.0 / 86_400.0;
+    assert!(
+        (days - paper::FREDERIC_SEQUENTIAL_DAYS).abs() < 5.0,
+        "{days} days"
+    );
+}
+
+#[test]
+fn luis_490_frame_disk_traffic_is_negligible() {
+    // "The high throughput of MPDA was exploited in running the SMA
+    // algorithm on a dense sequence of 490 frames of GOES-9 data":
+    // 490 frames of f32 at 30 MB/s is seconds, vs hours of compute.
+    let m = Mp2CostModel::goddard_mp2();
+    let io = sma::maspar::cost::OpCounts {
+        disk_bytes: 490.0 * 512.0 * 512.0 * 4.0,
+        ..Default::default()
+    };
+    let io_s = m.seconds(&io);
+    let cfg = SmaConfig::hurricane_luis();
+    let w = SmaWorkload::from_config(&cfg, 512, 512);
+    let compute_s = Mp2Rates::default().breakdown(&w).total() * 489.0;
+    assert!(io_s < 60.0);
+    assert!(io_s / compute_s < 0.001);
+}

@@ -1,0 +1,180 @@
+//! Hot-path wall-clock report: exact kernels vs the integral-image fast
+//! path, emitted as `BENCH_hotpath.json` (plus a stdout table).
+//!
+//! The medium configuration is the acceptance scenario for the fast
+//! path: a 64 x 64 frame with a 21 x 21 template and 9 x 9 search,
+//! where the O(T^2) per-sample accumulation pays 441 multiply-add rows
+//! per hypothesis and the moment-plane path pays four corner lookups
+//! per moment.
+
+use sma_bench::shifted_frames;
+use sma_core::fastpath::{track_all_integral, track_all_integral_parallel};
+use sma_core::motion::SmaFrames;
+use sma_core::sequential::Region;
+use sma_core::{track_all_parallel, track_all_sequential, MotionModel, SmaConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Best-of-reps wall-clock seconds for one driver invocation.
+fn time_best(mut f: impl FnMut()) -> f64 {
+    // Warm-up run (page-in, allocator steady state).
+    f();
+    let mut best = f64::INFINITY;
+    let mut reps = 0usize;
+    let mut spent = 0.0f64;
+    while reps < 3 || (spent < 0.2 && reps < 50) {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        spent += dt;
+        reps += 1;
+    }
+    best
+}
+
+struct Scenario {
+    name: &'static str,
+    side: usize,
+    nzt: usize,
+    nzs: usize,
+}
+
+struct Row {
+    name: &'static str,
+    frame: usize,
+    template_side: usize,
+    search_side: usize,
+    exact_seq: f64,
+    exact_par: f64,
+    integral_seq: f64,
+    integral_par: f64,
+}
+
+fn run_scenario(s: &Scenario) -> Row {
+    let cfg = SmaConfig {
+        nzt: s.nzt,
+        nzs: s.nzs,
+        ..SmaConfig::small_test(MotionModel::Continuous)
+    };
+    let frames: SmaFrames = shifted_frames(s.side, s.side, 1.0, 0.0, &cfg);
+    let region = Region::Interior {
+        margin: cfg.margin(),
+    };
+    let exact_seq = time_best(|| {
+        black_box(track_all_sequential(black_box(&frames), &cfg, region));
+    });
+    let exact_par = time_best(|| {
+        black_box(track_all_parallel(black_box(&frames), &cfg, region));
+    });
+    let integral_seq = time_best(|| {
+        black_box(track_all_integral(black_box(&frames), &cfg, region));
+    });
+    let integral_par = time_best(|| {
+        black_box(track_all_integral_parallel(
+            black_box(&frames),
+            &cfg,
+            region,
+        ));
+    });
+    Row {
+        name: s.name,
+        frame: s.side,
+        template_side: 2 * s.nzt + 1,
+        search_side: 2 * s.nzs + 1,
+        exact_seq,
+        exact_par,
+        integral_seq,
+        integral_par,
+    }
+}
+
+fn main() {
+    let scenarios = [
+        Scenario {
+            name: "small_t7",
+            side: 40,
+            nzt: 3,
+            nzs: 2,
+        },
+        Scenario {
+            name: "medium_t21",
+            side: 64,
+            nzt: 10,
+            nzs: 4,
+        },
+    ];
+
+    println!("SMA hot path: exact kernels vs moment-plane integral images");
+    println!(
+        "  {:<12} {:>7} {:>9} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "scenario", "frame", "template", "exact_seq", "exact_par", "int_seq", "int_par", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let r = run_scenario(s);
+        let speedup = r.exact_par / r.integral_par;
+        println!(
+            "  {:<12} {:>4}^2 {:>6}^2 {:>11.4}s {:>11.4}s {:>11.4}s {:>11.4}s {:>8.1}x",
+            r.name,
+            r.frame,
+            r.template_side,
+            r.exact_seq,
+            r.exact_par,
+            r.integral_seq,
+            r.integral_par,
+            speedup
+        );
+        rows.push(r);
+    }
+
+    // Hand-formatted JSON (no serde in the workspace).
+    let mut json = String::from(
+        "{\n  \"bench\": \"hotpath\",\n  \"unit\": \"seconds\",\n  \"scenarios\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"frame\": {},\n",
+                "      \"template_side\": {},\n",
+                "      \"search_side\": {},\n",
+                "      \"exact_sequential\": {:.6},\n",
+                "      \"exact_parallel\": {:.6},\n",
+                "      \"integral_sequential\": {:.6},\n",
+                "      \"integral_parallel\": {:.6},\n",
+                "      \"speedup_integral_vs_exact_parallel\": {:.2},\n",
+                "      \"speedup_integral_vs_exact_sequential\": {:.2}\n",
+                "    }}{}\n"
+            ),
+            r.name,
+            r.frame,
+            r.template_side,
+            r.search_side,
+            r.exact_seq,
+            r.exact_par,
+            r.integral_seq,
+            r.integral_par,
+            r.exact_par / r.integral_par,
+            r.exact_seq / r.integral_seq,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("\nwrote BENCH_hotpath.json");
+
+    // Acceptance: the fast path must clear 10x on the medium scenario.
+    let medium = rows.iter().find(|r| r.name == "medium_t21").unwrap();
+    let speedup = medium.exact_par / medium.integral_par;
+    if speedup >= 10.0 {
+        println!("acceptance: medium_t21 integral vs exact (parallel) = {speedup:.1}x (>= 10x) OK");
+    } else {
+        println!(
+            "acceptance: medium_t21 integral vs exact (parallel) = {speedup:.1}x (< 10x) FAIL"
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,575 @@
+//! O(1)-per-hypothesis matching via moment-plane integral images.
+//!
+//! Step 2's normal equations are *sums over the template window* of
+//! per-template-pixel quantities. Writing the two weighted residual rows
+//! of `motion::solve_samples` out (coefficients in solver order
+//! `[a_i, b_i, a_j, b_j, a_k, b_k]`, with `ie = 1/E`, `ig = 1/G`):
+//!
+//! ```text
+//! r1 = ie * [-zx, 0, -zy, 0, 1, 0]     b1 = ie * (gx_obs - zx)
+//! r2 = ig * [0, -zx, 0, -zy, 0, 1]     b2 = ig * (gy_obs - zy)
+//! ```
+//!
+//! every entry of `A^T A`, `A^T b` and `b^T b` is a window sum of a
+//! product of *per-pixel planes*. Two structural facts make this an
+//! integral-image problem:
+//!
+//! 1. **`A^T A` is hypothesis-independent.** Its 12 structurally nonzero
+//!    entries involve only before-frame geometry (`zx`, `zy`, `ie`,
+//!    `ig`), so twelve *static* moment planes summed over the template
+//!    window give the full matrix for every hypothesis at once.
+//! 2. **`A^T b` and `b^T b` are linear/quadratic in the mapped
+//!    gradient.** Under one hypothesis offset the observed gradient
+//!    `(gx_obs, gy_obs)` of template pixel `p` depends only on `(p, o)`
+//!    (the §4.1 sharing observation), so eight *per-offset* moment
+//!    planes capture everything hypothesis-dependent.
+//!
+//! Build summed-area tables ([`MomentIntegral`]) over those planes and
+//! each tracked pixel's 6 x 6 system assembles from **four corner
+//! lookups per moment** — O(1) per hypothesis instead of O(T^2). The
+//! minimized error follows from the same moments via the least-squares
+//! identity `eps = theta^T A^T A theta - 2 theta^T A^T b + b^T b`.
+//!
+//! Pixels whose template window crosses the frame border fall back to
+//! the exact kernel ([`track_pixel`]): window clamping
+//! breaks the rectangular-sum identity there. Interior results agree
+//! with the exact kernels to floating-point association order (the
+//! equivalence suite pins displacements exactly and parameters/errors to
+//! 1e-6 relative).
+
+use rayon::prelude::*;
+use sma_grid::{Grid, MomentIntegral, Vec2};
+
+use crate::affine::LocalAffine;
+use crate::config::SmaConfig;
+use crate::motion::{refined_displacement, surface_delta, track_pixel, MotionEstimate, SmaFrames};
+use crate::precompute::mapped_gradient;
+use crate::sequential::{Region, SmaResult};
+use sma_linalg::gauss::solve6;
+
+/// Number of static moment channels (the 12 nonzero `A^T A` entries).
+pub const STATIC_CHANNELS: usize = 12;
+/// Number of per-offset moment channels (6 for `A^T b`, 2 for `b^T b`).
+pub const OFFSET_CHANNELS: usize = 8;
+
+/// The hypothesis-independent moment store: one summed-area table over
+/// the twelve static channels, plus the six raw per-pixel factors the
+/// per-offset planes are products of (so offset-plane construction costs
+/// two multiplies per channel, no geometry re-fetch).
+struct StaticMoments {
+    /// SAT over `S0..S11` (see [`static_channels`]).
+    sat: MomentIntegral<STATIC_CHANNELS>,
+    /// Per-pixel raw factors `[zx*ie^2, zy*ie^2, ie^2, zx*ig^2, zy*ig^2,
+    /// ig^2]` feeding the offset channels.
+    factors: Grid<[f64; 6]>,
+}
+
+/// The twelve static channels of one pixel, from before-frame geometry:
+///
+/// ```text
+/// S0 = zx^2 ie^2   S1 = zx zy ie^2   S2 = zx ie^2
+/// S3 = zy^2 ie^2   S4 = zy ie^2      S5 = ie^2
+/// S6 = zx^2 ig^2   S7 = zx zy ig^2   S8 = zx ig^2
+/// S9 = zy^2 ig^2   S10 = zy ig^2     S11 = ig^2
+/// ```
+fn static_channels(factors: &[f64; 6], zx: f64, zy: f64) -> [f64; STATIC_CHANNELS] {
+    let [zx_e2, zy_e2, ie2, zx_g2, zy_g2, ig2] = *factors;
+    [
+        zx * zx_e2,
+        zy * zx_e2,
+        zx_e2,
+        zy * zy_e2,
+        zy_e2,
+        ie2,
+        zx * zx_g2,
+        zy * zx_g2,
+        zx_g2,
+        zy * zy_g2,
+        zy_g2,
+        ig2,
+    ]
+}
+
+impl StaticMoments {
+    fn compute(frames: &SmaFrames) -> Self {
+        let (w, h) = frames.dims();
+        let factors = Grid::from_fn(w, h, |x, y| {
+            let g = frames.geo_before.at(x, y);
+            let ie2 = (1.0 / g.e) * (1.0 / g.e);
+            let ig2 = (1.0 / g.g) * (1.0 / g.g);
+            [g.zx * ie2, g.zy * ie2, ie2, g.zx * ig2, g.zy * ig2, ig2]
+        });
+        let sat = MomentIntegral::from_fn(w, h, |x, y| {
+            let g = frames.geo_before.at(x, y);
+            static_channels(&factors.at(x, y), g.zx, g.zy)
+        });
+        Self { sat, factors }
+    }
+}
+
+/// Build the per-offset moment SAT for hypothesis offset `(ox, oy)`.
+/// Channels, with `(gx, gy)` the mapped observed gradient:
+///
+/// ```text
+/// T0 = zx ie^2 gx   T1 = zy ie^2 gx   T2 = ie^2 gx
+/// T3 = zx ig^2 gy   T4 = zy ig^2 gy   T5 = ig^2 gy
+/// T6 = ie^2 gx^2    T7 = ig^2 gy^2
+/// ```
+fn offset_moments(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    stat: &StaticMoments,
+    ox: isize,
+    oy: isize,
+) -> MomentIntegral<OFFSET_CHANNELS> {
+    let (w, h) = frames.dims();
+    MomentIntegral::from_fn(w, h, |x, y| {
+        let (gx, gy) = mapped_gradient(frames, cfg, x as isize, y as isize, ox, oy);
+        let [zx_e2, zy_e2, ie2, zx_g2, zy_g2, ig2] = stat.factors.at(x, y);
+        [
+            zx_e2 * gx,
+            zy_e2 * gx,
+            ie2 * gx,
+            zx_g2 * gy,
+            zy_g2 * gy,
+            ig2 * gy,
+            ie2 * gx * gx,
+            ig2 * gy * gy,
+        ]
+    })
+}
+
+/// Assemble and solve one pixel's normal equations from its summed
+/// static and offset moments; returns the parameter vector and the
+/// minimized error, or `None` when the system is singular (degenerate,
+/// textureless neighborhood — matching the exact kernel's outcome).
+fn solve_moments(
+    s: &[f64; STATIC_CHANNELS],
+    t: &[f64; OFFSET_CHANNELS],
+) -> Option<([f64; 6], f64)> {
+    let mut ata = [0.0f64; 36];
+    ata[0] = s[0]; //   (ai, ai)
+    ata[2] = s[1]; //   (ai, aj)
+    ata[4] = -s[2]; //  (ai, ak)
+    ata[14] = s[3]; //  (aj, aj)
+    ata[16] = -s[4]; // (aj, ak)
+    ata[28] = s[5]; //  (ak, ak)
+    ata[7] = s[6]; //   (bi, bi)
+    ata[9] = s[7]; //   (bi, bj)
+    ata[11] = -s[8]; // (bi, bk)
+    ata[21] = s[9]; //  (bj, bj)
+    ata[23] = -s[10]; //(bj, bk)
+    ata[35] = s[11]; // (bk, bk)
+    for i in 0..6 {
+        for j in (i + 1)..6 {
+            ata[j * 6 + i] = ata[i * 6 + j];
+        }
+    }
+    let atb = [
+        s[0] - t[0],
+        s[7] - t[3],
+        s[1] - t[1],
+        s[9] - t[4],
+        t[2] - s[2],
+        t[5] - s[10],
+    ];
+    let btb = (t[6] - 2.0 * t[0] + s[0]) + (t[7] - 2.0 * t[4] + s[9]);
+
+    let mut m = ata;
+    let mut sol = atb;
+    solve6(&mut m, &mut sol).ok()?;
+
+    // eps = theta^T A^T A theta - 2 theta^T A^T b + b^T b; clamp the
+    // cancellation noise floor at zero (the true minimum is >= 0).
+    let mut quad = 0.0f64;
+    for i in 0..6 {
+        let mut row = 0.0f64;
+        for j in 0..6 {
+            row += ata[i * 6 + j] * sol[j];
+        }
+        quad += sol[i] * (row - 2.0 * atb[i]);
+    }
+    Some((sol, (quad + btb).max(0.0)))
+}
+
+/// Track every pixel of `region` with the integral-image fast path,
+/// sequentially. Interior pixels (template window fully inside the
+/// frame) use the O(1)-per-hypothesis moment lookups; border pixels fall
+/// back to the exact kernel.
+///
+/// # Panics
+/// Panics if the region is empty for the frame size.
+pub fn track_all_integral(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -> SmaResult {
+    track_integral_impl(frames, cfg, region, 2 * cfg.nzs + 1, false)
+}
+
+/// [`track_all_integral`] with host parallelism (Rayon) over offset
+/// planes and pixel rows. Result-identical to the sequential fast path.
+///
+/// # Panics
+/// Panics if the region is empty for the frame size.
+pub fn track_all_integral_parallel(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    region: Region,
+) -> SmaResult {
+    track_integral_impl(frames, cfg, region, 2 * cfg.nzs + 1, true)
+}
+
+/// The segmented fast path: like [`crate::precompute::track_all_segmented`],
+/// hypothesis rows are processed `z_rows` at a time so only that
+/// segment's offset moment planes are resident; each segment is built,
+/// consumed and discarded, and the running best survives across
+/// segments. See `maspar_sim::memory` for the PE-side accounting of the
+/// moment-plane store.
+///
+/// # Panics
+/// Panics if `z_rows == 0` or the region is empty.
+pub fn track_all_integral_segmented(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    region: Region,
+    z_rows: usize,
+) -> SmaResult {
+    assert!(
+        z_rows > 0,
+        "segment must contain at least one hypothesis row"
+    );
+    track_integral_impl(frames, cfg, region, z_rows, true)
+}
+
+fn track_integral_impl(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    region: Region,
+    z_rows: usize,
+    parallel: bool,
+) -> SmaResult {
+    let (w, h) = frames.dims();
+    let bounds = region.bounds(w, h).expect("empty tracking region");
+    let ns = cfg.nzs as isize;
+    let nt = cfg.nzt;
+    let template = cfg.template_window();
+
+    let mut best: Grid<MotionEstimate> = Grid::filled(w, h, MotionEstimate::invalid());
+
+    // Border pixels: the template window crosses the frame edge, so the
+    // rectangular-sum identity does not hold — use the exact kernel.
+    let border: Vec<(usize, usize)> = bounds
+        .pixels()
+        .filter(|&(x, y)| !template.fits_at(x, y, w, h))
+        .collect();
+    if parallel {
+        let tracked: Vec<((usize, usize), MotionEstimate)> = border
+            .par_iter()
+            .map(|&(x, y)| ((x, y), track_pixel(frames, cfg, x, y)))
+            .collect();
+        for ((x, y), est) in tracked {
+            best.set(x, y, est);
+        }
+    } else {
+        for &(x, y) in &border {
+            best.set(x, y, track_pixel(frames, cfg, x, y));
+        }
+    }
+
+    let interior: Vec<(usize, usize)> = bounds
+        .pixels()
+        .filter(|&(x, y)| template.fits_at(x, y, w, h))
+        .collect();
+    if interior.is_empty() {
+        return SmaResult {
+            estimates: best,
+            region: bounds,
+        };
+    }
+
+    let stat = StaticMoments::compute(frames);
+
+    // Segment loop over hypothesis rows (z_rows = full search height for
+    // the unsegmented drivers: a single segment).
+    let mut row0 = -ns;
+    while row0 <= ns {
+        let row1 = (row0 + z_rows as isize - 1).min(ns);
+        let offsets: Vec<(isize, isize)> = (row0..=row1)
+            .flat_map(|oy| (-ns..=ns).map(move |ox| (ox, oy)))
+            .collect();
+        let planes: Vec<MomentIntegral<OFFSET_CHANNELS>> = if parallel {
+            offsets
+                .par_iter()
+                .map(|&(ox, oy)| offset_moments(frames, cfg, &stat, ox, oy))
+                .collect()
+        } else {
+            offsets
+                .iter()
+                .map(|&(ox, oy)| offset_moments(frames, cfg, &stat, ox, oy))
+                .collect()
+        };
+
+        let evaluate = |x: usize, y: usize, running: MotionEstimate| -> MotionEstimate {
+            let mut local_best = running;
+            let s = stat.sat.window_sum(x, y, nt);
+            for (oi, &(ox, oy)) in offsets.iter().enumerate() {
+                let t = planes[oi].window_sum(x, y, nt);
+                if let Some((params, error)) = solve_moments(&s, &t) {
+                    if error < local_best.error {
+                        let (rx, ry) = refined_displacement(frames, cfg, x, y, ox, oy);
+                        let z0 = surface_delta(frames, x, y, rx, ry);
+                        local_best = MotionEstimate {
+                            displacement: Vec2::new(rx as f32, ry as f32),
+                            affine: LocalAffine::from_params(&params, rx as f64, ry as f64, z0),
+                            error,
+                            valid: true,
+                        };
+                    }
+                }
+            }
+            local_best
+        };
+
+        if parallel {
+            let updated: Vec<((usize, usize), MotionEstimate)> = interior
+                .par_iter()
+                .map(|&(x, y)| ((x, y), evaluate(x, y, best.at(x, y))))
+                .collect();
+            for ((x, y), est) in updated {
+                best.set(x, y, est);
+            }
+        } else {
+            for &(x, y) in &interior {
+                let est = evaluate(x, y, best.at(x, y));
+                best.set(x, y, est);
+            }
+        }
+        // Segment's offset planes dropped here, exactly as on the PE.
+        row0 = row1 + 1;
+    }
+
+    SmaResult {
+        estimates: best,
+        region: bounds,
+    }
+}
+
+/// Host-side bytes of one segment of the fast path's moment-plane store
+/// (`z_rows` hypothesis rows of per-offset planes, 8 f64 channels per
+/// pixel) plus the resident static store (12 f64 channels + 6 factor
+/// floats per pixel), for diagnostics alongside
+/// [`crate::precompute::segment_bytes`].
+pub fn moment_segment_bytes(frames: &SmaFrames, cfg: &SmaConfig, z_rows: usize) -> usize {
+    let (w, h) = frames.dims();
+    let per_offset = OFFSET_CHANNELS * 8;
+    let stat = (STATIC_CHANNELS + 6) * 8;
+    let offsets = z_rows * (2 * cfg.nzs + 1);
+    (offsets * per_offset + stat) * w * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MotionModel;
+    use crate::motion::{evaluate_hypothesis, TemplateSample};
+    use crate::sequential::track_all_sequential;
+    use sma_grid::warp::translate;
+    use sma_grid::BorderPolicy;
+
+    fn wavy(w: usize, h: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| {
+            let (xf, yf) = (x as f32, y as f32);
+            (xf * 0.45).sin() * 2.0 + (yf * 0.35).cos() * 1.5 + (xf * 0.12 + yf * 0.21).sin() * 3.0
+        })
+    }
+
+    fn frames_for_shift(dx: f32, dy: f32, cfg: &SmaConfig) -> SmaFrames {
+        let before = wavy(30, 30);
+        let after = translate(&before, -dx, -dy, BorderPolicy::Clamp);
+        SmaFrames::prepare(&before, &after, &before, &after, cfg)
+    }
+
+    /// The moment assembly must reproduce the sample-loop normal
+    /// equations: same solution and error (up to association order) for
+    /// a single interior pixel and hypothesis.
+    #[test]
+    fn moments_match_sample_accumulation() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let f = frames_for_shift(1.0, 0.0, &cfg);
+        let stat = StaticMoments::compute(&f);
+        let (x, y) = (15usize, 14usize);
+        for (ox, oy) in [(0isize, 0isize), (1, 0), (-2, 2)] {
+            let t = offset_moments(&f, &cfg, &stat, ox, oy);
+            let (params, error) = solve_moments(
+                &stat.sat.window_sum(x, y, cfg.nzt),
+                &t.window_sum(x, y, cfg.nzt),
+            )
+            .expect("solvable");
+            let (affine, exact_error) = evaluate_hypothesis(&f, &cfg, x, y, ox, oy).unwrap();
+            let exact = affine.params();
+            for k in 0..6 {
+                assert!(
+                    (params[k] - exact[k]).abs() <= 1e-9 + 1e-6 * exact[k].abs(),
+                    "param {k}: {} vs {}",
+                    params[k],
+                    exact[k]
+                );
+            }
+            assert!(
+                (error - exact_error).abs() <= 1e-9 + 1e-6 * exact_error.abs(),
+                "error {error} vs {exact_error} at offset ({ox},{oy})"
+            );
+        }
+    }
+
+    /// The static channel factorization against a direct per-sample
+    /// computation of the A^T A entries.
+    #[test]
+    fn static_channels_are_ata_entries() {
+        let s = TemplateSample {
+            zx: 0.7,
+            zy: -0.3,
+            inv_e: 0.9,
+            inv_g: 0.8,
+            gx_obs: 0.5,
+            gy_obs: 0.1,
+        };
+        let factors = [
+            s.zx * s.inv_e * s.inv_e,
+            s.zy * s.inv_e * s.inv_e,
+            s.inv_e * s.inv_e,
+            s.zx * s.inv_g * s.inv_g,
+            s.zy * s.inv_g * s.inv_g,
+            s.inv_g * s.inv_g,
+        ];
+        let ch = static_channels(&factors, s.zx, s.zy);
+        let r1 = [-s.zx * s.inv_e, 0.0, -s.zy * s.inv_e, 0.0, s.inv_e, 0.0];
+        let r2 = [0.0, -s.zx * s.inv_g, 0.0, -s.zy * s.inv_g, 0.0, s.inv_g];
+        let entry = |i: usize, j: usize| r1[i] * r1[j] + r2[i] * r2[j];
+        let expected = [
+            entry(0, 0),
+            entry(0, 2),
+            -entry(0, 4),
+            entry(2, 2),
+            -entry(2, 4),
+            entry(4, 4),
+            entry(1, 1),
+            entry(1, 3),
+            -entry(1, 5),
+            entry(3, 3),
+            -entry(3, 5),
+            entry(5, 5),
+        ];
+        for k in 0..12 {
+            assert!((ch[k] - expected[k]).abs() < 1e-12, "channel {k}");
+        }
+    }
+
+    #[test]
+    fn integral_drivers_agree_with_each_other() {
+        let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
+        let f = frames_for_shift(1.0, 1.0, &cfg);
+        let region = Region::Interior { margin: 10 };
+        let seq = track_all_integral(&f, &cfg, region);
+        let par = track_all_integral_parallel(&f, &cfg, region);
+        let seg = track_all_integral_segmented(&f, &cfg, region, 2);
+        for (x, y) in seq.region.pixels() {
+            assert_eq!(
+                seq.estimates.at(x, y),
+                par.estimates.at(x, y),
+                "par ({x},{y})"
+            );
+            assert_eq!(
+                seq.estimates.at(x, y),
+                seg.estimates.at(x, y),
+                "seg ({x},{y})"
+            );
+        }
+    }
+
+    #[test]
+    fn fastpath_tracks_known_shift() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let f = frames_for_shift(2.0, -1.0, &cfg);
+        let r = track_all_integral(&f, &cfg, Region::Interior { margin: 10 });
+        for (x, y) in r.region.pixels() {
+            let e = r.estimates.at(x, y);
+            assert!(e.valid, "({x},{y})");
+            assert_eq!(e.displacement, Vec2::new(2.0, -1.0), "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn fastpath_matches_sequential_displacements() {
+        for model in [MotionModel::Continuous, MotionModel::SemiFluid] {
+            let cfg = SmaConfig::small_test(model);
+            let f = frames_for_shift(1.0, 1.0, &cfg);
+            let region = Region::Interior { margin: 10 };
+            let exact = track_all_sequential(&f, &cfg, region);
+            let fast = track_all_integral(&f, &cfg, region);
+            for (x, y) in exact.region.pixels() {
+                let a = exact.estimates.at(x, y);
+                let b = fast.estimates.at(x, y);
+                assert_eq!(a.valid, b.valid, "({x},{y})");
+                assert_eq!(a.displacement, b.displacement, "({x},{y})");
+                assert!(
+                    (a.error - b.error).abs() <= 1e-9 + 1e-6 * a.error.abs(),
+                    "error at ({x},{y}): {} vs {}",
+                    a.error,
+                    b.error
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn border_pixels_fall_back_to_exact_kernel() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let f = frames_for_shift(1.0, 0.0, &cfg);
+        let exact = track_all_sequential(&f, &cfg, Region::Full);
+        let fast = track_all_integral(&f, &cfg, Region::Full);
+        let (w, h) = f.dims();
+        let template = cfg.template_window();
+        let mut checked = 0usize;
+        for (x, y) in exact.region.pixels() {
+            if !template.fits_at(x, y, w, h) {
+                assert_eq!(
+                    exact.estimates.at(x, y),
+                    fast.estimates.at(x, y),
+                    "({x},{y})"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "test must exercise border pixels");
+    }
+
+    #[test]
+    fn flat_surface_untrackable_in_fastpath() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let flat = Grid::filled(30, 30, 1.0f32);
+        let f = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg);
+        let r = track_all_integral(&f, &cfg, Region::Interior { margin: 10 });
+        for (x, y) in r.region.pixels() {
+            assert!(!r.estimates.at(x, y).valid, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn moment_store_accounting() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let f = frames_for_shift(0.0, 0.0, &cfg);
+        let one = moment_segment_bytes(&f, &cfg, 1);
+        let all = moment_segment_bytes(&f, &cfg, 5);
+        // 5-wide search: one row is 5 offsets * 64 B + 144 B static.
+        assert_eq!(one, (5 * 64 + 18 * 8) * 30 * 30);
+        // Static store is resident across segments: totals differ by
+        // exactly the extra offset rows.
+        assert_eq!(all - one, 4 * 5 * 64 * 30 * 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hypothesis row")]
+    fn zero_segment_rejected() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let f = frames_for_shift(0.0, 0.0, &cfg);
+        let _ = track_all_integral_segmented(&f, &cfg, Region::Interior { margin: 10 }, 0);
+    }
+}

@@ -40,6 +40,9 @@
 //! * [`precompute`] — §4.1's shared template-mapping precomputation with
 //!   the extended-window sliding minimization, and §4.3's segmentation
 //!   by hypothesis rows;
+//! * [`fastpath`] — O(1)-per-hypothesis matching: the normal equations
+//!   factor into moment planes whose summed-area tables answer every
+//!   tracked pixel's template sums in four corner lookups per moment;
 //! * [`timing`] — the calibrated workload/rate model that regenerates
 //!   the paper's Tables 2 and 4, Fig. 4 and the speed-up headlines.
 
@@ -50,6 +53,7 @@ pub mod affine;
 pub mod analysis;
 pub mod config;
 pub mod ext;
+pub mod fastpath;
 pub mod maspar_driver;
 pub mod motion;
 pub mod parallel;
@@ -60,6 +64,7 @@ pub mod timing;
 
 pub use affine::LocalAffine;
 pub use config::{MotionModel, SmaConfig};
+pub use fastpath::{track_all_integral, track_all_integral_parallel, track_all_integral_segmented};
 pub use motion::{MotionEstimate, SmaFrames};
 pub use parallel::track_all_parallel;
 pub use sequential::track_all_sequential;

@@ -209,9 +209,25 @@ pub fn evaluate_hypothesis(
     ox: isize,
     oy: isize,
 ) -> Option<(LocalAffine, f64)> {
+    let mut samples: Vec<TemplateSample> = Vec::with_capacity(cfg.template_window().area());
+    evaluate_hypothesis_into(frames, cfg, x, y, ox, oy, &mut samples)
+}
+
+/// [`evaluate_hypothesis`] writing into a caller-provided scratch buffer,
+/// so a hypothesis loop reuses one allocation instead of allocating a
+/// template-sized `Vec` per hypothesis ((2 Nzs + 1)^2 allocations per
+/// pixel in the hot loop otherwise).
+pub(crate) fn evaluate_hypothesis_into(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    x: usize,
+    y: usize,
+    ox: isize,
+    oy: isize,
+    samples: &mut Vec<TemplateSample>,
+) -> Option<(LocalAffine, f64)> {
     let nt = cfg.nzt as isize;
-    let area = cfg.template_window().area();
-    let mut samples: Vec<TemplateSample> = Vec::with_capacity(area);
+    samples.clear();
 
     // Step 1 + geometry gathering.
     for dv in -nt..=nt {
@@ -240,7 +256,7 @@ pub fn evaluate_hypothesis(
         }
     }
 
-    let (solution, error) = solve_samples(&samples)?;
+    let (solution, error) = solve_samples(samples)?;
     // The reported displacement is the *center pixel's* correspondence:
     // under the semi-fluid model the hypothesis is refined by the
     // center's own semi-fluid match (eq. 8's correspondences come from
@@ -295,23 +311,45 @@ pub(crate) fn refined_displacement(
 /// eps_2: [0, -zx, 0, -zy, 0, 1] * inv_g, target (gy_obs - zy) * inv_g
 /// ```
 pub(crate) fn solve_samples(samples: &[TemplateSample]) -> Option<([f64; 6], f64)> {
+    // A^T A is symmetric and the two residual rows have complementary
+    // sparsity (eps_1 touches the even parameters, eps_2 the odd ones),
+    // so only 12 of the 36 entries are structurally nonzero — accumulate
+    // those upper-triangle entries and mirror before the solve. Products
+    // commute exactly in IEEE arithmetic, so this is bit-identical to
+    // the dense accumulation at ~40% fewer multiply-adds.
     let mut ata = [0.0f64; 36];
     let mut atb = [0.0f64; 6];
     for s in samples {
-        let r1 = [-s.zx * s.inv_e, 0.0, -s.zy * s.inv_e, 0.0, s.inv_e, 0.0];
+        let zx_e = -s.zx * s.inv_e;
+        let zy_e = -s.zy * s.inv_e;
         let b1 = (s.gx_obs - s.zx) * s.inv_e;
-        let r2 = [0.0, -s.zx * s.inv_g, 0.0, -s.zy * s.inv_g, 0.0, s.inv_g];
+        let zx_g = -s.zx * s.inv_g;
+        let zy_g = -s.zy * s.inv_g;
         let b2 = (s.gy_obs - s.zy) * s.inv_g;
-        for (row, b) in [(r1, b1), (r2, b2)] {
-            for i in 0..6 {
-                if row[i] == 0.0 {
-                    continue;
-                }
-                for j in 0..6 {
-                    ata[i * 6 + j] += row[i] * row[j];
-                }
-                atb[i] += row[i] * b;
-            }
+        // eps_1 row [zx_e, 0, zy_e, 0, inv_e, 0].
+        ata[0] += zx_e * zx_e;
+        ata[2] += zx_e * zy_e;
+        ata[4] += zx_e * s.inv_e;
+        ata[14] += zy_e * zy_e;
+        ata[16] += zy_e * s.inv_e;
+        ata[28] += s.inv_e * s.inv_e;
+        atb[0] += zx_e * b1;
+        atb[2] += zy_e * b1;
+        atb[4] += s.inv_e * b1;
+        // eps_2 row [0, zx_g, 0, zy_g, 0, inv_g].
+        ata[7] += zx_g * zx_g;
+        ata[9] += zx_g * zy_g;
+        ata[11] += zx_g * s.inv_g;
+        ata[21] += zy_g * zy_g;
+        ata[23] += zy_g * s.inv_g;
+        ata[35] += s.inv_g * s.inv_g;
+        atb[1] += zx_g * b2;
+        atb[3] += zy_g * b2;
+        atb[5] += s.inv_g * b2;
+    }
+    for i in 0..6 {
+        for j in (i + 1)..6 {
+            ata[j * 6 + i] = ata[i * 6 + j];
         }
     }
     let mut solution = atb;
@@ -327,7 +365,7 @@ pub(crate) fn solve_samples(samples: &[TemplateSample]) -> Option<([f64; 6], f64
 
 /// `z0`: surface value change between the tracked pixel and its
 /// hypothesized position.
-fn surface_delta(frames: &SmaFrames, x: usize, y: usize, ox: isize, oy: isize) -> f64 {
+pub(crate) fn surface_delta(frames: &SmaFrames, x: usize, y: usize, ox: isize, oy: isize) -> f64 {
     let (w, h) = frames.surface_before.dims();
     let qx = (x as isize + ox).clamp(0, w as isize - 1) as usize;
     let qy = (y as isize + oy).clamp(0, h as isize - 1) as usize;
@@ -341,9 +379,13 @@ fn surface_delta(frames: &SmaFrames, x: usize, y: usize, ox: isize, oy: isize) -
 pub fn track_pixel(frames: &SmaFrames, cfg: &SmaConfig, x: usize, y: usize) -> MotionEstimate {
     let ns = cfg.nzs as isize;
     let mut best = MotionEstimate::invalid();
+    // One template-sized scratch buffer reused across all hypotheses.
+    let mut samples: Vec<TemplateSample> = Vec::with_capacity(cfg.template_window().area());
     for oy in -ns..=ns {
         for ox in -ns..=ns {
-            if let Some((affine, error)) = evaluate_hypothesis(frames, cfg, x, y, ox, oy) {
+            if let Some((affine, error)) =
+                evaluate_hypothesis_into(frames, cfg, x, y, ox, oy, &mut samples)
+            {
                 if error < best.error {
                     best = MotionEstimate {
                         displacement: Vec2::new(affine.x0 as f32, affine.y0 as f32),

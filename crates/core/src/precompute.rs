@@ -76,8 +76,9 @@ impl SegmentStore {
 
 /// The observed after-motion gradient of template pixel `(px, py)` under
 /// hypothesis offset `(ox, oy)` — through the semi-fluid mapping for
-/// `Fsemi`, pure translation for `Fcont`.
-fn mapped_gradient(
+/// `Fsemi`, pure translation for `Fcont`. Shared with the integral-image
+/// fast path so both consume identical mapping planes.
+pub(crate) fn mapped_gradient(
     frames: &SmaFrames,
     cfg: &SmaConfig,
     px: isize,
@@ -143,9 +144,11 @@ pub fn track_all_segmented(
             .par_iter()
             .map(|&(x, y)| {
                 let mut local_best = best.at(x, y);
+                // Scratch buffer shared across this pixel's hypotheses.
+                let mut samples = Vec::with_capacity(cfg.template_window().area());
                 for (oi, &(ox, oy)) in store.offsets.iter().enumerate() {
                     let plane = &store.planes[oi];
-                    let mut samples = Vec::with_capacity(cfg.template_window().area());
+                    samples.clear();
                     for dv in -nt..=nt {
                         for du in -nt..=nt {
                             let px = x as isize + du;

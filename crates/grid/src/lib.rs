@@ -44,7 +44,7 @@ pub mod window;
 pub use border::BorderPolicy;
 pub use flow::{FlowField, FlowStats, Vec2};
 pub use grid::Grid;
-pub use integral::IntegralImage;
+pub use integral::{IntegralImage, MomentIntegral};
 pub use window::{CenteredWindow, WindowBounds};
 
 /// Convenience alias for the single-precision planes used throughout the

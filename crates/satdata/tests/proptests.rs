@@ -39,12 +39,8 @@ proptest! {
         prop_assert!(s >= 0.0);
         let speed = v.velocity(r, 0.0).magnitude();
         prop_assert!(speed <= vmax * (1.0 + inflow) + 1e-4);
-        // Monotone rise inside, decay outside.
-        if r < rmax {
-            prop_assert!(v.tangential_speed(r) <= v.tangential_speed(rmax) + 1e-6);
-        } else {
-            prop_assert!(v.tangential_speed(r) <= v.tangential_speed(rmax) + 1e-6);
-        }
+        // The peak sits at rmax: every radius is bounded by it.
+        prop_assert!(v.tangential_speed(r) <= v.tangential_speed(rmax) + 1e-6);
     }
 
     /// The vortex flow field is divergence-free away from the eye when

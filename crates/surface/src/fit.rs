@@ -43,6 +43,9 @@ pub fn fit_patch_ge(
     n: usize,
     policy: BorderPolicy,
 ) -> Result<QuadraticPatch, SolveError> {
+    // A^T A is symmetric: accumulate the upper triangle only (21 of 36
+    // entries) and mirror before the solve — same sums, ~40% fewer
+    // multiply-adds in the hot window loop.
     let mut ata = [0.0f64; 36];
     let mut atb = [0.0f64; 6];
     let ni = n as isize;
@@ -51,11 +54,16 @@ pub fn fit_patch_ge(
             let row = basis(du as f64, dv as f64);
             let zv = z.at_clamped(x as isize + du, y as isize + dv, policy) as f64;
             for r in 0..6 {
-                for c in 0..6 {
+                for c in r..6 {
                     ata[r * 6 + c] += row[r] * row[c];
                 }
                 atb[r] += row[r] * zv;
             }
+        }
+    }
+    for r in 0..6 {
+        for c in (r + 1)..6 {
+            ata[c * 6 + r] = ata[r * 6 + c];
         }
     }
     solve6(&mut ata, &mut atb)?;

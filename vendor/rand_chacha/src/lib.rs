@@ -1,0 +1,141 @@
+//! Offline shim for [rand_chacha](https://crates.io/crates/rand_chacha).
+//!
+//! Implements a real ChaCha8 keystream generator (RFC 8439 block
+//! function with 8 rounds, zero nonce, 64-bit block counter) behind the
+//! `ChaCha8Rng` name, with the `RngCore`/`SeedableRng` impls the
+//! workspace's synthetic-data generators use. Output word order follows
+//! the standard block layout; the exact stream may differ from the real
+//! crate's (which interleaves four blocks), but every consumer in this
+//! workspace only requires a deterministic seeded stream.
+//!
+//! Wired in as a path dependency in the workspace `Cargo.toml`; point
+//! that entry back at a crates.io version to build against the real
+//! crate when a registry is reachable.
+
+use rand::{RngCore, SeedableRng};
+
+/// ChaCha with 8 rounds, seeded, deterministic.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    index: usize,
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce fixed at zero: the counter provides the stream position.
+        let initial = state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (o, i) in state.iter_mut().zip(initial.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let v = self.block[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let mut rng = Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16, // force refill on first draw
+        };
+        rng.refill();
+        rng.index = 0;
+        rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..40).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..40).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..40).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_works_through_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..200 {
+            let v: f32 = rng.gen_range(0.2f32..0.8);
+            assert!((0.2..0.8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn stream_crosses_block_boundary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // 16 words per block; draw 100 u32s to force several refills.
+        let v: Vec<u32> = (0..100).map(|_| rng.next_u32()).collect();
+        assert_eq!(v.len(), 100);
+        // Not all equal (keystream varies).
+        assert!(v.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! This build environment has no network access and no pre-fetched
+//! registry, so the real crate cannot be downloaded. This shim provides
+//! the subset of rayon's parallel-iterator API the workspace uses —
+//! `par_iter()` / `into_par_iter()` from the prelude — executed
+//! **sequentially** on the calling thread. Every driver in the workspace
+//! is required to be result-identical to its sequential baseline, so the
+//! substitution preserves observable behaviour exactly (only wall-clock
+//! parallel speedups disappear).
+//!
+//! The shim is wired in as a path dependency in the workspace
+//! `Cargo.toml`; point that entry back at a crates.io version to build
+//! against the real rayon when a registry is reachable.
+
+/// Parallel-iterator traits, mirrored from `rayon::prelude`.
+pub mod iter {
+    /// Conversion into a "parallel" iterator (sequential here): the
+    /// shim simply forwards to [`IntoIterator`], so every adaptor the
+    /// caller chains (`map`, `filter`, `collect`, ...) is the standard
+    /// library's.
+    pub trait IntoParallelIterator: Sized {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Convert into the (sequential) iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// By-reference variant (`collection.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a reference).
+        type Item: 'data;
+        /// Iterate by reference, sequentially.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mutable by-reference variant (`collection.par_iter_mut()`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a mutable reference).
+        type Item: 'data;
+        /// Iterate by mutable reference, sequentially.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+        <&'data mut C as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        type Item = <&'data mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Marker mirroring rayon's `ParallelIterator`: in the shim every
+    /// standard iterator qualifies.
+    pub trait ParallelIterator: Iterator {}
+    impl<T: Iterator> ParallelIterator for T {}
+}
+
+/// The traits a `use rayon::prelude::*` pulls in.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+/// Run both closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "worker threads" — always 1 in the sequential shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_and_vec_iterate() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+        let s: usize = v.par_iter().copied().sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

@@ -23,6 +23,7 @@ use sma_bench::shifted_frames;
 use sma_core::motion::evaluate_hypothesis;
 use sma_core::timing::SgiRates;
 use sma_core::{MotionModel, SmaConfig};
+use sma_obs::json::MetricsDoc;
 
 fn main() {
     let cfg_base = SmaConfig::hurricane_frederic();
@@ -48,6 +49,7 @@ fn main() {
             ..SmaConfig::small_test(MotionModel::SemiFluid)
         },
     );
+    let mut doc = MetricsDoc::new("fig4_template_sweep");
     for nzt in [5usize, 10, 15, 20, 30, 40, 50, 60, 65] {
         let side = 2 * nzt + 1;
         let model_s = rates.per_pixel_seconds(&cfg_base, nzt);
@@ -69,6 +71,8 @@ fn main() {
         let host_ms = per_hyp * 169.0 * 1e3;
 
         println!("  {side:>6} x {side:<3} {model_s:>18.3} {host_ms:>22.1}");
+        doc.set_gauge(&format!("fig4.t{side}.sgi_model_s_per_px"), model_s);
+        doc.set_gauge(&format!("fig4.t{side}.host_measured_ms_per_px"), host_ms);
     }
 
     // §5.1's projection consistency check.
@@ -81,4 +85,9 @@ fn main() {
     // Quadratic-shape check: doubling the edge ~quadruples the time.
     let r = rates.per_pixel_seconds(&cfg_base, 30) / rates.per_pixel_seconds(&cfg_base, 15);
     println!("  shape: t(61x61)/t(31x31) = {r:.2} (quadratic in edge => ~3.9)");
+
+    doc.set_gauge("fig4.projected_days_over_512sq", days_from_fig4);
+    doc.set_gauge("fig4.quadratic_shape_ratio", r);
+    std::fs::write("METRICS_fig4.json", doc.to_json()).expect("write METRICS_fig4.json");
+    println!("\nwrote METRICS_fig4.json");
 }

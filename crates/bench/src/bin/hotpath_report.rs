@@ -12,6 +12,7 @@ use sma_core::fastpath::{track_all_integral, track_all_integral_parallel};
 use sma_core::motion::SmaFrames;
 use sma_core::sequential::Region;
 use sma_core::{track_all_parallel, track_all_sequential, MotionModel, SmaConfig};
+use sma_obs::json::MetricsDoc;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -165,6 +166,46 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     println!("\nwrote BENCH_hotpath.json");
+
+    // Shared metrics document: one *counted* pass per driver on the
+    // medium scenario (timing above ran at the ambient SMA_OBS level —
+    // off by default — so the wall-clock numbers are unperturbed).
+    if std::env::var("SMA_OBS").is_err() {
+        sma_obs::set_level(sma_obs::ObsLevel::Summary);
+    }
+    {
+        let s = &scenarios[1];
+        let cfg = SmaConfig {
+            nzt: s.nzt,
+            nzs: s.nzs,
+            ..SmaConfig::small_test(MotionModel::Continuous)
+        };
+        let frames = shifted_frames(s.side, s.side, 1.0, 0.0, &cfg);
+        let region = Region::Interior {
+            margin: cfg.margin(),
+        };
+        black_box(track_all_sequential(&frames, &cfg, region));
+        black_box(track_all_integral(&frames, &cfg, region));
+    }
+    let mut doc = MetricsDoc::capture("hotpath_report");
+    for r in &rows {
+        doc.set_gauge(
+            &format!("hotpath.{}.exact_sequential_s", r.name),
+            r.exact_seq,
+        );
+        doc.set_gauge(&format!("hotpath.{}.exact_parallel_s", r.name), r.exact_par);
+        doc.set_gauge(
+            &format!("hotpath.{}.integral_sequential_s", r.name),
+            r.integral_seq,
+        );
+        doc.set_gauge(
+            &format!("hotpath.{}.integral_parallel_s", r.name),
+            r.integral_par,
+        );
+    }
+    std::fs::write("METRICS_hotpath_report.json", doc.to_json())
+        .expect("write METRICS_hotpath_report.json");
+    println!("wrote METRICS_hotpath_report.json");
 
     // Acceptance: the fast path must clear 10x on the medium scenario.
     let medium = rows.iter().find(|r| r.name == "medium_t21").unwrap();

@@ -15,6 +15,7 @@
 use sma_bench::print_row;
 use sma_core::timing::{paper, Mp2Rates, SgiRates, SmaWorkload};
 use sma_core::SmaConfig;
+use sma_obs::json::MetricsDoc;
 
 fn main() {
     let cfg = SmaConfig::hurricane_frederic();
@@ -72,4 +73,20 @@ fn main() {
         "  hypothesis matching share of total: {:.2}% (shape check: dominates everything)",
         100.0 * b.phase("Hypothesis matching") / b.total()
     );
+
+    // Shared metrics document: the analytic workload counts and the
+    // modelled phase seconds of this table.
+    let mut doc = MetricsDoc::capture("table2_frederic_timing");
+    doc.set_counter("workload.surface_fit_ges", workload.surface_fit_ges);
+    doc.set_counter("workload.semifluid_mappings", workload.semifluid_mappings);
+    doc.set_counter("workload.hyp_ges", workload.hyp_ges);
+    doc.set_counter("workload.hyp_terms", workload.hyp_terms);
+    for p in &b.phases {
+        doc.set_gauge(&format!("table2.{}.modelled_s", p.name), p.seconds);
+    }
+    doc.set_gauge("table2.total_modelled_s", b.total());
+    doc.set_gauge("table2.sequential_model_s", seq);
+    doc.set_gauge("table2.speedup", speedup);
+    std::fs::write("METRICS_table2.json", doc.to_json()).expect("write METRICS_table2.json");
+    println!("\nwrote METRICS_table2.json");
 }

@@ -14,6 +14,7 @@
 use sma_bench::print_row;
 use sma_core::timing::{paper, Mp2Rates, SgiRates, SmaWorkload};
 use sma_core::SmaConfig;
+use sma_obs::json::MetricsDoc;
 
 fn main() {
     let cfg = SmaConfig::goes9_florida();
@@ -63,4 +64,21 @@ fn main() {
          \"the semi-fluid template mapping of (9), where the parallel implementation\n  \
          was optimized most[,] is not needed for the continuous non-rigid motion model\"."
     );
+
+    // Shared metrics document: the analytic workload counts and the
+    // predicted phase seconds of this table.
+    let mut doc = MetricsDoc::capture("table4_goes9_timing");
+    doc.set_counter("workload.surface_fit_ges", workload.surface_fit_ges);
+    doc.set_counter("workload.hyp_ges", workload.hyp_ges);
+    doc.set_counter("workload.hyp_terms", workload.hyp_terms);
+    doc.set_gauge("table4.surface_fit_and_geom_predicted_s", surface_geom);
+    doc.set_gauge(
+        "table4.hypothesis_matching_predicted_s",
+        b.phase("Hypothesis matching"),
+    );
+    doc.set_gauge("table4.total_predicted_s", b.total());
+    doc.set_gauge("table4.sequential_model_s", seq);
+    doc.set_gauge("table4.speedup", speedup);
+    std::fs::write("METRICS_table4.json", doc.to_json()).expect("write METRICS_table4.json");
+    println!("\nwrote METRICS_table4.json");
 }

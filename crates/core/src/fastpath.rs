@@ -42,10 +42,25 @@ use sma_grid::{Grid, MomentIntegral, Vec2};
 
 use crate::affine::LocalAffine;
 use crate::config::SmaConfig;
-use crate::motion::{refined_displacement, surface_delta, track_pixel, MotionEstimate, SmaFrames};
+use crate::motion::{
+    refined_displacement, surface_delta, track_pixel, MotionEstimate, SmaFrames, GE_SOLVES,
+    HYPOTHESES,
+};
 use crate::precompute::mapped_gradient;
 use crate::sequential::{Region, SmaResult};
 use sma_linalg::gauss::solve6;
+
+/// Pixels whose template window crossed the frame edge and silently
+/// took the exact O(T^2) kernel — the previously invisible slow path.
+static BORDER_FALLBACK: sma_obs::Counter = sma_obs::Counter::new("fastpath.border_fallback_pixels");
+/// Pixels served by the O(1) moment-lookup path.
+static INTERIOR_FAST: sma_obs::Counter = sma_obs::Counter::new("fastpath.interior_pixels");
+/// Summed-area-table corner lookups (4 per window-sum, one window-sum
+/// for the static moments plus one per hypothesis offset).
+static CORNER_LOOKUPS: sma_obs::Counter = sma_obs::Counter::new("fastpath.corner_lookups");
+/// Per-offset moment planes built (one per hypothesis offset per
+/// segment).
+static OFFSET_PLANES: sma_obs::Counter = sma_obs::Counter::new("fastpath.offset_planes_built");
 
 /// Number of static moment channels (the 12 nonzero `A^T A` entries).
 pub const STATIC_CHANNELS: usize = 12;
@@ -147,6 +162,8 @@ fn solve_moments(
     s: &[f64; STATIC_CHANNELS],
     t: &[f64; OFFSET_CHANNELS],
 ) -> Option<([f64; 6], f64)> {
+    HYPOTHESES.incr();
+    GE_SOLVES.incr();
     let mut ata = [0.0f64; 36];
     ata[0] = s[0]; //   (ai, ai)
     ata[2] = s[1]; //   (ai, aj)
@@ -245,6 +262,7 @@ fn track_integral_impl(
     z_rows: usize,
     parallel: bool,
 ) -> SmaResult {
+    let _span = sma_obs::span("track_integral");
     let (w, h) = frames.dims();
     let bounds = region.bounds(w, h).expect("empty tracking region");
     let ns = cfg.nzs as isize;
@@ -259,6 +277,7 @@ fn track_integral_impl(
         .pixels()
         .filter(|&(x, y)| !template.fits_at(x, y, w, h))
         .collect();
+    BORDER_FALLBACK.add(border.len() as u64);
     if parallel {
         let tracked: Vec<((usize, usize), MotionEstimate)> = border
             .par_iter()
@@ -277,6 +296,7 @@ fn track_integral_impl(
         .pixels()
         .filter(|&(x, y)| template.fits_at(x, y, w, h))
         .collect();
+    INTERIOR_FAST.add(interior.len() as u64);
     if interior.is_empty() {
         return SmaResult {
             estimates: best,
@@ -284,7 +304,10 @@ fn track_integral_impl(
         };
     }
 
-    let stat = StaticMoments::compute(frames);
+    let stat = {
+        let _span = sma_obs::span("static_moments");
+        StaticMoments::compute(frames)
+    };
 
     // Segment loop over hypothesis rows (z_rows = full search height for
     // the unsegmented drivers: a single segment).
@@ -294,6 +317,8 @@ fn track_integral_impl(
         let offsets: Vec<(isize, isize)> = (row0..=row1)
             .flat_map(|oy| (-ns..=ns).map(move |ox| (ox, oy)))
             .collect();
+        OFFSET_PLANES.add(offsets.len() as u64);
+        let _plane_span = sma_obs::span("offset_planes");
         let planes: Vec<MomentIntegral<OFFSET_CHANNELS>> = if parallel {
             offsets
                 .par_iter()
@@ -306,8 +331,12 @@ fn track_integral_impl(
                 .collect()
         };
 
+        drop(_plane_span);
+
         let evaluate = |x: usize, y: usize, running: MotionEstimate| -> MotionEstimate {
             let mut local_best = running;
+            // 4 SAT corners for the static window-sum, 4 more per offset.
+            CORNER_LOOKUPS.add(4 * (1 + offsets.len()) as u64);
             let s = stat.sat.window_sum(x, y, nt);
             for (oi, &(ox, oy)) in offsets.iter().enumerate() {
                 let t = planes[oi].window_sum(x, y, nt);

@@ -29,6 +29,12 @@ use crate::config::SmaConfig;
 use crate::motion::{track_pixel, MotionEstimate, SmaFrames};
 use crate::sequential::{Region, SmaResult};
 
+/// Largest measured per-PE resident footprint of any run (bytes): the
+/// four folded frame planes plus one §4.3 template-mapping segment and
+/// the working buffer. Must never exceed the [`MemoryBudget`] prediction.
+static PE_BYTES_HIGH_WATER: sma_obs::HighWater =
+    sma_obs::HighWater::new("maspar.pe_bytes_high_water");
+
 /// Report of one machine run.
 #[derive(Debug)]
 pub struct MasparRunReport {
@@ -43,6 +49,13 @@ pub struct MasparRunReport {
     pub memory: MemoryBudget,
     /// Segments the hypothesis area was chunked into (1 = unsegmented).
     pub segments: usize,
+    /// Measured per-PE resident bytes of this run: the four folded frame
+    /// planes actually held, plus the largest §4.3 template-mapping
+    /// segment and the working buffer the scheme would allocate. Bounded
+    /// above by [`MemoryBudget::total_bytes`] at the chosen segment size
+    /// (the budget additionally reserves the full 15-plane per-pixel
+    /// state and fixed overhead).
+    pub pe_bytes_high_water: usize,
 }
 
 /// Run the SMA on the machine. The four input planes are folded onto the
@@ -63,6 +76,7 @@ pub fn track_on_maspar(
     region: Region,
     scheme: ReadoutScheme,
 ) -> MasparRunReport {
+    let _span = sma_obs::span("maspar_track");
     // Phase: load frames onto the PE array.
     let f_ib = machine.fold("Load frames", intensity_before);
     let f_ia = machine.fold("Load frames", intensity_after);
@@ -73,9 +87,18 @@ pub fn track_on_maspar(
 
     // The memory budget / segmentation decision (§4.3).
     let memory = machine.memory_budget(mapping.xvr(), mapping.yvr(), cfg.nzs, cfg.nst, cfg.nss);
-    let segments = memory
-        .num_segments()
+    let z_rows = memory
+        .max_segment_rows()
         .expect("configuration exceeds PE memory even with single-row segments");
+    let segments = (2 * cfg.nzs + 1).div_ceil(z_rows);
+
+    // Measured per-PE residency: the four folded planes this driver holds
+    // plus the template-mapping segment and working buffer the §4.3
+    // scheme allocates at the chosen segment size.
+    let pe_bytes_high_water = 4 * f_ib.bytes_per_pe()
+        + memory.template_mapping_bytes(z_rows)
+        + memory.working_buffer_bytes();
+    PE_BYTES_HIGH_WATER.record(pe_bytes_high_water as u64);
 
     // The algorithm consumes machine-resident data: unfold from the
     // folded planes (every pixel passes through the PE mapping).
@@ -131,6 +154,7 @@ pub fn track_on_maspar(
         layers,
         memory,
         segments,
+        pe_bytes_high_water,
     }
 }
 
@@ -235,6 +259,36 @@ mod tests {
         let (raster, _) = run(ReadoutScheme::Raster);
         assert!(snake.mem_moves > 0);
         assert_eq!(raster.mem_moves, 0);
+    }
+
+    /// Regression pin for the §4.3 accounting: the measured per-PE
+    /// high-water of a real run must never exceed the [`MemoryBudget`]
+    /// prediction at the chosen segment size (and must fit the PE).
+    #[test]
+    fn high_water_never_exceeds_budget_prediction() {
+        let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
+        let before = wavy(24, 24);
+        let after = translate(&before, 1.0, -1.0, BorderPolicy::Clamp);
+        let mut machine = small_machine();
+        let report = track_on_maspar(
+            &mut machine,
+            &before,
+            &after,
+            &before,
+            &after,
+            &cfg,
+            Region::Interior { margin: 9 },
+            ReadoutScheme::Raster,
+        );
+        let z = report.memory.max_segment_rows().expect("run fit memory");
+        assert!(report.pe_bytes_high_water > 0);
+        assert!(
+            report.pe_bytes_high_water <= report.memory.total_bytes(z),
+            "measured {} B/PE exceeds budget prediction {} B/PE",
+            report.pe_bytes_high_water,
+            report.memory.total_bytes(z)
+        );
+        assert!(report.pe_bytes_high_water <= machine.config().pe_memory_bytes);
     }
 
     #[test]

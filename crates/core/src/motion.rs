@@ -40,6 +40,18 @@ use crate::affine::LocalAffine;
 use crate::config::{MotionModel, SmaConfig};
 use crate::template_map::semifluid_correspondence;
 
+/// One per `(pixel, hypothesis)` evaluation — `pixels * (2 Nzs + 1)^2`
+/// for a full-region run, the `hyp_ges` row of the analytic workload.
+pub(crate) static HYPOTHESES: sma_obs::Counter = sma_obs::Counter::new("sma.hypotheses_evaluated");
+/// One per 6 x 6 Gaussian elimination; all drivers funnel through
+/// [`solve_samples`], so exact, fastpath and precomputed paths agree.
+pub(crate) static GE_SOLVES: sma_obs::Counter = sma_obs::Counter::new("sma.ge_solves");
+/// Template error terms accumulated — `(2 NzT + 1)^2` per exact-kernel
+/// hypothesis, the `hyp_terms` row of the analytic workload. The
+/// moment-plane fast path pays corner lookups instead of terms, so it
+/// leaves this counter alone.
+static TEMPLATE_TERMS: sma_obs::Counter = sma_obs::Counter::new("sma.template_terms");
+
 /// Everything the per-pixel kernels need about one frame pair, computed
 /// once ("Local surface patches are fit for each pixel in both the
 /// intensity and surface images at both time steps" — the Table 2
@@ -92,6 +104,7 @@ impl SmaFrames {
             "frame shape mismatch"
         );
         cfg.validate().expect("invalid SMA configuration");
+        let _span = sma_obs::span("sma_prepare");
         let policy = BorderPolicy::Clamp;
         let geo_before = GeomField::compute_par(surface_before, cfg.nz, policy);
         let geo_after = GeomField::compute_par(surface_after, cfg.nz, policy);
@@ -226,6 +239,7 @@ pub(crate) fn evaluate_hypothesis_into(
     oy: isize,
     samples: &mut Vec<TemplateSample>,
 ) -> Option<(LocalAffine, f64)> {
+    HYPOTHESES.incr();
     let nt = cfg.nzt as isize;
     samples.clear();
 
@@ -311,6 +325,8 @@ pub(crate) fn refined_displacement(
 /// eps_2: [0, -zx, 0, -zy, 0, 1] * inv_g, target (gy_obs - zy) * inv_g
 /// ```
 pub(crate) fn solve_samples(samples: &[TemplateSample]) -> Option<([f64; 6], f64)> {
+    GE_SOLVES.incr();
+    TEMPLATE_TERMS.add(samples.len() as u64);
     // A^T A is symmetric and the two residual rows have complementary
     // sparsity (eps_1 touches the even parameters, eps_2 the odd ones),
     // so only 12 of the 36 entries are structurally nonzero — accumulate

@@ -20,6 +20,7 @@ use crate::sequential::{Region, SmaResult};
 /// # Panics
 /// Panics if the region is empty for the frame size.
 pub fn track_all_parallel(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -> SmaResult {
+    let _span = sma_obs::span("track_parallel");
     let (w, h) = frames.dims();
     let bounds = region.bounds(w, h).expect("empty tracking region");
 

@@ -35,6 +35,10 @@ use crate::motion::{solve_samples, MotionEstimate, SmaFrames, TemplateSample};
 use crate::sequential::{Region, SmaResult};
 use crate::template_map::semifluid_correspondence;
 
+/// Mapping planes materialized by the segmented store (one per hypothesis
+/// offset per segment; the quantity §4.3's memory accounting bounds).
+static SEGMENT_PLANES: sma_obs::Counter = sma_obs::Counter::new("sma.precompute.planes_built");
+
 /// The precomputed mapping planes for one segment of hypothesis rows:
 /// for each offset `o` in the segment, a plane of per-pixel
 /// `(gx_obs, gy_obs)` pairs (plus the before-geometry, shared).
@@ -49,11 +53,13 @@ impl SegmentStore {
     /// Precompute the mapping planes for hypothesis rows
     /// `oy in [row0, row1]` (inclusive), full `ox` range.
     fn compute(frames: &SmaFrames, cfg: &SmaConfig, row0: isize, row1: isize) -> Self {
+        let _span = sma_obs::span("precompute_planes");
         let ns = cfg.nzs as isize;
         let (w, h) = frames.dims();
         let offsets: Vec<(isize, isize)> = (row0..=row1)
             .flat_map(|oy| (-ns..=ns).map(move |ox| (ox, oy)))
             .collect();
+        SEGMENT_PLANES.add(offsets.len() as u64);
         let planes: Vec<Grid<(f64, f64)>> = offsets
             .par_iter()
             .map(|&(ox, oy)| {
@@ -124,6 +130,7 @@ pub fn track_all_segmented(
         z_rows > 0,
         "segment must contain at least one hypothesis row"
     );
+    let _span = sma_obs::span("track_segmented");
     let (w, h) = frames.dims();
     let bounds = region.bounds(w, h).expect("empty tracking region");
     let ns = cfg.nzs as isize;

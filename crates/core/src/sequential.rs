@@ -119,6 +119,7 @@ impl SmaResult {
 /// # Panics
 /// Panics if the region is empty for the frame size.
 pub fn track_all_sequential(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -> SmaResult {
+    let _span = sma_obs::span("track_sequential");
     let (w, h) = frames.dims();
     let bounds = region.bounds(w, h).expect("empty tracking region");
     let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());

@@ -13,6 +13,9 @@ use crate::filter::binomial_smooth;
 use crate::grid::Grid;
 use crate::warp::sample_bilinear;
 
+static PYRAMID_BUILDS: sma_obs::Counter = sma_obs::Counter::new("grid.pyramid.builds");
+static PYRAMID_LEVELS: sma_obs::Counter = sma_obs::Counter::new("grid.pyramid.levels");
+
 /// A Gaussian image pyramid; `levels[0]` is full resolution.
 #[derive(Debug, Clone)]
 pub struct Pyramid {
@@ -30,6 +33,7 @@ impl Pyramid {
     pub fn build(img: &Grid<f32>, n_levels: usize) -> Self {
         assert!(n_levels > 0, "pyramid needs at least one level");
         assert!(!img.is_empty(), "pyramid of empty image");
+        let _span = sma_obs::span("pyramid_build");
         let mut levels = vec![img.clone()];
         for _ in 1..n_levels {
             let prev = levels.last().expect("non-empty levels");
@@ -38,6 +42,8 @@ impl Pyramid {
             }
             levels.push(downsample(prev));
         }
+        PYRAMID_BUILDS.incr();
+        PYRAMID_LEVELS.add(levels.len() as u64);
         Self { levels }
     }
 

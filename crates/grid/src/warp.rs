@@ -15,6 +15,8 @@ use crate::border::BorderPolicy;
 use crate::flow::FlowField;
 use crate::grid::Grid;
 
+static WARP_PIXELS: sma_obs::Counter = sma_obs::Counter::new("grid.warp.pixels");
+
 /// Bilinearly interpolated sample at real-valued coordinates `(x, y)`.
 /// Out-of-range support pixels are resolved with `policy` (Constant reads
 /// as 0).
@@ -43,6 +45,8 @@ pub fn sample_bilinear(img: &Grid<f32>, x: f32, y: f32, policy: BorderPolicy) ->
 /// Panics if the flow field's shape differs from the image's.
 pub fn warp_by_flow(img: &Grid<f32>, flow: &FlowField, policy: BorderPolicy) -> Grid<f32> {
     assert_eq!(img.dims(), flow.dims(), "warp flow shape mismatch");
+    let _span = sma_obs::span("warp");
+    WARP_PIXELS.add((img.width() * img.height()) as u64);
     Grid::from_fn(img.width(), img.height(), |x, y| {
         let v = flow.at(x, y);
         sample_bilinear(img, x as f32 + v.u, y as f32 + v.v, policy)
@@ -58,6 +62,8 @@ pub fn warp_by_flow(img: &Grid<f32>, flow: &FlowField, policy: BorderPolicy) -> 
 /// Panics if the disparity plane's shape differs from the image's.
 pub fn warp_by_disparity(img: &Grid<f32>, disp: &Grid<f32>, policy: BorderPolicy) -> Grid<f32> {
     assert_eq!(img.dims(), disp.dims(), "warp disparity shape mismatch");
+    let _span = sma_obs::span("warp");
+    WARP_PIXELS.add((img.width() * img.height()) as u64);
     Grid::from_fn(img.width(), img.height(), |x, y| {
         sample_bilinear(img, x as f32 + disp.at(x, y), y as f32, policy)
     })

@@ -111,6 +111,7 @@ impl MasPar {
     /// # Panics
     /// Panics if the folded image would not fit the PE memory.
     pub fn fold(&mut self, phase: &str, img: &Grid<f32>) -> FoldedImage {
+        let _span = sma_obs::span("maspar_fold");
         let mapping = DataMapping::new(
             MappingKind::Hierarchical,
             img.width(),
@@ -146,6 +147,7 @@ impl MasPar {
         scheme: ReadoutScheme,
         visit: impl FnMut(usize, usize, isize, isize, f32),
     ) -> ReadoutStats {
+        let _span = sma_obs::span("maspar_readout");
         let stats = match scheme {
             ReadoutScheme::Snake => fetch_window_snake(folded, n, visit),
             ReadoutScheme::Raster => fetch_window_raster(folded, n, visit),

@@ -23,6 +23,18 @@
 
 use crate::mapping::FoldedImage;
 
+/// Whole-plane X-net shifts across all read-out sweeps.
+static PLANE_SHIFTS: sma_obs::Counter = sma_obs::Counter::new("maspar.readout.plane_shifts");
+/// Per-PE X-net values moved across all sweeps.
+static XNET_VALUES: sma_obs::Counter = sma_obs::Counter::new("maspar.readout.xnet_values");
+/// Within-PE memory-queue moves (snake realignment) across all sweeps.
+static MEM_MOVES: sma_obs::Counter = sma_obs::Counter::new("maspar.readout.mem_moves");
+/// Values moved through the global router across all sweeps.
+static ROUTER_VALUES: sma_obs::Counter = sma_obs::Counter::new("maspar.readout.router_values");
+/// Neighborhood values delivered per PE pixel across all sweeps.
+static VALUES_DELIVERED: sma_obs::Counter =
+    sma_obs::Counter::new("maspar.readout.values_delivered");
+
 /// Transfer statistics of one read-out sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReadoutStats {
@@ -38,6 +50,21 @@ pub struct ReadoutStats {
     pub router_values: usize,
     /// Neighborhood values delivered per PE pixel.
     pub values_delivered: usize,
+}
+
+impl ReadoutStats {
+    /// Publish this sweep's statistics onto the shared `sma-obs`
+    /// counters (`maspar.readout.*`) and return it unchanged — the
+    /// per-sweep struct stays the API; the counters aggregate across
+    /// sweeps for the metrics exporters.
+    fn publish(self) -> Self {
+        PLANE_SHIFTS.add(self.plane_shifts as u64);
+        XNET_VALUES.add(self.xnet_values as u64);
+        MEM_MOVES.add(self.mem_moves as u64);
+        ROUTER_VALUES.add(self.router_values as u64);
+        VALUES_DELIVERED.add(self.values_delivered as u64);
+        self
+    }
 }
 
 /// The serpentine path of Fig. 3: cumulative window offsets
@@ -114,6 +141,7 @@ pub fn fetch_window_snake(
         router_values: 0,
         values_delivered: path.len(),
     }
+    .publish()
 }
 
 /// Raster-scan bounding-box read-out: deliver the same neighborhood
@@ -169,6 +197,7 @@ pub fn fetch_window_raster(
         router_values: 0,
         values_delivered: delivered,
     }
+    .publish()
 }
 
 /// Global-router read-out: every PE fetches each neighborhood value
@@ -214,6 +243,7 @@ pub fn fetch_window_router(
         router_values: off_pe.div_ceil(pes),
         values_delivered: (2 * n + 1) * (2 * n + 1),
     }
+    .publish()
 }
 
 /// Number of PE columns (or rows) a window of half-width `n` can touch

@@ -17,6 +17,23 @@
 
 use crate::array::PluralVar;
 
+/// Messages moved through the global router across all operations.
+static ROUTER_MESSAGES: sma_obs::Counter = sma_obs::Counter::new("maspar.router.messages");
+/// Collisions — serialized extra rounds: `sum(max(in_degree - 1, 0))`
+/// over destination (or source, for fetches) PEs, across all operations.
+static ROUTER_COLLISIONS: sma_obs::Counter = sma_obs::Counter::new("maspar.router.collisions");
+/// Distribution of the per-operation maximum in-degree (the serialized
+/// router rounds each pattern needs).
+static ROUTER_IN_DEGREE: sma_obs::Histogram = sma_obs::Histogram::new("maspar.router.in_degree");
+
+/// Publish one routing operation's contention onto the shared counters.
+fn publish_routing(messages: usize, degrees: &[usize]) {
+    ROUTER_MESSAGES.add(messages as u64);
+    let collisions: usize = degrees.iter().map(|&d| d.saturating_sub(1)).sum();
+    ROUTER_COLLISIONS.add(collisions as u64);
+    ROUTER_IN_DEGREE.record(degrees.iter().copied().max().unwrap_or(0) as u64);
+}
+
 /// Outcome of a router operation: delivered values plus the contention
 /// statistics the cost model charges.
 #[derive(Debug, Clone)]
@@ -55,6 +72,7 @@ pub fn route_send<T: Copy>(
             }
         }
     }
+    publish_routing(messages, &in_degree);
     RouterResult {
         data: out,
         messages,
@@ -77,6 +95,7 @@ pub fn route_fetch<T: Copy>(
         out_degree[sy * nx + sx] += 1;
         var.get(sx, sy)
     });
+    publish_routing(nx * ny, &out_degree);
     RouterResult {
         data,
         messages: nx * ny,

@@ -1,0 +1,749 @@
+//! The stable `METRICS_*.json` exporter and its parser.
+//!
+//! Every bench binary emits the same schema so downstream tooling can
+//! diff runs without knowing which binary produced them:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "source": "obs_report",
+//!   "counters": { "sma.ge_solves": 12345 },
+//!   "gauges": { "maspar.pe_bytes_high_water": 9216 },
+//!   "histograms": { "maspar.router.in_degree": { "count": 3, "sum": 6, "max": 4 } },
+//!   "spans": [ { "path": "pipeline/matching", "calls": 1, "total_seconds": 0.5 } ]
+//! }
+//! ```
+//!
+//! The workspace has no serde (offline, vendored shims only), so this
+//! module carries a small recursive-descent JSON parser. [`MetricsDoc`]
+//! round-trips through it and [`MetricsDoc::from_json`] rejects
+//! documents whose `schema_version` differs from [`SCHEMA_VERSION`] or
+//! that lack the required keys.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRow;
+
+/// Version of the metrics document layout. Bump on any breaking change;
+/// readers reject documents with a different version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Generic JSON value, parser and writer
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (`None` on other variants).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an unsigned integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Errors carry the byte offset of the problem.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Decode surrogate pairs; lone surrogates
+                            // become U+FFFD rather than failing.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(char::from_u32(c).unwrap_or('\u{FFFD}'));
+                                    } else {
+                                        out.push('\u{FFFD}');
+                                        out.push(char::from_u32(lo).unwrap_or('\u{FFFD}'));
+                                    }
+                                } else {
+                                    out.push('\u{FFFD}');
+                                }
+                            } else {
+                                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    if b < 0x20 {
+                        return Err(format!("raw control char at byte {}", self.pos));
+                    }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the source is a &str, so slicing
+                    // at char boundaries is safe via chars().
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_num(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; clamp rather than emit an invalid token.
+        "0".to_string()
+    } else {
+        // Rust's Display for f64 is the shortest round-trip form.
+        format!("{n}")
+    }
+}
+
+/// Serialise a [`JsonValue`] with two-space indentation.
+pub fn write_pretty(v: &JsonValue) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, 0);
+    out.push('\n');
+    out
+}
+
+fn write_value(out: &mut String, v: &JsonValue, depth: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::Num(n) => out.push_str(&fmt_num(*n)),
+        JsonValue::Str(s) => escape_into(out, s),
+        JsonValue::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&"  ".repeat(depth + 1));
+                write_value(out, item, depth + 1);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push(']');
+        }
+        JsonValue::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in members.iter().enumerate() {
+                out.push_str(&"  ".repeat(depth + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_value(out, val, depth + 1);
+                out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push('}');
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The metrics document
+// ---------------------------------------------------------------------
+
+/// One span row in the export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEntry {
+    /// `/`-joined span path.
+    pub path: String,
+    /// Number of closes.
+    pub calls: u64,
+    /// Total wall-clock seconds.
+    pub total_seconds: f64,
+}
+
+/// One histogram row in the export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramEntry {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+/// The versioned metrics document written as `METRICS_*.json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsDoc {
+    /// The binary (or test) that produced the document.
+    pub source: String,
+    /// Counter totals, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, in insertion order. Bench binaries also park their
+    /// derived quantities (modelled seconds, speedups) here.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, in name order.
+    pub histograms: Vec<(String, HistogramEntry)>,
+    /// Aggregated spans, in first-seen order.
+    pub spans: Vec<SpanEntry>,
+}
+
+impl MetricsDoc {
+    /// An empty document attributed to `source`.
+    pub fn new(source: &str) -> Self {
+        Self {
+            source: source.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Capture the current global metric and span state into a document.
+    pub fn capture(source: &str) -> Self {
+        Self::from_parts(
+            source,
+            &crate::metrics::snapshot(),
+            &crate::span::snapshot(),
+        )
+    }
+
+    /// Build a document from explicit snapshots (useful for deltas).
+    pub fn from_parts(source: &str, metrics: &MetricsSnapshot, spans: &[SpanRow]) -> Self {
+        let mut doc = Self::new(source);
+        for (name, v) in &metrics.counters {
+            doc.counters.push((name.to_string(), *v));
+        }
+        for (name, v) in &metrics.gauges {
+            doc.gauges.push((name.to_string(), *v as f64));
+        }
+        for (name, h) in &metrics.histograms {
+            doc.histograms.push((
+                name.to_string(),
+                HistogramEntry {
+                    count: h.count,
+                    sum: h.sum,
+                    max: h.max,
+                },
+            ));
+        }
+        for s in spans {
+            doc.spans.push(SpanEntry {
+                path: s.path.clone(),
+                calls: s.calls,
+                total_seconds: s.total.as_secs_f64(),
+            });
+        }
+        doc
+    }
+
+    /// Add a gauge, replacing any existing gauge with the same name.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.iter_mut().find(|(n, _)| n == name) {
+            g.1 = v;
+        } else {
+            self.gauges.push((name.to_string(), v));
+        }
+    }
+
+    /// Add a counter, replacing any existing counter with the same name.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        if let Some(c) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            c.1 = v;
+        } else {
+            self.counters.push((name.to_string(), v));
+        }
+    }
+
+    /// Counter total by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Serialise to the versioned JSON schema.
+    pub fn to_json(&self) -> String {
+        let counters = JsonValue::Obj(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), JsonValue::Num(*v as f64)))
+                .collect(),
+        );
+        let gauges = JsonValue::Obj(
+            self.gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), JsonValue::Num(*v)))
+                .collect(),
+        );
+        let histograms = JsonValue::Obj(
+            self.histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        JsonValue::Obj(vec![
+                            ("count".into(), JsonValue::Num(h.count as f64)),
+                            ("sum".into(), JsonValue::Num(h.sum as f64)),
+                            ("max".into(), JsonValue::Num(h.max as f64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans = JsonValue::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    JsonValue::Obj(vec![
+                        ("path".into(), JsonValue::Str(s.path.clone())),
+                        ("calls".into(), JsonValue::Num(s.calls as f64)),
+                        ("total_seconds".into(), JsonValue::Num(s.total_seconds)),
+                    ])
+                })
+                .collect(),
+        );
+        let doc = JsonValue::Obj(vec![
+            (
+                "schema_version".into(),
+                JsonValue::Num(SCHEMA_VERSION as f64),
+            ),
+            ("source".into(), JsonValue::Str(self.source.clone())),
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+            ("spans".into(), spans),
+        ]);
+        write_pretty(&doc)
+    }
+
+    /// Parse and validate a metrics document.
+    ///
+    /// # Errors
+    /// Rejects malformed JSON, a missing or unknown `schema_version`,
+    /// and missing `source` / `counters` / `spans` keys.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse(text)?;
+        let version = v
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let source = v
+            .get("source")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing source")?
+            .to_string();
+        let mut doc = Self::new(&source);
+        for (name, val) in v
+            .get("counters")
+            .and_then(JsonValue::as_obj)
+            .ok_or("missing counters object")?
+        {
+            let n = val
+                .as_u64()
+                .ok_or_else(|| format!("counter {name} is not a non-negative integer"))?;
+            doc.counters.push((name.clone(), n));
+        }
+        if let Some(gauges) = v.get("gauges").and_then(JsonValue::as_obj) {
+            for (name, val) in gauges {
+                let n = val
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge {name} is not a number"))?;
+                doc.gauges.push((name.clone(), n));
+            }
+        }
+        if let Some(hists) = v.get("histograms").and_then(JsonValue::as_obj) {
+            for (name, val) in hists {
+                let field = |k: &str| {
+                    val.get(k)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| format!("histogram {name} missing {k}"))
+                };
+                doc.histograms.push((
+                    name.clone(),
+                    HistogramEntry {
+                        count: field("count")?,
+                        sum: field("sum")?,
+                        max: field("max")?,
+                    },
+                ));
+            }
+        }
+        for item in v
+            .get("spans")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing spans array")?
+        {
+            let path = item
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or("span missing path")?
+                .to_string();
+            let calls = item
+                .get("calls")
+                .and_then(JsonValue::as_u64)
+                .ok_or("span missing calls")?;
+            let total_seconds = item
+                .get("total_seconds")
+                .and_then(JsonValue::as_f64)
+                .ok_or("span missing total_seconds")?;
+            doc.spans.push(SpanEntry {
+                path,
+                calls,
+                total_seconds,
+            });
+        }
+        Ok(doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_scalars_arrays_objects() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": "x\ny", "c": true, "d": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_f64(),
+            Some(-300.0)
+        );
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("d"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("123 456").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_decodes_unicode_escapes() {
+        let v = parse(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{e9}\u{1F600}"));
+    }
+
+    #[test]
+    fn doc_round_trips() {
+        let mut doc = MetricsDoc::new("round_trip_test");
+        doc.counters.push(("sma.ge_solves".into(), 12345));
+        doc.counters
+            .push(("fastpath.border_fallback_pixels".into(), 88));
+        doc.set_gauge("speedup", 16.75);
+        doc.histograms.push((
+            "maspar.router.in_degree".into(),
+            HistogramEntry {
+                count: 9,
+                sum: 20,
+                max: 5,
+            },
+        ));
+        doc.spans.push(SpanEntry {
+            path: "pipeline/matching".into(),
+            calls: 2,
+            total_seconds: 0.125,
+        });
+        let text = doc.to_json();
+        let back = MetricsDoc::from_json(&text).expect("round trip parse");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn rejects_unknown_schema_version() {
+        let doc = MetricsDoc::new("x");
+        let text = doc
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = MetricsDoc::from_json(&text).unwrap_err();
+        assert!(err.contains("unsupported schema_version 999"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_required_keys() {
+        assert!(MetricsDoc::from_json("{}")
+            .unwrap_err()
+            .contains("schema_version"));
+        let no_counters = r#"{"schema_version": 1, "source": "x", "spans": []}"#;
+        assert!(MetricsDoc::from_json(no_counters)
+            .unwrap_err()
+            .contains("counters"));
+        let no_spans = r#"{"schema_version": 1, "source": "x", "counters": {}}"#;
+        assert!(MetricsDoc::from_json(no_spans)
+            .unwrap_err()
+            .contains("spans"));
+    }
+
+    #[test]
+    fn empty_capture_is_still_valid_schema() {
+        let doc = MetricsDoc::new("empty");
+        let back = MetricsDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(back.source, "empty");
+        assert!(back.counters.is_empty());
+        assert!(back.spans.is_empty());
+    }
+}

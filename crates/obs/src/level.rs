@@ -1,0 +1,113 @@
+//! Runtime verbosity level, initialised lazily from the `SMA_OBS`
+//! environment variable and overridable in-process.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Observability verbosity, ordered from silent to chatty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsLevel {
+    /// Record nothing; every instrumentation call is a cheap early-out.
+    Off = 0,
+    /// Aggregate spans and metrics silently; read them via snapshots.
+    Summary = 1,
+    /// `Summary`, plus a stderr line each time a span closes.
+    Spans = 2,
+    /// `Spans`, plus a stderr line each time a span opens.
+    Trace = 3,
+}
+
+impl ObsLevel {
+    /// Parse an `SMA_OBS` value. Unrecognised strings read as `Off` so a
+    /// typo can never turn a production run into a tracing run.
+    pub fn parse(s: &str) -> ObsLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "summary" | "1" => ObsLevel::Summary,
+            "spans" | "2" => ObsLevel::Spans,
+            "trace" | "3" => ObsLevel::Trace,
+            _ => ObsLevel::Off,
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn from_u8(v: u8) -> ObsLevel {
+        match v {
+            1 => ObsLevel::Summary,
+            2 => ObsLevel::Spans,
+            3 => ObsLevel::Trace,
+            _ => ObsLevel::Off,
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialised from the environment".
+#[cfg(feature = "enabled")]
+const UNINIT: u8 = u8::MAX;
+
+#[cfg(feature = "enabled")]
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The current verbosity level.
+///
+/// First call reads `SMA_OBS`; later calls are one relaxed atomic load.
+/// With the `enabled` feature off this is always [`ObsLevel::Off`] and
+/// the environment is never consulted.
+#[inline]
+pub fn level() -> ObsLevel {
+    #[cfg(feature = "enabled")]
+    {
+        match LEVEL.load(Ordering::Relaxed) {
+            UNINIT => init_from_env(),
+            v => ObsLevel::from_u8(v),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        ObsLevel::Off
+    }
+}
+
+#[cfg(feature = "enabled")]
+#[cold]
+fn init_from_env() -> ObsLevel {
+    let l = std::env::var("SMA_OBS")
+        .map(|s| ObsLevel::parse(&s))
+        .unwrap_or(ObsLevel::Off);
+    // A concurrent set_level may have raced us; only fill in if still
+    // uninitialised, then re-read whatever won.
+    let _ = LEVEL.compare_exchange(UNINIT, l as u8, Ordering::Relaxed, Ordering::Relaxed);
+    ObsLevel::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Override the level in-process (tests, report binaries). With the
+/// `enabled` feature off this is a no-op.
+#[inline]
+pub fn set_level(l: ObsLevel) {
+    #[cfg(feature = "enabled")]
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = l;
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_names_and_digits() {
+        assert_eq!(ObsLevel::parse("off"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse("Summary"), ObsLevel::Summary);
+        assert_eq!(ObsLevel::parse(" spans "), ObsLevel::Spans);
+        assert_eq!(ObsLevel::parse("TRACE"), ObsLevel::Trace);
+        assert_eq!(ObsLevel::parse("3"), ObsLevel::Trace);
+        assert_eq!(ObsLevel::parse("bogus"), ObsLevel::Off);
+        assert_eq!(ObsLevel::parse(""), ObsLevel::Off);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(ObsLevel::Off < ObsLevel::Summary);
+        assert!(ObsLevel::Summary < ObsLevel::Spans);
+        assert!(ObsLevel::Spans < ObsLevel::Trace);
+    }
+}

@@ -1,0 +1,62 @@
+//! Zero-dependency observability for the SMA reproduction.
+//!
+//! The paper's whole §4–§5 argument is quantitative — operation counts,
+//! X-net fetch costs, the 64 KB-per-PE memory formula — so the pipeline
+//! carries its own cost monitoring instead of relying on one-off bench
+//! binaries. This crate is the substrate: no external dependencies (the
+//! workspace builds offline against `vendor/` shims, so no `tracing`),
+//! `std` only, and a feature-gated no-op mode that compiles every entry
+//! point away.
+//!
+//! Three pieces:
+//!
+//! * **Spans** ([`span`]): hierarchical wall-clock timers. Guards push a
+//!   name onto a thread-local stack; on drop the `/`-joined path is
+//!   aggregated into a process-global registry, so timings from Rayon
+//!   workers and explicit threads land in the same tree.
+//! * **Metrics** ([`metrics::Counter`], [`metrics::HighWater`],
+//!   [`metrics::Histogram`]): statically-declared atomics that register
+//!   themselves on first touch. Counting only happens when the runtime
+//!   level is above [`ObsLevel::Off`], so untouched test binaries pay one
+//!   relaxed atomic load per call site and record nothing.
+//! * **Exporters** ([`report::render`], [`json::MetricsDoc`]): a
+//!   human-readable nested timing tree, and a versioned `METRICS_*.json`
+//!   schema shared by every bench binary (see [`json::SCHEMA_VERSION`]).
+//!
+//! Runtime verbosity is env-filtered via `SMA_OBS`:
+//!
+//! | value     | effect                                                   |
+//! |-----------|----------------------------------------------------------|
+//! | `off`     | nothing recorded (default when the variable is unset)    |
+//! | `summary` | spans + metrics aggregated silently; read via snapshots  |
+//! | `spans`   | `summary`, plus one stderr line as each span closes      |
+//! | `trace`   | `spans`, plus a stderr line as each span opens           |
+//!
+//! Compile-time kill switch: build this crate with
+//! `--no-default-features` and [`span`] returns a zero-sized guard,
+//! [`metrics::Counter::add`] is an empty `#[inline]` body, and
+//! [`level`] is a `const`-foldable `Off`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod level;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use level::{level, set_level, ObsLevel};
+pub use metrics::{Counter, HighWater, Histogram};
+pub use span::{span, SpanGuard};
+
+/// True when the runtime level records anything at all.
+///
+/// Call sites use this to skip building expensive diagnostic values
+/// (string formatting, large snapshots) when observability is off. With
+/// the `enabled` feature off this is a `const false` and the guarded
+/// block is dead code.
+#[inline]
+pub fn active() -> bool {
+    level() != ObsLevel::Off
+}

@@ -1,0 +1,362 @@
+//! Typed counters, high-water gauges and histograms.
+//!
+//! Metrics are declared as `static` items at their call sites and
+//! register themselves into a process-global registry on first touch, so
+//! there is no central list to keep in sync:
+//!
+//! ```
+//! use sma_obs::{metrics::Counter, set_level, ObsLevel};
+//! static HYPOTHESES: Counter = Counter::new("sma.hypotheses_evaluated");
+//! set_level(ObsLevel::Summary);
+//! HYPOTHESES.add(25);
+//! # #[cfg(feature = "enabled")]
+//! assert_eq!(HYPOTHESES.get(), 25);
+//! ```
+//!
+//! All updates are relaxed atomics: totals are exact (every add lands),
+//! only cross-metric ordering is unspecified, which aggregation does not
+//! care about. When the runtime level is [`Off`](crate::ObsLevel::Off)
+//! updates return before touching the value, so instrumented hot loops
+//! cost one atomic load per call site in production.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// What a registry entry points at. In no-op builds nothing ever
+/// registers, so the variants are only constructed with `enabled` on.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+enum MetricRef {
+    Counter(&'static Counter),
+    HighWater(&'static HighWater),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<Vec<MetricRef>> {
+    static REGISTRY: OnceLock<Mutex<Vec<MetricRef>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A monotonically increasing event count.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    registered: Once,
+}
+
+impl Counter {
+    /// Declare a counter. `name` is the stable dotted identifier used in
+    /// reports and the JSON export (e.g. `"sma.ge_solves"`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The counter's stable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` events. No-op when observability is off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            if !crate::active() {
+                return;
+            }
+            self.registered
+                .call_once(|| registry().lock().unwrap().push(MetricRef::Counter(self)));
+            self.value.fetch_add(n, Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Add one event. No-op when observability is off.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A gauge that keeps the maximum value ever recorded (e.g. per-PE
+/// memory high-water in bytes).
+pub struct HighWater {
+    name: &'static str,
+    value: AtomicU64,
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    registered: Once,
+}
+
+impl HighWater {
+    /// Declare a high-water gauge with a stable dotted `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The gauge's stable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record an observation; the gauge keeps the maximum. No-op when
+    /// observability is off.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            if !crate::active() {
+                return;
+            }
+            self.registered
+                .call_once(|| registry().lock().unwrap().push(MetricRef::HighWater(self)));
+            self.value.fetch_max(v, Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Largest value recorded so far (0 if never touched).
+    pub fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// Power-of-two bucket count: values land in bucket
+/// `ceil(log2(v + 1))`, capped. Bucket 0 holds zeros.
+const HIST_BUCKETS: usize = 33;
+
+/// A histogram over `u64` observations with power-of-two buckets plus
+/// exact count/sum/max (e.g. router in-degrees).
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    #[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+    registered: Once,
+}
+
+/// Point-in-time histogram statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Largest observation (0 if empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Declare a histogram with a stable dotted `name`.
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Self {
+            name,
+            buckets: [ZERO; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The histogram's stable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one observation. No-op when observability is off.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            if !crate::active() {
+                return;
+            }
+            self.registered
+                .call_once(|| registry().lock().unwrap().push(MetricRef::Histogram(self)));
+            let bucket = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+            self.buckets[bucket].fetch_add(1, Relaxed);
+            self.count.fetch_add(1, Relaxed);
+            self.sum.fetch_add(v, Relaxed);
+            self.max.fetch_max(v, Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Current count/sum/max.
+    pub fn stats(&self) -> HistogramStats {
+        HistogramStats {
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of every metric touched so far, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for each counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, max_recorded)` for each high-water gauge.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// `(name, stats)` for each histogram.
+    pub histograms: Vec<(&'static str, HistogramStats)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter total by name (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Look up a gauge value by name (0 if never touched).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// Snapshot every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let mut s = MetricsSnapshot::default();
+    for m in registry().lock().unwrap().iter() {
+        match m {
+            MetricRef::Counter(c) => s.counters.push((c.name, c.get())),
+            MetricRef::HighWater(g) => s.gauges.push((g.name, g.get())),
+            MetricRef::Histogram(h) => s.histograms.push((h.name, h.stats())),
+        }
+    }
+    s.counters.sort_by_key(|(n, _)| *n);
+    s.gauges.sort_by_key(|(n, _)| *n);
+    s.histograms.sort_by_key(|(n, _)| *n);
+    s
+}
+
+/// Zero every registered metric (tests and multi-phase report binaries).
+/// Registration is retained so the metrics still appear in snapshots.
+pub fn reset() {
+    for m in registry().lock().unwrap().iter() {
+        match m {
+            MetricRef::Counter(c) => c.value.store(0, Relaxed),
+            MetricRef::HighWater(g) => g.value.store(0, Relaxed),
+            MetricRef::Histogram(h) => {
+                for b in &h.buckets {
+                    b.store(0, Relaxed);
+                }
+                h.count.store(0, Relaxed);
+                h.sum.store(0, Relaxed);
+                h.max.store(0, Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Metric state is process-global; these tests use distinct metric
+    // names and only assert on deltas of their own metrics so they stay
+    // order- and concurrency-independent.
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn counter_counts_when_enabled() {
+        static C: Counter = Counter::new("test.metrics.counter_counts");
+        crate::set_level(crate::ObsLevel::Summary);
+        let before = C.get();
+        C.add(3);
+        C.incr();
+        assert_eq!(C.get() - before, 4);
+        assert_eq!(snapshot().counter("test.metrics.counter_counts"), C.get());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn high_water_keeps_max() {
+        static G: HighWater = HighWater::new("test.metrics.high_water");
+        crate::set_level(crate::ObsLevel::Summary);
+        G.record(10);
+        G.record(7);
+        assert!(G.get() >= 10);
+        G.record(99);
+        assert!(G.get() >= 99);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        static H: Histogram = Histogram::new("test.metrics.histogram");
+        crate::set_level(crate::ObsLevel::Summary);
+        let before = H.stats();
+        H.record(0);
+        H.record(1);
+        H.record(16);
+        let after = H.stats();
+        assert_eq!(after.count - before.count, 3);
+        assert_eq!(after.sum - before.sum, 17);
+        assert!(after.max >= 16);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn threads_aggregate_into_one_total() {
+        static C: Counter = Counter::new("test.metrics.threaded");
+        crate::set_level(crate::ObsLevel::Summary);
+        let before = C.get();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1000 {
+                        C.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(C.get() - before, 4000);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_records_nothing() {
+        static C: Counter = Counter::new("test.metrics.disabled");
+        static G: HighWater = HighWater::new("test.metrics.disabled_gauge");
+        static H: Histogram = Histogram::new("test.metrics.disabled_hist");
+        crate::set_level(crate::ObsLevel::Trace); // must be a no-op
+        C.add(100);
+        G.record(100);
+        H.record(100);
+        assert_eq!(C.get(), 0);
+        assert_eq!(G.get(), 0);
+        assert_eq!(H.stats().count, 0);
+        assert_eq!(crate::level(), crate::ObsLevel::Off);
+    }
+}

@@ -1,0 +1,181 @@
+//! Human-readable exporter: a nested timing tree plus metric listings.
+
+use std::time::Duration;
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRow;
+
+struct Node {
+    name: String,
+    calls: u64,
+    total: Duration,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn child_mut(&mut self, name: &str) -> &mut Node {
+        // Linear scan: span trees are tens of nodes, not thousands.
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            &mut self.children[i]
+        } else {
+            self.children.push(Node {
+                name: name.to_string(),
+                calls: 0,
+                total: Duration::ZERO,
+                children: Vec::new(),
+            });
+            self.children.last_mut().unwrap()
+        }
+    }
+}
+
+fn build_tree(rows: &[SpanRow]) -> Node {
+    let mut root = Node {
+        name: String::new(),
+        calls: 0,
+        total: Duration::ZERO,
+        children: Vec::new(),
+    };
+    for row in rows {
+        let mut node = &mut root;
+        for part in row.path.split('/') {
+            node = node.child_mut(part);
+        }
+        node.calls += row.calls;
+        node.total += row.total;
+    }
+    root
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+fn render_node(out: &mut String, node: &Node, depth: usize, parent_total: Option<Duration>) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", node.name);
+    let pct = match parent_total {
+        Some(p) if !p.is_zero() => {
+            format!(
+                "  {:5.1}%",
+                100.0 * node.total.as_secs_f64() / p.as_secs_f64()
+            )
+        }
+        _ => String::new(),
+    };
+    out.push_str(&format!(
+        "{label:<40} {:>12} {:>8}x{pct}\n",
+        fmt_dur(node.total),
+        node.calls
+    ));
+    for c in &node.children {
+        render_node(out, c, depth + 1, Some(node.total));
+    }
+}
+
+/// Render the nested span timing tree and all metrics as plain text.
+///
+/// Child rows show their share of the parent's wall-clock time; shares
+/// can exceed 100% in aggregate when children run on multiple threads.
+pub fn render(spans: &[SpanRow], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("span tree (wall-clock total, calls):\n");
+    if spans.is_empty() {
+        out.push_str("  (no spans recorded; set SMA_OBS=summary or higher)\n");
+    } else {
+        let root = build_tree(spans);
+        for c in &root.children {
+            render_node(&mut out, c, 1, None);
+        }
+    }
+    if !metrics.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        for (name, v) in &metrics.counters {
+            out.push_str(&format!("  {name:<44} {v:>16}\n"));
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        out.push_str("\nhigh-water gauges:\n");
+        for (name, v) in &metrics.gauges {
+            out.push_str(&format!("  {name:<44} {v:>16}\n"));
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        out.push_str("\nhistograms (count / sum / max):\n");
+        for (name, h) in &metrics.histograms {
+            out.push_str(&format!(
+                "  {name:<44} {:>10} / {} / {}\n",
+                h.count, h.sum, h.max
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramStats;
+
+    #[test]
+    fn renders_nested_tree_with_percentages() {
+        let spans = vec![
+            SpanRow {
+                path: "pipeline".into(),
+                calls: 1,
+                total: Duration::from_millis(100),
+            },
+            SpanRow {
+                path: "pipeline/matching".into(),
+                calls: 2,
+                total: Duration::from_millis(80),
+            },
+        ];
+        let metrics = MetricsSnapshot {
+            counters: vec![("sma.ge_solves", 42)],
+            gauges: vec![("maspar.pe_bytes_high_water", 1024)],
+            histograms: vec![(
+                "maspar.router.in_degree",
+                HistogramStats {
+                    count: 3,
+                    sum: 6,
+                    max: 4,
+                },
+            )],
+        };
+        let text = render(&spans, &metrics);
+        assert!(text.contains("pipeline"));
+        assert!(text.contains("matching"));
+        assert!(text.contains("80.0%"));
+        assert!(text.contains("sma.ge_solves"));
+        assert!(text.contains("42"));
+        assert!(text.contains("1024"));
+        assert!(text.contains("in_degree"));
+    }
+
+    #[test]
+    fn empty_spans_render_hint() {
+        let text = render(&[], &MetricsSnapshot::default());
+        assert!(text.contains("no spans recorded"));
+    }
+
+    #[test]
+    fn missing_intermediate_nodes_are_synthesised() {
+        // A path whose parent was never recorded directly still nests.
+        let spans = vec![SpanRow {
+            path: "a/b/c".into(),
+            calls: 1,
+            total: Duration::from_millis(5),
+        }];
+        let text = render(&spans, &MetricsSnapshot::default());
+        assert!(text.contains('a'));
+        assert!(text.contains("    c"));
+    }
+}

@@ -56,6 +56,7 @@ impl Asa {
     /// # Panics
     /// Panics if the images differ in shape.
     pub fn run(&self, left: &Grid<f32>, right: &Grid<f32>) -> AsaResult {
+        let _span = sma_obs::span("stereo_asa");
         let disparity = match_hierarchical(left, right, self.config.matching);
         let height = self.config.geometry.height_map(&disparity);
         let residual = warp_residual(left, right, &disparity);

@@ -14,6 +14,9 @@ use sma_grid::{BorderPolicy, Grid};
 
 use crate::ncc::best_disparity;
 
+static LEVELS_REFINED: sma_obs::Counter = sma_obs::Counter::new("stereo.levels_refined");
+static PIXELS_MATCHED: sma_obs::Counter = sma_obs::Counter::new("stereo.pixels_matched");
+
 /// Parameters of one hierarchical matching run.
 #[derive(Debug, Clone, Copy)]
 pub struct MatchParams {
@@ -53,6 +56,7 @@ impl Default for MatchParams {
 pub fn match_hierarchical(left: &Grid<f32>, right: &Grid<f32>, params: MatchParams) -> Grid<f32> {
     assert_eq!(left.dims(), right.dims(), "stereo pair shape mismatch");
     assert!(params.levels > 0, "need at least one pyramid level");
+    let _span = sma_obs::span("hierarchical_match");
 
     // Cap the pyramid depth so the coarsest level is still meaningfully
     // larger than the correlation window — matching an 8x8 level with a
@@ -89,6 +93,9 @@ pub fn match_hierarchical(left: &Grid<f32>, right: &Grid<f32>, params: MatchPara
         // Never search beyond a quarter of the level width: wider offsets
         // correlate mostly clamped border content.
         let range = range.min((l.width() / 4).max(1));
+        let _level_span = sma_obs::span("refine_level");
+        LEVELS_REFINED.incr();
+        PIXELS_MATCHED.add((l.width() * l.height()) as u64);
         disparity = refine_level(l, r, &disparity, range, params);
     }
     disparity

@@ -20,6 +20,12 @@ use sma_linalg::Vec3;
 
 use crate::fit::FitContext;
 
+/// One per pixel per [`GeomField`] pass; `SmaFrames::prepare` runs four
+/// passes (geometry and discriminant, before and after), so a full
+/// prepare contributes exactly `4 * w * h` — the `surface_fit_ges` row
+/// of the analytic workload model.
+static PATCH_FITS: sma_obs::Counter = sma_obs::Counter::new("surface.patch_fits");
+
 /// The per-pixel geometric variables extracted from a fitted quadratic
 /// patch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +81,8 @@ impl GeomField {
     /// Compute geometric variables at every pixel of `z` by fitting
     /// `(2n+1) x (2n+1)` quadratic patches (sequentially).
     pub fn compute(z: &Grid<f32>, n: usize, policy: BorderPolicy) -> Self {
+        let _span = sma_obs::span("geom_field");
+        PATCH_FITS.add((z.width() * z.height()) as u64);
         let ctx = FitContext::new(n);
         let vars = Grid::from_fn(z.width(), z.height(), |x, y| {
             Self::vars_from_patch(&ctx, z, x, y, policy)
@@ -87,6 +95,8 @@ impl GeomField {
     /// is independent, matching the SIMD formulation where every PE fits
     /// its own patch in lockstep.
     pub fn compute_par(z: &Grid<f32>, n: usize, policy: BorderPolicy) -> Self {
+        let _span = sma_obs::span("geom_field");
+        PATCH_FITS.add((z.width() * z.height()) as u64);
         let ctx = FitContext::new(n);
         let (w, h) = z.dims();
         let rows: Vec<Vec<GeomVars>> = (0..h)

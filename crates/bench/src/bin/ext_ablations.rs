@@ -28,7 +28,8 @@ fn main() {
             corrupted.set(x, y, corrupted.at(x, y) + 25.0);
         }
     }
-    let frames = SmaFrames::prepare(&before, &corrupted, &before, &corrupted, &cfg);
+    let frames =
+        SmaFrames::prepare(&before, &corrupted, &before, &corrupted, &cfg).expect("prepare");
     // Compare at the true (zero) hypothesis so the metric isolates the
     // Step-2 estimator rather than the hypothesis search.
     let plain = sma_core::motion::evaluate_hypothesis(&frames, &cfg, 15, 15, 0, 0).unwrap();
@@ -55,8 +56,8 @@ fn main() {
     // --- Hierarchical (adaptive search) vs flat -----------------------
     let b = wavy(72, 72);
     let a = translate(&b, -5.0, 0.0, BorderPolicy::Clamp);
-    let flat = track_hierarchical(&b, &a, &b, &a, &cfg, 1);
-    let hier = track_hierarchical(&b, &a, &b, &a, &cfg, 3);
+    let flat = track_hierarchical(&b, &a, &b, &a, &cfg, 1).expect("track");
+    let hier = track_hierarchical(&b, &a, &b, &a, &cfg, 3).expect("track");
     let score = |f: &FlowField| {
         let mut e = 0.0f32;
         let mut n = 0;

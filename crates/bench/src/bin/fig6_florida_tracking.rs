@@ -45,8 +45,9 @@ fn main() {
             seq.surface(t),
             seq.surface(t + 1),
             &cfg,
-        );
-        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+        )
+        .expect("prepare");
+        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
         let flow = result.flow();
 
         // Mask to cloudy regions like the paper's visualization.

@@ -63,20 +63,21 @@ fn run_scenario(s: &Scenario) -> Row {
         margin: cfg.margin(),
     };
     let exact_seq = time_best(|| {
-        black_box(track_all_sequential(black_box(&frames), &cfg, region));
+        black_box(track_all_sequential(black_box(&frames), &cfg, region)).expect("track");
     });
     let exact_par = time_best(|| {
-        black_box(track_all_parallel(black_box(&frames), &cfg, region));
+        black_box(track_all_parallel(black_box(&frames), &cfg, region)).expect("track");
     });
     let integral_seq = time_best(|| {
-        black_box(track_all_integral(black_box(&frames), &cfg, region));
+        black_box(track_all_integral(black_box(&frames), &cfg, region)).expect("track");
     });
     let integral_par = time_best(|| {
         black_box(track_all_integral_parallel(
             black_box(&frames),
             &cfg,
             region,
-        ));
+        ))
+        .expect("track");
     });
     Row {
         name: s.name,
@@ -184,8 +185,8 @@ fn main() {
         let region = Region::Interior {
             margin: cfg.margin(),
         };
-        black_box(track_all_sequential(&frames, &cfg, region));
-        black_box(track_all_integral(&frames, &cfg, region));
+        black_box(track_all_sequential(&frames, &cfg, region)).expect("track");
+        black_box(track_all_integral(&frames, &cfg, region)).expect("track");
     }
     let mut doc = MetricsDoc::capture("hotpath_report");
     for r in &rows {

@@ -46,8 +46,8 @@ fn main() {
         let after = mpda
             .read(&format!("luis_t{}", t + 1))
             .expect("staged frame");
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
-        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
+        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
         let pts: Vec<(usize, usize)> = result.region.pixels().collect();
         let stats = result.flow().compare_at(&seq.truth_flows[t], &pts);
         sum_rms += stats.rms_endpoint;

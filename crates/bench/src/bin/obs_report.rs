@@ -4,12 +4,18 @@
 //! [`sma_core::timing::SmaWorkload`], and emit the shared
 //! `METRICS_hotpath.json` document.
 //!
-//! Usage: `obs_report [--small] [--out PATH]`
+//! Usage: `obs_report [--small] [--out PATH] [--faults [SEED:RATE]]`
 //!
 //! * `--small` — run the reduced CI workload (32 x 32 frames) instead of
 //!   the 64 x 64 medium one;
 //! * `--out PATH` — write the metrics document to `PATH` instead of
-//!   `METRICS_hotpath.json`.
+//!   `METRICS_hotpath.json`;
+//! * `--faults [SEED:RATE]` — arm the deterministic fault harness
+//!   (default `42:0.02`), punch input dropouts into the frames, print
+//!   the fault ledger, and validate the `injected == recovered +
+//!   degraded` invariant. The cross-driver equivalence assertions stay
+//!   live: degraded fast-path pixels re-route through the exact kernel,
+//!   so an armed run must still agree with the sequential reference.
 //!
 //! If `SMA_OBS` is unset the level defaults to `summary` so the report
 //! is useful out of the box; set `SMA_OBS=spans` or `trace` for live
@@ -30,6 +36,7 @@ use sma_grid::pyramid::Pyramid;
 use sma_grid::warp::translate;
 use sma_grid::BorderPolicy;
 use sma_obs::json::MetricsDoc;
+use sma_satdata::dropout::apply_dropouts;
 use sma_stereo::hierarchical::MatchParams;
 use sma_stereo::match_hierarchical;
 
@@ -58,6 +65,27 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("METRICS_hotpath.json", |s| s.as_str());
+    let faults: Option<(u64, f64)> = args.iter().position(|a| a == "--faults").map(|i| match args
+        .get(i + 1)
+        .filter(|s| !s.starts_with("--"))
+    {
+        None => (42, 0.02),
+        Some(spec) => match spec
+            .split_once(':')
+            .and_then(|(s, r)| Some((s.parse::<u64>().ok()?, r.parse::<f64>().ok()?)))
+        {
+            Some(parsed) => parsed,
+            None => {
+                eprintln!("obs_report: --faults expects SEED:RATE, got {spec:?}");
+                std::process::exit(2);
+            }
+        },
+    });
+    if let Some((seed, rate)) = faults {
+        sma_fault::install(seed, rate);
+        sma_fault::reset_ledger();
+        println!("fault harness armed: seed {seed}, rate {rate}");
+    }
 
     // Default to summary so the report observes something even when the
     // caller did not set SMA_OBS; an explicit SMA_OBS always wins.
@@ -92,7 +120,9 @@ fn main() {
             let _s = sma_obs::span("generate");
             let b = wavy(side, side);
             let a = translate(&b, -1.0, 0.0, BorderPolicy::Clamp);
-            (b, a)
+            // Disarmed this is an exact copy; armed it punches the
+            // deterministic dropout pattern the quarantine must absorb.
+            (apply_dropouts(&b, 0), apply_dropouts(&a, 1))
         };
 
         // Phase: pyramid + hierarchical stereo (spans recorded inside).
@@ -101,7 +131,7 @@ fn main() {
 
         // Phase: surface fits (4 geometry passes inside prepare).
         let fits_before = counter("surface.patch_fits");
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         checks.push(Check {
             name: "surface.patch_fits delta == surface_fit_ges",
             got: counter("surface.patch_fits") - fits_before,
@@ -113,7 +143,7 @@ fn main() {
         let hyp0 = counter("sma.hypotheses_evaluated");
         let ge0 = counter("sma.ge_solves");
         let terms0 = counter("sma.template_terms");
-        let seq = track_all_sequential(&frames, &cfg, Region::Full);
+        let seq = track_all_sequential(&frames, &cfg, Region::Full).expect("sequential");
         checks.push(Check {
             name: "sma.hypotheses_evaluated delta == hyp_ges",
             got: counter("sma.hypotheses_evaluated") - hyp0,
@@ -135,8 +165,8 @@ fn main() {
         let region = Region::Interior {
             margin: cfg.margin(),
         };
-        let seg = track_all_segmented(&frames, &cfg, region, 2);
-        let fast = track_all_integral(&frames, &cfg, region);
+        let seg = track_all_segmented(&frames, &cfg, region, 2).expect("segmented");
+        let fast = track_all_integral(&frames, &cfg, region).expect("fastpath");
         let bounds = region.bounds(side, side).expect("non-empty interior");
         for (x, y) in bounds.pixels() {
             assert_eq!(
@@ -170,7 +200,8 @@ fn main() {
             &cfg,
             region,
             ReadoutScheme::Raster,
-        );
+        )
+        .expect("maspar run");
         let z = report
             .memory
             .max_segment_rows()
@@ -180,6 +211,36 @@ fn main() {
             // Encode the inequality as an equality on its truth value so
             // every check prints uniformly.
             got: u64::from(report.pe_bytes_high_water <= report.memory.total_bytes(z)),
+            want: 1,
+        });
+    }
+
+    // The fault ledger: every injected fault must have resolved to
+    // recovered or degraded by the time the pipeline finishes.
+    let fault_snap = faults.map(|_| sma_fault::ledger());
+    if let Some(snap) = &fault_snap {
+        println!("\nfault ledger:");
+        println!(
+            "  injected {:>8}   recovered {:>8}   degraded {:>8}",
+            snap.injected, snap.recovered, snap.degraded
+        );
+        println!(
+            "  natural degradations {:>8}   quarantined pixels {:>8}",
+            snap.degraded_natural, snap.quarantined_pixels
+        );
+        for (site, n) in snap.by_site() {
+            if n > 0 {
+                println!("    {site:<14} {n:>8}");
+            }
+        }
+        checks.push(Check {
+            name: "fault ledger balanced (injected == recovered + degraded)",
+            got: u64::from(snap.balanced()),
+            want: 1,
+        });
+        checks.push(Check {
+            name: "armed run injected at least one fault",
+            got: u64::from(snap.injected > 0 || faults.is_some_and(|(_, r)| r == 0.0)),
             want: 1,
         });
     }
@@ -208,6 +269,15 @@ fn main() {
     doc.set_gauge("workload.pixels", workload.pixels as f64);
     doc.set_gauge("workload.hyp_ges", workload.hyp_ges as f64);
     doc.set_gauge("workload.hyp_terms", workload.hyp_terms as f64);
+    if let (Some((seed, rate)), Some(snap)) = (faults, &fault_snap) {
+        doc.set_gauge("fault.seed", seed as f64);
+        doc.set_gauge("fault.rate", rate);
+        doc.set_gauge("fault.injected", snap.injected as f64);
+        doc.set_gauge("fault.recovered", snap.recovered as f64);
+        doc.set_gauge("fault.degraded", snap.degraded as f64);
+        doc.set_gauge("fault.degraded_natural", snap.degraded_natural as f64);
+        doc.set_gauge("fault.quarantined_pixels", snap.quarantined_pixels as f64);
+    }
     std::fs::write(out_path, doc.to_json()).expect("write metrics document");
     println!("\nwrote {out_path}");
 

@@ -32,6 +32,7 @@ pub fn shifted_frames(w: usize, h: usize, dx: f32, dy: f32, cfg: &SmaConfig) -> 
     let before = wavy(w, h);
     let after = translate(&before, -dx, -dy, BorderPolicy::Clamp);
     SmaFrames::prepare(&before, &after, &before, &after, cfg)
+        .expect("benchmark fixture frames are well-formed")
 }
 
 /// Format seconds the way the paper's tables do, with a human-scale

@@ -65,7 +65,7 @@ pub fn class_medians(
 }
 
 fn median(v: &mut [f32]) -> f32 {
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite flow"));
+    v.sort_by(|a, b| a.total_cmp(b));
     v[v.len() / 2]
 }
 

@@ -10,6 +10,7 @@
 //! that fine levels only explore a residual neighborhood around the
 //! coarse prediction.
 
+use sma_fault::{GridError, SmaError};
 use sma_grid::pyramid::{downsample, upsample_to};
 use sma_grid::{BorderPolicy, FlowField, Grid, Vec2};
 
@@ -43,9 +44,11 @@ impl LevelData {
 /// the residual motion. Returns the composed dense flow at full
 /// resolution.
 ///
-/// # Panics
-/// Panics if `levels == 0`, shapes differ, or the frames are too small
-/// for `cfg`'s margins at the coarsest level.
+/// # Errors
+/// [`SmaError::Config`] if `levels == 0`;
+/// [`GridError::ShapeMismatch`] if the frame shapes differ;
+/// [`GridError::EmptyRegion`] if the frames are too small for `cfg`'s
+/// margins at the finest level.
 pub fn track_hierarchical(
     intensity_before: &Grid<f32>,
     intensity_after: &Grid<f32>,
@@ -53,13 +56,20 @@ pub fn track_hierarchical(
     surface_after: &Grid<f32>,
     cfg: &SmaConfig,
     levels: usize,
-) -> FlowField {
-    assert!(levels > 0, "need at least one pyramid level");
-    assert_eq!(
-        intensity_before.dims(),
+) -> Result<FlowField, SmaError> {
+    if levels == 0 {
+        return Err(SmaError::Config("need at least one pyramid level".into()));
+    }
+    let expected = intensity_before.dims();
+    for got in [
         intensity_after.dims(),
-        "frame shape mismatch"
-    );
+        surface_before.dims(),
+        surface_after.dims(),
+    ] {
+        if got != expected {
+            return Err(GridError::ShapeMismatch { expected, got }.into());
+        }
+    }
 
     // Build the level stack (finest first).
     let mut stack = vec![LevelData {
@@ -106,8 +116,8 @@ pub fn track_hierarchical(
             &level.surface_before,
             &level.surface_after,
             cfg,
-        );
-        let result = track_with_prior(&frames, cfg, &flow);
+        )?;
+        let result = track_with_prior(&frames, cfg, &flow)?;
         let residual = filled_flow(&result);
         flow = residual; // track_with_prior returns absolute displacements
                          // Smooth the composed field: per-level estimates are quantized to
@@ -115,7 +125,7 @@ pub fn track_hierarchical(
                          // otherwise create warp artifacts at the next finer level.
         flow = smooth_flow(&flow);
     }
-    flow
+    Ok(flow)
 }
 
 /// Binomial smoothing of both flow components.
@@ -129,25 +139,28 @@ fn smooth_flow(flow: &FlowField) -> FlowField {
 
 /// Track every interior pixel with the hypothesis window re-centered on
 /// the rounded per-pixel prior — the coarse-to-fine "adaptive search".
-/// Returned displacements are absolute (prior + residual).
+/// Returned displacements are absolute (prior + residual). Pixels whose
+/// center was quarantined (NaN/Inf in the input) are left invalid so the
+/// [`filled_flow`] median covers them instead of a repaired-data fit.
 fn track_with_prior(
     frames: &SmaFrames,
     cfg: &SmaConfig,
     prior: &FlowField,
-) -> crate::sequential::SmaResult {
+) -> Result<crate::sequential::SmaResult, SmaError> {
     use crate::motion::{evaluate_hypothesis, MotionEstimate};
     use rayon::prelude::*;
     let (w, h) = frames.dims();
     let margin = cfg.margin();
-    let bounds = Region::Interior { margin }
-        .bounds(w, h)
-        .expect("frame too small for margins");
+    let bounds = Region::Interior { margin }.bounds_checked(w, h)?;
     let ns = cfg.nzs as isize;
     let rows: Vec<(usize, Vec<MotionEstimate>)> = (bounds.y0..=bounds.y1)
         .into_par_iter()
         .map(|y| {
             let row = (bounds.x0..=bounds.x1)
                 .map(|x| {
+                    if !frames.validity.is_valid(x, y) {
+                        return MotionEstimate::invalid();
+                    }
                     let p = prior.at(x, y);
                     let (cx, cy) = (p.u.round() as isize, p.v.round() as isize);
                     let mut best = MotionEstimate::invalid();
@@ -179,10 +192,10 @@ fn track_with_prior(
             estimates.set(bounds.x0 + i, y, est);
         }
     }
-    crate::sequential::SmaResult {
+    Ok(crate::sequential::SmaResult {
         estimates,
         region: bounds,
-    }
+    })
 }
 
 /// The result's flow with untracked/invalid pixels replaced by the
@@ -202,7 +215,7 @@ fn filled_flow(result: &crate::sequential::SmaResult) -> FlowField {
             return 0.0;
         }
         let mid = v.len() / 2;
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite flow"));
+        v.sort_by(|a, b| a.total_cmp(b));
         v[mid]
     };
     let fallback = Vec2::new(median(&mut us), median(&mut vs));
@@ -235,7 +248,7 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(40, 40);
         let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-        let flow = track_hierarchical(&before, &after, &before, &after, &cfg, 1);
+        let flow = track_hierarchical(&before, &after, &before, &after, &cfg, 1).expect("track");
         // Interior must report (1, 0).
         let m = cfg.margin() + 2;
         for y in m..40 - m {
@@ -257,8 +270,8 @@ mod tests {
         let before = wavy(72, 72);
         let after = translate(&before, -5.0, 0.0, BorderPolicy::Clamp);
 
-        let flat = track_hierarchical(&before, &after, &before, &after, &cfg, 1);
-        let hier = track_hierarchical(&before, &after, &before, &after, &cfg, 3);
+        let flat = track_hierarchical(&before, &after, &before, &after, &cfg, 1).expect("flat");
+        let hier = track_hierarchical(&before, &after, &before, &after, &cfg, 3).expect("hier");
 
         let score = |f: &FlowField| {
             let mut err = 0.0f32;
@@ -290,7 +303,7 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(36, 36);
         let after = translate(&before, -1.0, -1.0, BorderPolicy::Clamp);
-        let flow = track_hierarchical(&before, &after, &before, &after, &cfg, 6);
+        let flow = track_hierarchical(&before, &after, &before, &after, &cfg, 6).expect("track");
         assert_eq!(flow.dims(), (36, 36));
     }
 }

@@ -158,7 +158,7 @@ mod tests {
         };
         let before = wavy(30, 30);
         let after = translate(&before, -1.0, 1.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base).expect("prepare");
         let a = track_pixel(&frames, &base, 15, 15);
         let b = track_pixel_rect(&frames, &rect, 15, 15);
         assert_eq!(a.displacement, b.displacement);
@@ -178,7 +178,7 @@ mod tests {
         };
         let before = wavy(36, 36);
         let after = translate(&before, -4.0, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base).expect("prepare");
         let est = track_pixel_rect(&frames, &rect, 18, 18);
         assert!(est.valid);
         assert_eq!(est.displacement, Vec2::new(4.0, 0.0));
@@ -209,7 +209,7 @@ mod tests {
         });
         let after = translate(&before, -2.0, 0.0, BorderPolicy::Clamp);
         let base = SmaConfig::small_test(MotionModel::Continuous);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &base).expect("prepare");
         let wide = RectConfig {
             base,
             template: RectWindow { nx: 6, ny: 1 },

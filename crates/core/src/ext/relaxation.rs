@@ -138,7 +138,7 @@ pub fn relax_labels(set: &LabelSet, params: RelaxationParams) -> FlowField {
         let best = probs
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         set.labels[best]
@@ -147,14 +147,18 @@ pub fn relax_labels(set: &LabelSet, params: RelaxationParams) -> FlowField {
 
 /// Build a [`LabelSet`] by evaluating every hypothesis at every pixel of
 /// a region (the dense error volume the SMA search computes anyway).
+///
+/// # Errors
+/// [`sma_fault::GridError::EmptyRegion`] if the region is empty for the
+/// frame size.
 pub fn label_set_from_frames(
     frames: &crate::motion::SmaFrames,
     cfg: &crate::config::SmaConfig,
     region: crate::sequential::Region,
-) -> LabelSet {
+) -> Result<LabelSet, sma_fault::SmaError> {
     use rayon::prelude::*;
     let (w, h) = frames.dims();
-    let bounds = region.bounds(w, h).expect("empty region");
+    let bounds = region.bounds_checked(w, h)?;
     let ns = cfg.nzs as isize;
     let labels: Vec<Vec2> = (-ns..=ns)
         .flat_map(|oy| (-ns..=ns).map(move |ox| Vec2::new(ox as f32, oy as f32)))
@@ -186,10 +190,10 @@ pub fn label_set_from_frames(
                 .collect()
         })
         .collect();
-    LabelSet {
+    Ok(LabelSet {
         labels,
         errors: Grid::from_vec(w, h, rows.into_iter().flatten().collect()),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -276,9 +280,9 @@ mod tests {
             (xf * 0.45).sin() * 2.0 + (yf * 0.35).cos() * 1.5 + (xf * 0.12 + yf * 0.21).sin() * 3.0
         });
         let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let region = Region::Interior { margin: 10 };
-        let set = label_set_from_frames(&frames, &cfg, region);
+        let set = label_set_from_frames(&frames, &cfg, region).expect("label set");
         let flow = relax_labels(&set, RelaxationParams::default());
         // Interior pixels settle on the true label (1, 0).
         for y in 11..15 {

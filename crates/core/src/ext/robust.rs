@@ -81,7 +81,7 @@ fn median(v: &mut [f64]) -> f64 {
         return 0.0;
     }
     let mid = v.len() / 2;
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite residuals"));
+    v.sort_by(|a, b| a.total_cmp(b));
     v[mid]
 }
 
@@ -211,7 +211,7 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(30, 30);
         let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let plain = evaluate_hypothesis(&frames, &cfg, 15, 15, 1, 0).unwrap();
         let robust = track_pixel_robust(&frames, &cfg, RobustParams::default(), 15, 15);
         assert!(robust.valid);
@@ -235,7 +235,7 @@ mod tests {
                 after.set(x, y, after.at(x, y) + 25.0);
             }
         }
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let plain = evaluate_hypothesis(&frames, &cfg, 15, 15, 0, 0).unwrap();
         let robust = track_pixel_robust(&frames, &cfg, RobustParams::default(), 15, 15);
 
@@ -252,7 +252,7 @@ mod tests {
     fn robust_handles_degenerate_like_plain() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let flat = Grid::filled(30, 30, 2.0f32);
-        let frames = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg);
+        let frames = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg).expect("prepare");
         let est = track_pixel_robust(&frames, &cfg, RobustParams::default(), 15, 15);
         assert!(!est.valid);
     }

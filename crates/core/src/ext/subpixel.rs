@@ -150,7 +150,7 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(32, 32);
         let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let est = track_pixel_subpixel(&frames, &cfg, 16, 16);
         assert!(est.valid);
         assert!(
@@ -166,7 +166,7 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(36, 36);
         let after = translate(&before, -1.5, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
 
         let mut int_err = 0.0f32;
         let mut sub_err = 0.0f32;
@@ -196,7 +196,7 @@ mod tests {
     fn untrackable_pixel_stays_invalid() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let flat = Grid::filled(32, 32, 1.0f32);
-        let frames = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg);
+        let frames = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg).expect("prepare");
         let est = track_pixel_subpixel(&frames, &cfg, 16, 16);
         assert!(!est.valid);
     }
@@ -206,7 +206,7 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(32, 32);
         let after = translate(&before, -0.4, -1.3, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let i = track_pixel(&frames, &cfg, 16, 16);
         let s = track_pixel_subpixel(&frames, &cfg, 16, 16);
         assert!((s.displacement.u - i.displacement.u).abs() <= 0.5 + 1e-6);

@@ -38,6 +38,7 @@
 //! 1e-6 relative).
 
 use rayon::prelude::*;
+use sma_fault::{FaultSite, SmaError};
 use sma_grid::{Grid, MomentIntegral, Vec2};
 
 use crate::affine::LocalAffine;
@@ -194,7 +195,17 @@ fn solve_moments(
 
     let mut m = ata;
     let mut sol = atb;
-    solve6(&mut m, &mut sol).ok()?;
+    if solve6(&mut m, &mut sol).is_err() {
+        // Armed-mode translation-only fallback, mirroring
+        // `motion::solve_samples`: a_k = sum(ie^2 (gx - zx)) / sum(ie^2)
+        // is atb[4] / s[5] in moment space (b_k analogous). Disarmed
+        // runs keep the pixel untrackable.
+        if !sma_fault::enabled() || s[5] <= 0.0 || s[11] <= 0.0 {
+            return None;
+        }
+        sma_fault::note_natural_degradation();
+        sol = [0.0, 0.0, 0.0, 0.0, atb[4] / s[5], atb[5] / s[11]];
+    }
 
     // eps = theta^T A^T A theta - 2 theta^T A^T b + b^T b; clamp the
     // cancellation noise floor at zero (the true minimum is >= 0).
@@ -214,22 +225,28 @@ fn solve_moments(
 /// frame) use the O(1)-per-hypothesis moment lookups; border pixels fall
 /// back to the exact kernel.
 ///
-/// # Panics
-/// Panics if the region is empty for the frame size.
-pub fn track_all_integral(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -> SmaResult {
+/// # Errors
+/// [`sma_fault::GridError::EmptyRegion`] if the region is empty for the
+/// frame size.
+pub fn track_all_integral(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    region: Region,
+) -> Result<SmaResult, SmaError> {
     track_integral_impl(frames, cfg, region, 2 * cfg.nzs + 1, false)
 }
 
 /// [`track_all_integral`] with host parallelism (Rayon) over offset
 /// planes and pixel rows. Result-identical to the sequential fast path.
 ///
-/// # Panics
-/// Panics if the region is empty for the frame size.
+/// # Errors
+/// [`sma_fault::GridError::EmptyRegion`] if the region is empty for the
+/// frame size.
 pub fn track_all_integral_parallel(
     frames: &SmaFrames,
     cfg: &SmaConfig,
     region: Region,
-) -> SmaResult {
+) -> Result<SmaResult, SmaError> {
     track_integral_impl(frames, cfg, region, 2 * cfg.nzs + 1, true)
 }
 
@@ -240,18 +257,20 @@ pub fn track_all_integral_parallel(
 /// segments. See `maspar_sim::memory` for the PE-side accounting of the
 /// moment-plane store.
 ///
-/// # Panics
-/// Panics if `z_rows == 0` or the region is empty.
+/// # Errors
+/// [`SmaError::Config`] if `z_rows == 0`;
+/// [`sma_fault::GridError::EmptyRegion`] if the region is empty.
 pub fn track_all_integral_segmented(
     frames: &SmaFrames,
     cfg: &SmaConfig,
     region: Region,
     z_rows: usize,
-) -> SmaResult {
-    assert!(
-        z_rows > 0,
-        "segment must contain at least one hypothesis row"
-    );
+) -> Result<SmaResult, SmaError> {
+    if z_rows == 0 {
+        return Err(SmaError::Config(
+            "segment must contain at least one hypothesis row".into(),
+        ));
+    }
     track_integral_impl(frames, cfg, region, z_rows, true)
 }
 
@@ -261,10 +280,10 @@ fn track_integral_impl(
     region: Region,
     z_rows: usize,
     parallel: bool,
-) -> SmaResult {
+) -> Result<SmaResult, SmaError> {
     let _span = sma_obs::span("track_integral");
     let (w, h) = frames.dims();
-    let bounds = region.bounds(w, h).expect("empty tracking region");
+    let bounds = region.bounds_checked(w, h)?;
     let ns = cfg.nzs as isize;
     let nt = cfg.nzt;
     let template = cfg.template_window();
@@ -273,11 +292,32 @@ fn track_integral_impl(
 
     // Border pixels: the template window crosses the frame edge, so the
     // rectangular-sum identity does not hold — use the exact kernel.
-    let border: Vec<(usize, usize)> = bounds
+    // Under an armed fault harness, pixels whose moment-plane window
+    // sums are poisoned (FaultSite::MomentPlane) join the same exact-
+    // kernel route: the re-route fully restores the exact result, so
+    // each such injection is *recovered*.
+    let mut border: Vec<(usize, usize)> = bounds
         .pixels()
         .filter(|&(x, y)| !template.fits_at(x, y, w, h))
         .collect();
     BORDER_FALLBACK.add(border.len() as u64);
+    let mut poisoned: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    if sma_fault::enabled() {
+        for (x, y) in bounds.pixels() {
+            if template.fits_at(x, y, w, h) {
+                if let Some(token) =
+                    sma_fault::inject(FaultSite::MomentPlane, sma_fault::key2(x as u64, y as u64))
+                {
+                    token.recovered();
+                    poisoned.insert((x, y));
+                }
+            }
+        }
+        // Deterministic processing order for the re-routed pixels.
+        let mut rerouted: Vec<(usize, usize)> = poisoned.iter().copied().collect();
+        rerouted.sort_unstable();
+        border.extend(rerouted);
+    }
     if parallel {
         let tracked: Vec<((usize, usize), MotionEstimate)> = border
             .par_iter()
@@ -294,14 +334,14 @@ fn track_integral_impl(
 
     let interior: Vec<(usize, usize)> = bounds
         .pixels()
-        .filter(|&(x, y)| template.fits_at(x, y, w, h))
+        .filter(|&(x, y)| template.fits_at(x, y, w, h) && !poisoned.contains(&(x, y)))
         .collect();
     INTERIOR_FAST.add(interior.len() as u64);
     if interior.is_empty() {
-        return SmaResult {
+        return Ok(SmaResult {
             estimates: best,
             region: bounds,
-        };
+        });
     }
 
     let stat = {
@@ -338,8 +378,19 @@ fn track_integral_impl(
             // 4 SAT corners for the static window-sum, 4 more per offset.
             CORNER_LOOKUPS.add(4 * (1 + offsets.len()) as u64);
             let s = stat.sat.window_sum(x, y, nt);
+            if !s.iter().all(|v| v.is_finite()) {
+                // Corrupted moment data (hostile input that slipped past
+                // quarantine): re-route the pixel through the exact
+                // kernel, which rebuilds its sums from raw geometry.
+                sma_fault::note_natural_degradation();
+                return track_pixel(frames, cfg, x, y);
+            }
             for (oi, &(ox, oy)) in offsets.iter().enumerate() {
                 let t = planes[oi].window_sum(x, y, nt);
+                if !t.iter().all(|v| v.is_finite()) {
+                    sma_fault::note_natural_degradation();
+                    return track_pixel(frames, cfg, x, y);
+                }
                 if let Some((params, error)) = solve_moments(&s, &t) {
                     if error < local_best.error {
                         let (rx, ry) = refined_displacement(frames, cfg, x, y, ox, oy);
@@ -374,10 +425,10 @@ fn track_integral_impl(
         row0 = row1 + 1;
     }
 
-    SmaResult {
+    Ok(SmaResult {
         estimates: best,
         region: bounds,
-    }
+    })
 }
 
 /// Host-side bytes of one segment of the fast path's moment-plane store
@@ -412,7 +463,7 @@ mod tests {
     fn frames_for_shift(dx: f32, dy: f32, cfg: &SmaConfig) -> SmaFrames {
         let before = wavy(30, 30);
         let after = translate(&before, -dx, -dy, BorderPolicy::Clamp);
-        SmaFrames::prepare(&before, &after, &before, &after, cfg)
+        SmaFrames::prepare(&before, &after, &before, &after, cfg).expect("prepare")
     }
 
     /// The moment assembly must reproduce the sample-loop normal
@@ -496,9 +547,9 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
         let f = frames_for_shift(1.0, 1.0, &cfg);
         let region = Region::Interior { margin: 10 };
-        let seq = track_all_integral(&f, &cfg, region);
-        let par = track_all_integral_parallel(&f, &cfg, region);
-        let seg = track_all_integral_segmented(&f, &cfg, region, 2);
+        let seq = track_all_integral(&f, &cfg, region).expect("fastpath");
+        let par = track_all_integral_parallel(&f, &cfg, region).expect("fastpath par");
+        let seg = track_all_integral_segmented(&f, &cfg, region, 2).expect("fastpath seg");
         for (x, y) in seq.region.pixels() {
             assert_eq!(
                 seq.estimates.at(x, y),
@@ -517,7 +568,7 @@ mod tests {
     fn fastpath_tracks_known_shift() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let f = frames_for_shift(2.0, -1.0, &cfg);
-        let r = track_all_integral(&f, &cfg, Region::Interior { margin: 10 });
+        let r = track_all_integral(&f, &cfg, Region::Interior { margin: 10 }).expect("fastpath");
         for (x, y) in r.region.pixels() {
             let e = r.estimates.at(x, y);
             assert!(e.valid, "({x},{y})");
@@ -531,8 +582,8 @@ mod tests {
             let cfg = SmaConfig::small_test(model);
             let f = frames_for_shift(1.0, 1.0, &cfg);
             let region = Region::Interior { margin: 10 };
-            let exact = track_all_sequential(&f, &cfg, region);
-            let fast = track_all_integral(&f, &cfg, region);
+            let exact = track_all_sequential(&f, &cfg, region).expect("sequential");
+            let fast = track_all_integral(&f, &cfg, region).expect("fastpath");
             for (x, y) in exact.region.pixels() {
                 let a = exact.estimates.at(x, y);
                 let b = fast.estimates.at(x, y);
@@ -552,8 +603,8 @@ mod tests {
     fn border_pixels_fall_back_to_exact_kernel() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let f = frames_for_shift(1.0, 0.0, &cfg);
-        let exact = track_all_sequential(&f, &cfg, Region::Full);
-        let fast = track_all_integral(&f, &cfg, Region::Full);
+        let exact = track_all_sequential(&f, &cfg, Region::Full).expect("sequential");
+        let fast = track_all_integral(&f, &cfg, Region::Full).expect("fastpath");
         let (w, h) = f.dims();
         let template = cfg.template_window();
         let mut checked = 0usize;
@@ -574,8 +625,8 @@ mod tests {
     fn flat_surface_untrackable_in_fastpath() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let flat = Grid::filled(30, 30, 1.0f32);
-        let f = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg);
-        let r = track_all_integral(&f, &cfg, Region::Interior { margin: 10 });
+        let f = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg).expect("prepare");
+        let r = track_all_integral(&f, &cfg, Region::Interior { margin: 10 }).expect("fastpath");
         for (x, y) in r.region.pixels() {
             assert!(!r.estimates.at(x, y).valid, "({x},{y})");
         }
@@ -595,10 +646,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one hypothesis row")]
     fn zero_segment_rejected() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let f = frames_for_shift(0.0, 0.0, &cfg);
-        let _ = track_all_integral_segmented(&f, &cfg, Region::Interior { margin: 10 }, 0);
+        let err = track_all_integral_segmented(&f, &cfg, Region::Interior { margin: 10 }, 0)
+            .expect_err("z_rows = 0 must be rejected");
+        assert!(err.to_string().contains("at least one hypothesis row"));
     }
 }

@@ -68,3 +68,4 @@ pub use fastpath::{track_all_integral, track_all_integral_parallel, track_all_in
 pub use motion::{MotionEstimate, SmaFrames};
 pub use parallel::track_all_parallel;
 pub use sequential::track_all_sequential;
+pub use sma_fault::{GridError, LedgerSnapshot, MasParError, SmaError, StereoError};

@@ -23,11 +23,18 @@ use maspar_sim::machine::{MasPar, ReadoutScheme};
 use maspar_sim::memory::MemoryBudget;
 use maspar_sim::readout::ReadoutStats;
 use rayon::prelude::*;
+use sma_fault::{FaultSite, MasParError, SmaError};
 use sma_grid::Grid;
 
 use crate::config::SmaConfig;
-use crate::motion::{track_pixel, MotionEstimate, SmaFrames};
+use crate::motion::{track_pixel_rows, MotionEstimate, SmaFrames};
 use crate::sequential::{Region, SmaResult};
+
+/// Retry budget for one `(layer, segment)` unit after an injected PE
+/// fault or memory-budget breach, before the segment's hypothesis rows
+/// are abandoned (the affected pixels keep their best-so-far from other
+/// segments).
+const SEGMENT_RETRIES: u32 = 3;
 
 /// Largest measured per-PE resident footprint of any run (bytes): the
 /// four folded frame planes plus one §4.3 template-mapping segment and
@@ -56,15 +63,27 @@ pub struct MasparRunReport {
     /// (the budget additionally reserves the full 15-plane per-pixel
     /// state and fixed overhead).
     pub pe_bytes_high_water: usize,
+    /// `(layer, segment)` units that were re-run after an injected PE
+    /// fault or memory breach (checkpoint/resume; zero when disarmed).
+    pub segment_retries: usize,
+    /// `(layer, segment)` units abandoned after exhausting
+    /// [`SEGMENT_RETRIES`]; their pixels keep the best-so-far estimate
+    /// from the segments that did complete (zero when disarmed).
+    pub segments_lost: usize,
 }
 
 /// Run the SMA on the machine. The four input planes are folded onto the
 /// PE array, neighborhood traffic goes through `scheme`, and tracking
-/// proceeds layer by layer.
+/// proceeds layer by layer, hypothesis-row segment by segment. Under an
+/// armed fault harness, an injected PE fault or memory breach retries
+/// the affected `(layer, segment)` unit up to [`SEGMENT_RETRIES`] times
+/// before abandoning it (checkpoint/resume: completed segments are never
+/// re-run, and abandoned segments only cost their hypothesis rows).
 ///
-/// # Panics
-/// Panics if the frames' shapes differ, the region is empty, or the
-/// configuration cannot fit PE memory even fully segmented.
+/// # Errors
+/// [`MasParError::MemoryBudgetExceeded`] when a frame plane or the fully
+/// segmented §4.3 store cannot fit PE memory; [`SmaError::Grid`] for
+/// mismatched frame shapes or an empty region.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn track_on_maspar(
     machine: &mut MasPar,
@@ -75,13 +94,13 @@ pub fn track_on_maspar(
     cfg: &SmaConfig,
     region: Region,
     scheme: ReadoutScheme,
-) -> MasparRunReport {
+) -> Result<MasparRunReport, SmaError> {
     let _span = sma_obs::span("maspar_track");
     // Phase: load frames onto the PE array.
-    let f_ib = machine.fold("Load frames", intensity_before);
-    let f_ia = machine.fold("Load frames", intensity_after);
-    let f_sb = machine.fold("Load frames", surface_before);
-    let f_sa = machine.fold("Load frames", surface_after);
+    let f_ib = machine.fold("Load frames", intensity_before)?;
+    let f_ia = machine.fold("Load frames", intensity_after)?;
+    let f_sb = machine.fold("Load frames", surface_before)?;
+    let f_sa = machine.fold("Load frames", surface_after)?;
     let mapping = f_sb.mapping();
     let layers = mapping.layers();
 
@@ -89,7 +108,10 @@ pub fn track_on_maspar(
     let memory = machine.memory_budget(mapping.xvr(), mapping.yvr(), cfg.nzs, cfg.nst, cfg.nss);
     let z_rows = memory
         .max_segment_rows()
-        .expect("configuration exceeds PE memory even with single-row segments");
+        .ok_or(MasParError::MemoryBudgetExceeded {
+            needed_bytes: memory.total_bytes(1),
+            available_bytes: machine.config().pe_memory_bytes,
+        })?;
     let segments = (2 * cfg.nzs + 1).div_ceil(z_rows);
 
     // Measured per-PE residency: the four folded planes this driver holds
@@ -108,13 +130,19 @@ pub fn track_on_maspar(
         &f_sb.unfold(),
         &f_sa.unfold(),
         cfg,
-    );
+    )?;
 
     // Phase: template-neighborhood read-out sweep over the surface plane
     // (the communication pattern of the hypothesis matching), charged to
     // the ledger under the configured scheme. The sweep also serves as a
     // machine-level verification that folded delivery is correct.
-    let reference = frames.surface_before.clone();
+    // The reference is the raw unfolded plane (not the quarantined copy
+    // in `frames`): the machine ships whatever the tape held, NaN holes
+    // included, so the comparison is bit-level. With the fault harness
+    // armed an injected X-net/router fault may legitimately deliver a
+    // corrupted value — those events are ledgered, so the machine-level
+    // verification stands down.
+    let reference = f_sb.unfold();
     let (w, h) = reference.dims();
     let readout = machine.fetch_windows(
         "Template read-out",
@@ -124,28 +152,87 @@ pub fn track_on_maspar(
         |x, y, dx, dy, v| {
             let sx = (x as isize + dx).rem_euclid(w as isize) as usize;
             let sy = (y as isize + dy).rem_euclid(h as isize) as usize;
-            debug_assert_eq!(v, reference.at(sx, sy), "read-out delivered a wrong value");
+            debug_assert!(
+                v.to_bits() == reference.at(sx, sy).to_bits() || sma_fault::enabled(),
+                "read-out delivered a wrong value"
+            );
         },
     );
 
-    // Track layer by layer: all pixels of layer `mem` in lockstep.
-    let bounds = region.bounds(w, h).expect("empty tracking region");
+    // Track layer by layer: all pixels of layer `mem` in lockstep, and —
+    // per §4.3 — hypothesis-row segment by segment within the layer. The
+    // per-pixel running best is the checkpoint state: a segment that must
+    // be re-run after an injected fault restarts from the estimates
+    // already accumulated, never from scratch.
+    let bounds = region.bounds_checked(w, h)?;
+    let ns = cfg.nzs as isize;
     let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
+    let mut segment_retries = 0usize;
+    let mut segments_lost = 0usize;
     for mem in 0..layers {
         let layer_pixels: Vec<(usize, usize)> = bounds
             .pixels()
             .filter(|&(x, y)| mapping.to_pe(x, y).2 == mem)
             .collect();
-        let tracked: Vec<((usize, usize), MotionEstimate)> = layer_pixels
-            .par_iter()
-            .map(|&(x, y)| ((x, y), track_pixel(&frames, cfg, x, y)))
-            .collect();
-        for ((x, y), est) in tracked {
-            estimates.set(x, y, est);
+        let mut seg = 0u64;
+        let mut row0 = -ns;
+        while row0 <= ns {
+            let row1 = (row0 + z_rows as isize - 1).min(ns);
+            // Fault gate for this (layer, segment) unit: an injected PE
+            // fault or memory breach voids the attempt; retry with a
+            // fresh draw until the budget runs out.
+            let mut attempt = 0u32;
+            let run_segment = loop {
+                let key = sma_fault::key3(mem as u64, seg, attempt as u64);
+                let pe = sma_fault::inject(FaultSite::PeFault, key);
+                let memf = sma_fault::inject(FaultSite::PeMemory, key);
+                if pe.is_none() && memf.is_none() {
+                    break true;
+                }
+                let retry = attempt < SEGMENT_RETRIES;
+                for token in [pe, memf].into_iter().flatten() {
+                    if retry {
+                        token.recovered();
+                    } else {
+                        token.degraded();
+                    }
+                }
+                if retry {
+                    segment_retries += 1;
+                    attempt += 1;
+                } else {
+                    segments_lost += 1;
+                    break false;
+                }
+            };
+            if run_segment {
+                let tracked: Vec<((usize, usize), MotionEstimate)> = layer_pixels
+                    .par_iter()
+                    .map(|&(x, y)| {
+                        let mut samples = Vec::with_capacity(cfg.template_window().area());
+                        let best = track_pixel_rows(
+                            &frames,
+                            cfg,
+                            x,
+                            y,
+                            row0,
+                            row1,
+                            estimates.at(x, y),
+                            &mut samples,
+                        );
+                        ((x, y), best)
+                    })
+                    .collect();
+                for ((x, y), est) in tracked {
+                    estimates.set(x, y, est);
+                }
+            }
+            seg += 1;
+            row0 = row1 + 1;
         }
     }
 
-    MasparRunReport {
+    Ok(MasparRunReport {
         result: SmaResult {
             estimates,
             region: bounds,
@@ -155,7 +242,9 @@ pub fn track_on_maspar(
         memory,
         segments,
         pe_bytes_high_water,
-    }
+        segment_retries,
+        segments_lost,
+    })
 }
 
 #[cfg(test)]
@@ -200,9 +289,10 @@ mod tests {
             &cfg,
             region,
             ReadoutScheme::Raster,
-        );
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
-        let reference = track_all_sequential(&frames, &cfg, region);
+        )
+        .expect("maspar run");
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
+        let reference = track_all_sequential(&frames, &cfg, region).expect("sequential");
         for (x, y) in reference.region.pixels() {
             assert_eq!(
                 reference.estimates.at(x, y),
@@ -212,6 +302,8 @@ mod tests {
         }
         assert_eq!(report.layers, 9); // 24/8 = 3 -> 3x3 layers
         assert_eq!(report.segments, 1);
+        assert_eq!(report.segment_retries, 0);
+        assert_eq!(report.segments_lost, 0);
     }
 
     #[test]
@@ -220,7 +312,7 @@ mod tests {
         let before = wavy(16, 16);
         let after = before.clone();
         let mut machine = small_machine();
-        let _ = track_on_maspar(
+        track_on_maspar(
             &mut machine,
             &before,
             &after,
@@ -229,7 +321,8 @@ mod tests {
             &cfg,
             Region::Interior { margin: 7 },
             ReadoutScheme::Raster,
-        );
+        )
+        .expect("maspar run");
         let ledger = machine.ledger();
         let load = ledger.phase("Load frames").expect("load phase charged");
         assert_eq!(load.mem_bytes_direct, 4.0 * 16.0 * 16.0 * 4.0);
@@ -252,7 +345,8 @@ mod tests {
                 &cfg,
                 Region::Interior { margin: 7 },
                 scheme,
-            );
+            )
+            .expect("maspar run");
             (report.readout, machine)
         };
         let (snake, _) = run(ReadoutScheme::Snake);
@@ -279,7 +373,8 @@ mod tests {
             &cfg,
             Region::Interior { margin: 9 },
             ReadoutScheme::Raster,
-        );
+        )
+        .expect("maspar run");
         let z = report.memory.max_segment_rows().expect("run fit memory");
         assert!(report.pe_bytes_high_water > 0);
         assert!(

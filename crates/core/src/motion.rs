@@ -32,7 +32,8 @@
 //! first partial derivatives to zero ... leads to another system of
 //! linear equations that were solved using Gaussian-elimination".
 
-use sma_grid::{BorderPolicy, Grid, Vec2};
+use sma_fault::{GridError, SmaError};
+use sma_grid::{BorderPolicy, Grid, ValidityMask, Vec2};
 use sma_linalg::gauss::solve6;
 use sma_surface::{GeomField, GeomVars};
 
@@ -71,6 +72,11 @@ pub struct SmaFrames {
     pub surface_before: Grid<f32>,
     /// Surface map at `t+1`.
     pub surface_after: Grid<f32>,
+    /// Which input pixels carried finite data: pixels where *any* of the
+    /// four input planes held a NaN/Inf are quarantined (repaired by
+    /// neighbor interpolation before processing) and marked invalid
+    /// here. All-valid for clean inputs.
+    pub validity: ValidityMask,
 }
 
 impl SmaFrames {
@@ -79,50 +85,67 @@ impl SmaFrames {
     /// `surface_*` drive the normals (pass the intensity images as
     /// surfaces for monocular sequences, as §2 prescribes).
     ///
-    /// # Panics
-    /// Panics if the four grids don't share one shape.
+    /// Non-finite (NaN/Inf) input pixels are *quarantined*: repaired by
+    /// the mean of their finite 8-neighbors and recorded in
+    /// [`SmaFrames::validity`] so downstream stages know which estimates
+    /// rest on reconstructed data. Clean inputs pass through
+    /// bit-identically.
+    ///
+    /// # Errors
+    /// [`GridError::ShapeMismatch`] if the four grids don't share one
+    /// shape; [`SmaError::Config`] if `cfg` is invalid.
     pub fn prepare(
         intensity_before: &Grid<f32>,
         intensity_after: &Grid<f32>,
         surface_before: &Grid<f32>,
         surface_after: &Grid<f32>,
         cfg: &SmaConfig,
-    ) -> Self {
-        assert_eq!(
-            intensity_before.dims(),
+    ) -> Result<Self, SmaError> {
+        let expected = intensity_before.dims();
+        for got in [
             intensity_after.dims(),
-            "frame shape mismatch"
-        );
-        assert_eq!(
-            intensity_before.dims(),
             surface_before.dims(),
-            "frame shape mismatch"
-        );
-        assert_eq!(
-            intensity_before.dims(),
             surface_after.dims(),
-            "frame shape mismatch"
-        );
-        cfg.validate().expect("invalid SMA configuration");
+        ] {
+            if got != expected {
+                return Err(GridError::ShapeMismatch { expected, got }.into());
+            }
+        }
+        cfg.validate().map_err(SmaError::Config)?;
         let _span = sma_obs::span("sma_prepare");
+
+        // Quarantine non-finite pixels in all four planes; the combined
+        // mask marks every pixel whose value in *any* plane was repaired.
+        let (ib, mask_ib, q_ib) = sma_grid::quarantine(intensity_before);
+        let (ia, mask_ia, q_ia) = sma_grid::quarantine(intensity_after);
+        let (sb, mask_sb, q_sb) = sma_grid::quarantine(surface_before);
+        let (sa, mask_sa, q_sa) = sma_grid::quarantine(surface_after);
+        let quarantined = q_ib + q_ia + q_sb + q_sa;
+        if quarantined > 0 {
+            sma_fault::note_quarantined(quarantined);
+        }
+        let validity = mask_ib
+            .intersect(&mask_ia)
+            .intersect(&mask_sb)
+            .intersect(&mask_sa);
+
         let policy = BorderPolicy::Clamp;
-        let geo_before = GeomField::compute_par(surface_before, cfg.nz, policy);
-        let geo_after = GeomField::compute_par(surface_after, cfg.nz, policy);
+        let geo_before = GeomField::compute_par(&sb, cfg.nz, policy);
+        let geo_after = GeomField::compute_par(&sa, cfg.nz, policy);
         // Semi-fluid discriminants always use the *intensity* surface
         // with the semi-fluid surface-patch window ("using the intensity
         // image", §2.3; NsT doubles as the surface-patch size, §4.3).
-        let disc_before =
-            GeomField::compute_par(intensity_before, cfg.nst.max(1), policy).discriminant_plane();
-        let disc_after =
-            GeomField::compute_par(intensity_after, cfg.nst.max(1), policy).discriminant_plane();
-        Self {
+        let disc_before = GeomField::compute_par(&ib, cfg.nst.max(1), policy).discriminant_plane();
+        let disc_after = GeomField::compute_par(&ia, cfg.nst.max(1), policy).discriminant_plane();
+        Ok(Self {
             geo_before,
             geo_after,
             disc_before,
             disc_after,
-            surface_before: surface_before.clone(),
-            surface_after: surface_after.clone(),
-        }
+            surface_before: sb,
+            surface_after: sa,
+            validity,
+        })
     }
 
     /// Frame dimensions.
@@ -368,8 +391,25 @@ pub(crate) fn solve_samples(samples: &[TemplateSample]) -> Option<([f64; 6], f64
             ata[j * 6 + i] = ata[i * 6 + j];
         }
     }
+    // Saved before solve6's in-place elimination destroys them: the
+    // translation-only fallback needs the raw sums sum(ie^2), sum(ig^2).
+    let (sum_ie2, sum_ig2) = (ata[28], ata[35]);
     let mut solution = atb;
-    solve6(&mut ata, &mut solution).ok()?;
+    if solve6(&mut ata, &mut solution).is_err() {
+        // Degradation ladder, armed runs only: a singular system
+        // (textureless or fault-poisoned neighborhood) falls back to the
+        // translation-only model. Its normal equations are diagonal —
+        // a_k = sum(ie^2 (gx_obs - zx)) / sum(ie^2), b_k analogous —
+        // which is exactly atb[4] / sum(ie^2) and atb[5] / sum(ig^2) of
+        // the already-accumulated system. Disarmed runs keep reporting
+        // the pixel untrackable, preserving bit-identical baseline
+        // output.
+        if !sma_fault::enabled() || sum_ie2 <= 0.0 || sum_ig2 <= 0.0 {
+            return None;
+        }
+        sma_fault::note_natural_degradation();
+        solution = [0.0, 0.0, 0.0, 0.0, atb[4] / sum_ie2, atb[5] / sum_ig2];
+    }
 
     let mut error = 0.0f64;
     for s in samples {
@@ -394,13 +434,40 @@ pub(crate) fn surface_delta(frames: &SmaFrames, x: usize, y: usize, ox: isize, o
 /// deterministic across drivers.
 pub fn track_pixel(frames: &SmaFrames, cfg: &SmaConfig, x: usize, y: usize) -> MotionEstimate {
     let ns = cfg.nzs as isize;
-    let mut best = MotionEstimate::invalid();
-    // One template-sized scratch buffer reused across all hypotheses.
     let mut samples: Vec<TemplateSample> = Vec::with_capacity(cfg.template_window().area());
-    for oy in -ns..=ns {
+    track_pixel_rows(
+        frames,
+        cfg,
+        x,
+        y,
+        -ns,
+        ns,
+        MotionEstimate::invalid(),
+        &mut samples,
+    )
+}
+
+/// [`track_pixel`] restricted to hypothesis rows `oy in [oy0, oy1]`,
+/// folding into a caller-carried running best. Processing row segments
+/// in ascending `oy` order reproduces [`track_pixel`] bit-identically
+/// (strict-less comparison, row-major order within a segment) — this is
+/// the checkpointable unit of the §4.3 segmented MasPar schedule.
+#[allow(clippy::too_many_arguments)] // segment bounds + running state
+pub(crate) fn track_pixel_rows(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    x: usize,
+    y: usize,
+    oy0: isize,
+    oy1: isize,
+    mut best: MotionEstimate,
+    samples: &mut Vec<TemplateSample>,
+) -> MotionEstimate {
+    let ns = cfg.nzs as isize;
+    for oy in oy0..=oy1 {
         for ox in -ns..=ns {
             if let Some((affine, error)) =
-                evaluate_hypothesis_into(frames, cfg, x, y, ox, oy, &mut samples)
+                evaluate_hypothesis_into(frames, cfg, x, y, ox, oy, samples)
             {
                 if error < best.error {
                     best = MotionEstimate {
@@ -434,7 +501,7 @@ mod tests {
         // The scene moves by (dx, dy): frame t+1 at q holds frame t at
         // q - (dx, dy).
         let after = translate(&before, -dx, -dy, BorderPolicy::Clamp);
-        SmaFrames::prepare(&before, &after, &before, &after, cfg)
+        SmaFrames::prepare(&before, &after, &before, &after, cfg).expect("prepare")
     }
 
     #[test]
@@ -470,7 +537,7 @@ mod tests {
     fn flat_surface_is_untrackable() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let flat = Grid::filled(32, 32, 1.0f32);
-        let frames = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg);
+        let frames = SmaFrames::prepare(&flat, &flat, &flat, &flat, &cfg).expect("prepare");
         let est = track_pixel(&frames, &cfg, 16, 16);
         assert!(!est.valid, "flat surfaces must report untrackable");
         assert!(est.error.is_infinite());
@@ -497,7 +564,7 @@ mod tests {
         let after = Grid::from_fn(40, 40, |x, y| {
             before.at(x, y) + 0.3 * x as f32 - 0.2 * y as f32
         });
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let (affine, error) = evaluate_hypothesis(&frames, &cfg, 20, 20, 0, 0).unwrap();
         assert!((affine.ak - 0.3).abs() < 0.05, "ak {}", affine.ak);
         assert!((affine.bk + 0.2).abs() < 0.05, "bk {}", affine.bk);
@@ -507,7 +574,7 @@ mod tests {
             let bumpy = Grid::from_fn(40, 40, |x, y| {
                 before.at(x, y) + ((x * y) as f32 * 0.05).sin()
             });
-            let f2 = SmaFrames::prepare(&before, &bumpy, &before, &bumpy, &cfg);
+            let f2 = SmaFrames::prepare(&before, &bumpy, &before, &bumpy, &cfg).expect("prepare");
             evaluate_hypothesis(&f2, &cfg, 20, 20, 0, 0).unwrap()
         };
         assert!(
@@ -530,7 +597,7 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(40, 40);
         let after = before.map(|v| v + 5.0); // whole surface rises by 5
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let (affine, _) = evaluate_hypothesis(&frames, &cfg, 20, 20, 0, 0).unwrap();
         assert!((affine.z0 - 5.0).abs() < 1e-4);
     }

@@ -9,6 +9,7 @@
 //! per-pixel kernel is shared and has no cross-pixel state.
 
 use rayon::prelude::*;
+use sma_fault::SmaError;
 use sma_grid::Grid;
 
 use crate::config::SmaConfig;
@@ -17,12 +18,17 @@ use crate::sequential::{Region, SmaResult};
 
 /// Track every pixel of `region` in parallel over rows.
 ///
-/// # Panics
-/// Panics if the region is empty for the frame size.
-pub fn track_all_parallel(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -> SmaResult {
+/// # Errors
+/// [`sma_fault::GridError::EmptyRegion`] if the region is empty for the
+/// frame size.
+pub fn track_all_parallel(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    region: Region,
+) -> Result<SmaResult, SmaError> {
     let _span = sma_obs::span("track_parallel");
     let (w, h) = frames.dims();
-    let bounds = region.bounds(w, h).expect("empty tracking region");
+    let bounds = region.bounds_checked(w, h)?;
 
     let tracked_rows: Vec<(usize, Vec<MotionEstimate>)> = (bounds.y0..=bounds.y1)
         .into_par_iter()
@@ -40,10 +46,10 @@ pub fn track_all_parallel(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -
             estimates.set(bounds.x0 + i, y, est);
         }
     }
-    SmaResult {
+    Ok(SmaResult {
         estimates,
         region: bounds,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -68,10 +74,10 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(28, 28);
         let after = translate(&before, -1.0, 1.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let region = Region::Interior { margin: 8 };
-        let s = track_all_sequential(&frames, &cfg, region);
-        let p = track_all_parallel(&frames, &cfg, region);
+        let s = track_all_sequential(&frames, &cfg, region).expect("sequential");
+        let p = track_all_parallel(&frames, &cfg, region).expect("parallel");
         assert_eq!(s.region, p.region);
         for (x, y) in s.region.pixels() {
             assert_eq!(s.estimates.at(x, y), p.estimates.at(x, y), "at ({x},{y})");
@@ -83,10 +89,10 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
         let before = wavy(26, 26);
         let after = translate(&before, 0.0, -1.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let region = Region::Interior { margin: 9 };
-        let s = track_all_sequential(&frames, &cfg, region);
-        let p = track_all_parallel(&frames, &cfg, region);
+        let s = track_all_sequential(&frames, &cfg, region).expect("sequential");
+        let p = track_all_parallel(&frames, &cfg, region).expect("parallel");
         for (x, y) in s.region.pixels() {
             assert_eq!(s.estimates.at(x, y), p.estimates.at(x, y), "at ({x},{y})");
         }
@@ -98,10 +104,10 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(24, 24);
         let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let region = Region::Interior { margin: 8 };
-        let a = track_all_parallel(&frames, &cfg, region);
-        let b = track_all_parallel(&frames, &cfg, region);
+        let a = track_all_parallel(&frames, &cfg, region).expect("parallel");
+        let b = track_all_parallel(&frames, &cfg, region).expect("parallel");
         for (x, y) in a.region.pixels() {
             assert_eq!(a.estimates.at(x, y), b.estimates.at(x, y));
         }

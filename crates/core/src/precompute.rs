@@ -27,6 +27,7 @@
 //! is bit-identical to the sequential baseline.
 
 use rayon::prelude::*;
+use sma_fault::SmaError;
 use sma_grid::{Grid, Vec2};
 
 use crate::affine::LocalAffine;
@@ -118,21 +119,23 @@ pub(crate) fn mapped_gradient(
 /// running best hypothesis survives across segments. Results are
 /// bit-identical to [`crate::sequential::track_all_sequential`].
 ///
-/// # Panics
-/// Panics if `z_rows == 0` or the region is empty.
+/// # Errors
+/// [`SmaError::Config`] if `z_rows == 0`;
+/// [`sma_fault::GridError::EmptyRegion`] if the region is empty.
 pub fn track_all_segmented(
     frames: &SmaFrames,
     cfg: &SmaConfig,
     region: Region,
     z_rows: usize,
-) -> SmaResult {
-    assert!(
-        z_rows > 0,
-        "segment must contain at least one hypothesis row"
-    );
+) -> Result<SmaResult, SmaError> {
+    if z_rows == 0 {
+        return Err(SmaError::Config(
+            "segment must contain at least one hypothesis row".into(),
+        ));
+    }
     let _span = sma_obs::span("track_segmented");
     let (w, h) = frames.dims();
-    let bounds = region.bounds(w, h).expect("empty tracking region");
+    let bounds = region.bounds_checked(w, h)?;
     let ns = cfg.nzs as isize;
     let nt = cfg.nzt as isize;
 
@@ -201,10 +204,10 @@ pub fn track_all_segmented(
         row0 = row1 + 1;
     }
 
-    SmaResult {
+    Ok(SmaResult {
         estimates: best,
         region: bounds,
-    }
+    })
 }
 
 /// Host-side bytes one segment of `z_rows` hypothesis rows occupies, for
@@ -240,7 +243,7 @@ mod tests {
     fn frames(cfg: &SmaConfig) -> SmaFrames {
         let before = wavy(26, 26);
         let after = translate(&before, -1.0, -1.0, BorderPolicy::Clamp);
-        SmaFrames::prepare(&before, &after, &before, &after, cfg)
+        SmaFrames::prepare(&before, &after, &before, &after, cfg).expect("prepare")
     }
 
     /// "Once all the segments are processed, the equivalent minimization
@@ -251,9 +254,9 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
         let f = frames(&cfg);
         let region = Region::Interior { margin: 9 };
-        let reference = track_all_sequential(&f, &cfg, region);
+        let reference = track_all_sequential(&f, &cfg, region).expect("sequential");
         for z_rows in [1usize, 2, 3, 5, 7] {
-            let seg = track_all_segmented(&f, &cfg, region, z_rows);
+            let seg = track_all_segmented(&f, &cfg, region, z_rows).expect("segmented");
             for (x, y) in reference.region.pixels() {
                 assert_eq!(
                     reference.estimates.at(x, y),
@@ -269,8 +272,8 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let f = frames(&cfg);
         let region = Region::Interior { margin: 8 };
-        let reference = track_all_sequential(&f, &cfg, region);
-        let seg = track_all_segmented(&f, &cfg, region, 2);
+        let reference = track_all_sequential(&f, &cfg, region).expect("sequential");
+        let seg = track_all_segmented(&f, &cfg, region, 2).expect("segmented");
         for (x, y) in reference.region.pixels() {
             assert_eq!(reference.estimates.at(x, y), seg.estimates.at(x, y));
         }
@@ -292,10 +295,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one hypothesis row")]
     fn zero_segment_rejected() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let f = frames(&cfg);
-        let _ = track_all_segmented(&f, &cfg, Region::Interior { margin: 8 }, 0);
+        let err = track_all_segmented(&f, &cfg, Region::Interior { margin: 8 }, 0)
+            .expect_err("z_rows = 0 must be rejected");
+        assert!(err.to_string().contains("at least one hypothesis row"));
     }
 }

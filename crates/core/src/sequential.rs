@@ -7,6 +7,7 @@
 //! per-pixel loop with no precomputation or sharing; every other driver
 //! must reproduce its results exactly.
 
+use sma_fault::{GridError, SmaError};
 use sma_grid::{FlowField, Grid, Vec2, WindowBounds};
 
 use crate::config::SmaConfig;
@@ -54,6 +55,16 @@ impl Region {
                 }
             }
         }
+    }
+
+    /// [`Region::bounds`] as a typed error: the form the drivers
+    /// propagate instead of panicking on empty regions.
+    pub fn bounds_checked(&self, w: usize, h: usize) -> Result<WindowBounds, SmaError> {
+        self.bounds(w, h)
+            .ok_or(SmaError::Grid(GridError::EmptyRegion {
+                width: w,
+                height: h,
+            }))
     }
 }
 
@@ -116,20 +127,24 @@ impl SmaResult {
 
 /// Track every pixel of `region` sequentially (the reference baseline).
 ///
-/// # Panics
-/// Panics if the region is empty for the frame size.
-pub fn track_all_sequential(frames: &SmaFrames, cfg: &SmaConfig, region: Region) -> SmaResult {
+/// # Errors
+/// [`GridError::EmptyRegion`] if the region is empty for the frame size.
+pub fn track_all_sequential(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    region: Region,
+) -> Result<SmaResult, SmaError> {
     let _span = sma_obs::span("track_sequential");
     let (w, h) = frames.dims();
-    let bounds = region.bounds(w, h).expect("empty tracking region");
+    let bounds = region.bounds_checked(w, h)?;
     let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
     for (x, y) in bounds.pixels() {
         estimates.set(x, y, track_pixel(frames, cfg, x, y));
     }
-    SmaResult {
+    Ok(SmaResult {
         estimates,
         region: bounds,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -182,8 +197,9 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(32, 32);
         let after = translate(&before, -1.0, -1.0, BorderPolicy::Clamp); // scene moves (+1,+1)
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
-        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 8 });
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
+        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 8 })
+            .expect("sequential");
 
         assert!(
             result.valid_fraction() > 0.95,
@@ -206,8 +222,9 @@ mod tests {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(32, 32);
         let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
-        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 8 });
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
+        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 8 })
+            .expect("sequential");
         assert!(result.mean_error().is_finite());
         assert!(result.mean_error() < 1.0);
     }
@@ -216,8 +233,9 @@ mod tests {
     fn untracked_pixels_are_invalid() {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = wavy(24, 24);
-        let frames = SmaFrames::prepare(&before, &before, &before, &before, &cfg);
-        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 9 });
+        let frames = SmaFrames::prepare(&before, &before, &before, &before, &cfg).expect("prepare");
+        let result = track_all_sequential(&frames, &cfg, Region::Interior { margin: 9 })
+            .expect("sequential");
         assert!(!result.estimates.at(0, 0).valid);
         assert!(result.estimates.at(12, 12).valid);
         assert_eq!(result.flow().at(0, 0), Vec2::ZERO);

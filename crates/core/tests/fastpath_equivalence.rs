@@ -46,7 +46,7 @@ fn frames_for(
     let before = textured(32, 32, seed);
     let after = translate(&before, -(dx as f32), -(dy as f32), BorderPolicy::Clamp);
     (
-        sma_core::SmaFrames::prepare(&before, &after, &before, &after, &cfg),
+        sma_core::SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare"),
         cfg,
     )
 }
@@ -108,8 +108,8 @@ proptest! {
     ) {
         let (frames, cfg) = frames_for(MotionModel::Continuous, dx, dy, seed);
         let region = Region::Interior { margin: 10 };
-        let exact = track_all_sequential(&frames, &cfg, region);
-        let fast = track_all_integral(&frames, &cfg, region);
+        let exact = track_all_sequential(&frames, &cfg, region).expect("sequential");
+        let fast = track_all_integral(&frames, &cfg, region).expect("fastpath");
         prop_assert!(assert_equivalent(&exact, &fast).is_ok(),
             "{:?}", assert_equivalent(&exact, &fast));
     }
@@ -122,8 +122,8 @@ proptest! {
     ) {
         let (frames, cfg) = frames_for(MotionModel::SemiFluid, dx, dy, seed);
         let region = Region::Interior { margin: 10 };
-        let exact = track_all_sequential(&frames, &cfg, region);
-        let fast = track_all_integral(&frames, &cfg, region);
+        let exact = track_all_sequential(&frames, &cfg, region).expect("sequential");
+        let fast = track_all_integral(&frames, &cfg, region).expect("fastpath");
         prop_assert!(assert_equivalent(&exact, &fast).is_ok(),
             "{:?}", assert_equivalent(&exact, &fast));
     }
@@ -137,9 +137,9 @@ proptest! {
     ) {
         let (frames, cfg) = frames_for(MotionModel::Continuous, 1, -1, seed);
         let region = Region::Interior { margin: 10 };
-        let seq = track_all_integral(&frames, &cfg, region);
-        let par = track_all_integral_parallel(&frames, &cfg, region);
-        let seg = track_all_integral_segmented(&frames, &cfg, region, z_rows);
+        let seq = track_all_integral(&frames, &cfg, region).expect("fastpath");
+        let par = track_all_integral_parallel(&frames, &cfg, region).expect("fastpath par");
+        let seg = track_all_integral_segmented(&frames, &cfg, region, z_rows).expect("fastpath seg");
         for (x, y) in seq.region.pixels() {
             prop_assert_eq!(seq.estimates.at(x, y), par.estimates.at(x, y));
             prop_assert_eq!(seq.estimates.at(x, y), seg.estimates.at(x, y));
@@ -155,8 +155,8 @@ proptest! {
         seed in 0u64..30
     ) {
         let (frames, cfg) = frames_for(MotionModel::Continuous, 1, 0, seed);
-        let exact = track_all_sequential(&frames, &cfg, Region::Full);
-        let fast = track_all_integral(&frames, &cfg, Region::Full);
+        let exact = track_all_sequential(&frames, &cfg, Region::Full).expect("sequential");
+        let fast = track_all_integral(&frames, &cfg, Region::Full).expect("fastpath");
         let (w, h) = frames.dims();
         let template = cfg.template_window();
         let mut border = 0usize;

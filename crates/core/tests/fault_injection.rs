@@ -1,0 +1,185 @@
+//! Fault-harness integration tests — the armed runs live in their own
+//! test binary (own process) so installing the global fault config
+//! cannot perturb the disarmed unit tests. Every test that touches the
+//! global config holds [`sma_fault::exclusive`] for its whole body.
+//!
+//! Three properties from the robustness issue:
+//!
+//! 1. **Zero-fault transparency** — an armed harness at rate 0 is
+//!    bit-identical to a disarmed one across every driver.
+//! 2. **Fault sweeps complete and balance** — with faults firing, every
+//!    driver still returns, `injected == recovered + degraded`, and the
+//!    same seed reproduces the same ledger and the same flow.
+//! 3. **Hostile inputs never produce NaN flow** — NaN holes and
+//!    constant (textureless) patches degrade to invalid/neutral
+//!    estimates, never to NaN displacements.
+
+use maspar_sim::machine::{MachineConfig, MasPar, ReadoutScheme};
+use proptest::prelude::*;
+use sma_core::fastpath::track_all_integral;
+use sma_core::maspar_driver::track_on_maspar;
+use sma_core::motion::{MotionEstimate, SmaFrames};
+use sma_core::precompute::track_all_segmented;
+use sma_core::sequential::{track_all_sequential, Region};
+use sma_core::{MotionModel, SmaConfig};
+use sma_grid::warp::translate;
+use sma_grid::{BorderPolicy, Grid};
+
+fn textured(w: usize, h: usize, seed: u64) -> Grid<f32> {
+    Grid::from_fn(w, h, |x, y| {
+        let s = seed as f32 * 0.017;
+        let (xf, yf) = (x as f32, y as f32);
+        (xf * (0.43 + s * 0.01)).sin() * 2.0
+            + (yf * 0.31 + s).cos() * 1.5
+            + (xf * 0.13 + yf * 0.22 + s).sin() * 3.0
+    })
+}
+
+fn scene(seed: u64) -> (Grid<f32>, Grid<f32>) {
+    let before = textured(28, 28, seed);
+    let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
+    (before, after)
+}
+
+/// Track a scene through all four drivers and return their estimates.
+fn run_all_drivers(
+    before: &Grid<f32>,
+    after: &Grid<f32>,
+    cfg: &SmaConfig,
+) -> Vec<Vec<MotionEstimate>> {
+    let frames = SmaFrames::prepare(before, after, before, after, cfg).expect("prepare");
+    let region = Region::Interior {
+        margin: cfg.margin(),
+    };
+    let seq = track_all_sequential(&frames, cfg, region).expect("sequential");
+    let seg = track_all_segmented(&frames, cfg, region, 2).expect("segmented");
+    let fast = track_all_integral(&frames, cfg, region).expect("fastpath");
+    let mut machine = MasPar::new(MachineConfig {
+        nxproc: 4,
+        nyproc: 4,
+        ..MachineConfig::goddard_mp2()
+    });
+    let mas = track_on_maspar(
+        &mut machine,
+        before,
+        after,
+        before,
+        after,
+        cfg,
+        region,
+        ReadoutScheme::Raster,
+    )
+    .expect("maspar run");
+    [seq, seg, fast, mas.result]
+        .into_iter()
+        .map(|r| {
+            let pixels: Vec<MotionEstimate> = r
+                .region
+                .pixels()
+                .map(|(x, y)| r.estimates.at(x, y))
+                .collect();
+            pixels
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property 1: arming the harness at rate 0 changes nothing, bit
+    /// for bit, in any driver.
+    #[test]
+    fn armed_rate_zero_is_bit_identical_to_disarmed(seed in 0u64..40) {
+        let _g = sma_fault::exclusive();
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let (before, after) = scene(seed);
+
+        sma_fault::clear();
+        let disarmed = run_all_drivers(&before, &after, &cfg);
+
+        sma_fault::install(seed, 0.0);
+        let armed = run_all_drivers(&before, &after, &cfg);
+        sma_fault::clear();
+
+        prop_assert_eq!(disarmed, armed);
+    }
+
+    /// Property 2: with faults firing, every driver completes, the
+    /// ledger balances, and the same seed reproduces the same ledger
+    /// and the same flow.
+    #[test]
+    fn fault_sweep_completes_balanced_and_reproducible(seed in 0u64..40) {
+        let _g = sma_fault::exclusive();
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let (clean_before, clean_after) = scene(seed);
+
+        let sweep = || {
+            sma_fault::install(seed, 0.05);
+            sma_fault::reset_ledger();
+            // Dropouts feed the quarantine path; the drivers then run on
+            // the holed frames.
+            let before = sma_satdata::dropout::apply_dropouts(&clean_before, 0);
+            let after = sma_satdata::dropout::apply_dropouts(&clean_after, 1);
+            let flows = run_all_drivers(&before, &after, &cfg);
+            let snap = sma_fault::ledger();
+            sma_fault::clear();
+            (flows, snap)
+        };
+        let (flows_a, snap_a) = sweep();
+        let (flows_b, snap_b) = sweep();
+
+        prop_assert!(snap_a.balanced(), "injected != recovered + degraded");
+        prop_assert!(snap_a.injected > 0, "rate 0.05 should fire at least once");
+        prop_assert_eq!(&snap_a, &snap_b, "same seed must reproduce the ledger");
+        prop_assert_eq!(flows_a, flows_b, "same seed must reproduce the flow");
+        for est in flows_a.iter().flatten() {
+            prop_assert!(
+                est.displacement.u.is_finite() && est.displacement.v.is_finite(),
+                "faulted run leaked a NaN displacement"
+            );
+        }
+    }
+
+    /// Property 3: NaN holes and constant patches never surface as NaN
+    /// flow — quarantine repairs the holes, degenerate fits invalidate.
+    #[test]
+    fn hostile_inputs_never_produce_nan_flow(
+        seed in 0u64..40,
+        hole_stride in 3usize..9,
+        constant in prop_oneof![Just(false), Just(true)],
+    ) {
+        let _g = sma_fault::exclusive();
+        sma_fault::clear();
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let base = if constant {
+            Grid::from_fn(28, 28, |_, _| 1.5)
+        } else {
+            textured(28, 28, seed)
+        };
+        let mut before = base.clone();
+        // Punch a deterministic lattice of NaN/Inf holes.
+        for y in (0..28).step_by(hole_stride) {
+            for x in (0..28).step_by(hole_stride) {
+                let v = if (x + y) % 2 == 0 { f32::NAN } else { f32::INFINITY };
+                before.set(x, y, v);
+            }
+        }
+        let after = translate(&base, -1.0, 0.0, BorderPolicy::Clamp);
+
+        let flows = run_all_drivers(&before, &after, &cfg);
+        for est in flows.iter().flatten() {
+            prop_assert!(
+                est.displacement.u.is_finite() && est.displacement.v.is_finite(),
+                "hostile input leaked a NaN displacement"
+            );
+            // Invalid estimates carry the `error: INFINITY` sentinel by
+            // design; NaN is never acceptable, finite is required when
+            // the estimate claims validity.
+            prop_assert!(!est.error.is_nan(), "hostile input leaked a NaN error");
+            prop_assert!(
+                !est.valid || est.error.is_finite(),
+                "valid estimate with non-finite error"
+            );
+        }
+    }
+}

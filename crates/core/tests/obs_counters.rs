@@ -28,7 +28,7 @@ fn wavy(w: usize, h: usize) -> Grid<f32> {
 fn frames(cfg: &SmaConfig, side: usize) -> SmaFrames {
     let before = wavy(side, side);
     let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-    SmaFrames::prepare(&before, &after, &before, &after, cfg)
+    SmaFrames::prepare(&before, &after, &before, &after, cfg).expect("prepare")
 }
 
 fn counter(name: &str) -> u64 {
@@ -54,9 +54,9 @@ fn parallel_counters_equal_sequential() {
     let deltas = |f: &SmaFrames, parallel: bool| -> Vec<u64> {
         let before: Vec<u64> = names.iter().map(|n| counter(n)).collect();
         if parallel {
-            track_all_parallel(f, &cfg, region);
+            track_all_parallel(f, &cfg, region).expect("parallel");
         } else {
-            track_all_sequential(f, &cfg, region);
+            track_all_sequential(f, &cfg, region).expect("sequential");
         }
         names
             .iter()
@@ -84,7 +84,7 @@ fn sequential_full_region_matches_analytic_workload() {
     let hyp0 = counter("sma.hypotheses_evaluated");
     let ge0 = counter("sma.ge_solves");
     let terms0 = counter("sma.template_terms");
-    track_all_sequential(&f, &cfg, Region::Full);
+    track_all_sequential(&f, &cfg, Region::Full).expect("sequential");
     assert_eq!(counter("sma.hypotheses_evaluated") - hyp0, workload.hyp_ges);
     assert_eq!(counter("sma.ge_solves") - ge0, workload.hyp_ges);
     assert_eq!(counter("sma.template_terms") - terms0, workload.hyp_terms);
@@ -104,7 +104,7 @@ fn fastpath_and_segmented_counters_cover_region() {
 
     let border0 = counter("fastpath.border_fallback_pixels");
     let interior0 = counter("fastpath.interior_pixels");
-    track_all_integral(&f, &cfg, region);
+    track_all_integral(&f, &cfg, region).expect("fastpath");
     let border = counter("fastpath.border_fallback_pixels") - border0;
     let interior = counter("fastpath.interior_pixels") - interior0;
     assert_eq!(
@@ -114,7 +114,7 @@ fn fastpath_and_segmented_counters_cover_region() {
     );
 
     let planes0 = counter("sma.precompute.planes_built");
-    track_all_segmented(&f, &cfg, region, 2);
+    track_all_segmented(&f, &cfg, region, 2).expect("segmented");
     assert_eq!(
         counter("sma.precompute.planes_built") - planes0,
         cfg.hypotheses_per_pixel() as u64,

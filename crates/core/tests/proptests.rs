@@ -33,7 +33,7 @@ proptest! {
         let cfg = SmaConfig::small_test(MotionModel::Continuous);
         let before = textured(32, 32, seed);
         let after = translate(&before, -(dx as f32), -(dy as f32), BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let est = track_pixel(&frames, &cfg, 16, 16);
         prop_assert!(est.valid);
         prop_assert_eq!(est.displacement.u as isize, dx);
@@ -50,7 +50,7 @@ proptest! {
         let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
         let before = textured(30, 30, seed);
         let after = translate(&before, -(dx as f32), -(dy as f32), BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let est = track_pixel(&frames, &cfg, 15, 15);
         prop_assert!(est.valid);
         prop_assert_eq!(est.displacement.u as isize, dx, "u mismatch");
@@ -67,11 +67,11 @@ proptest! {
         let cfg = SmaConfig::small_test(model);
         let before = textured(24, 24, seed);
         let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
-        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg);
+        let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
         let region = Region::Interior { margin: 10 };
-        let s = track_all_sequential(&frames, &cfg, region);
-        let p = track_all_parallel(&frames, &cfg, region);
-        let g = track_all_segmented(&frames, &cfg, region, z_rows);
+        let s = track_all_sequential(&frames, &cfg, region).expect("sequential");
+        let p = track_all_parallel(&frames, &cfg, region).expect("parallel");
+        let g = track_all_segmented(&frames, &cfg, region, z_rows).expect("segmented");
         for (x, y) in s.region.pixels() {
             prop_assert_eq!(s.estimates.at(x, y), p.estimates.at(x, y));
             prop_assert_eq!(s.estimates.at(x, y), g.estimates.at(x, y));
@@ -111,7 +111,7 @@ proptest! {
         let m = cfg.margin();
         let side = 2 * m + 3;
         let before = textured(side, side, 7);
-        let frames = SmaFrames::prepare(&before, &before, &before, &before, &cfg);
+        let frames = SmaFrames::prepare(&before, &before, &before, &before, &cfg).expect("prepare");
         // Must not panic; zero motion must win on identical frames.
         let est = track_pixel(&frames, &cfg, m + 1, m + 1);
         if est.valid {

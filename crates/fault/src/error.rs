@@ -1,0 +1,236 @@
+//! The workspace-wide typed error model.
+//!
+//! [`SmaError`] is the top-level error every pipeline driver returns.
+//! The per-layer enums ([`GridError`], [`StereoError`], [`MasParError`])
+//! live here rather than in their namesake crates so that `grid`,
+//! `stereo`, and `maspar` can *depend on* `sma-fault` (for injection)
+//! without a dependency cycle; `sma-fault` itself depends only on
+//! `sma-linalg` (for [`SolveError`]) and `sma-obs`.
+
+use sma_linalg::gauss::SolveError;
+use std::fmt;
+
+/// Errors from the raster/grid layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// Two grids that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the first operand, `(width, height)`.
+        expected: (usize, usize),
+        /// Shape of the offending operand, `(width, height)`.
+        got: (usize, usize),
+    },
+    /// A tracking region resolves to zero pixels on this frame.
+    EmptyRegion {
+        /// Frame width the region was resolved against.
+        width: usize,
+        /// Frame height the region was resolved against.
+        height: usize,
+    },
+    /// A pyramid was requested with zero levels, or an image too small
+    /// to decimate.
+    EmptyPyramid,
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::ShapeMismatch { expected, got } => write!(
+                f,
+                "grid shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            GridError::EmptyRegion { width, height } => {
+                write!(f, "tracking region is empty on a {width}x{height} frame")
+            }
+            GridError::EmptyPyramid => write!(f, "pyramid would have no levels"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Errors from the stereo-matching layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StereoError {
+    /// A correlation window has (numerically) zero variance on both
+    /// sides and no disparity can be ranked. Library code degrades to a
+    /// neutral score instead of returning this; it exists for callers
+    /// that want the strict behaviour.
+    DegenerateWindow {
+        /// Window centre, `(x, y)`.
+        at: (usize, usize),
+    },
+    /// The disparity search range is empty or inverted.
+    EmptySearchRange,
+}
+
+impl fmt::Display for StereoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StereoError::DegenerateWindow { at } => {
+                write!(
+                    f,
+                    "zero-variance correlation window at ({}, {})",
+                    at.0, at.1
+                )
+            }
+            StereoError::EmptySearchRange => write!(f, "empty disparity search range"),
+        }
+    }
+}
+
+impl std::error::Error for StereoError {}
+
+/// Errors from the MasPar machine simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MasParError {
+    /// A data plane (or segment) needs more per-PE memory than the
+    /// §4.3 budget provides, even at one hypothesis row per segment.
+    MemoryBudgetExceeded {
+        /// Bytes the allocation needs per PE.
+        needed_bytes: usize,
+        /// Bytes available per PE.
+        available_bytes: usize,
+    },
+    /// A tracking segment failed and exhausted its retry budget.
+    SegmentFailed {
+        /// Fold layer (in-PE memory phase) of the failed segment.
+        layer: usize,
+        /// Hypothesis-row segment index within the layer.
+        segment: usize,
+        /// Retry attempts spent before giving up.
+        attempts: u32,
+    },
+    /// An ACU program read a register that was never written.
+    UnwrittenRegister(String),
+}
+
+impl fmt::Display for MasParError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MasParError::MemoryBudgetExceeded {
+                needed_bytes,
+                available_bytes,
+            } => write!(
+                f,
+                "PE memory budget exceeded: need {needed_bytes} B, have {available_bytes} B"
+            ),
+            MasParError::SegmentFailed {
+                layer,
+                segment,
+                attempts,
+            } => write!(
+                f,
+                "segment {segment} of layer {layer} failed after {attempts} attempts"
+            ),
+            MasParError::UnwrittenRegister(r) => {
+                write!(f, "read of unwritten ACU register '{r}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MasParError {}
+
+/// The top-level pipeline error: every library driver in the workspace
+/// returns `Result<_, SmaError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmaError {
+    /// A linear-system failure that no fallback could absorb.
+    Solve(SolveError),
+    /// A raster/grid-layer failure.
+    Grid(GridError),
+    /// A stereo-layer failure.
+    Stereo(StereoError),
+    /// A machine-simulation failure.
+    MasPar(MasParError),
+    /// An invalid [`SmaConfig`](https://docs.rs/sma-core) — carried as
+    /// the message `SmaConfig::validate` produces.
+    Config(String),
+}
+
+impl fmt::Display for SmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmaError::Solve(e) => write!(f, "linear solve failed: {e}"),
+            SmaError::Grid(e) => write!(f, "grid error: {e}"),
+            SmaError::Stereo(e) => write!(f, "stereo error: {e}"),
+            SmaError::MasPar(e) => write!(f, "maspar error: {e}"),
+            SmaError::Config(msg) => write!(f, "invalid SMA configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SmaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SmaError::Solve(e) => Some(e),
+            SmaError::Grid(e) => Some(e),
+            SmaError::Stereo(e) => Some(e),
+            SmaError::MasPar(e) => Some(e),
+            SmaError::Config(_) => None,
+        }
+    }
+}
+
+impl From<SolveError> for SmaError {
+    fn from(e: SolveError) -> Self {
+        SmaError::Solve(e)
+    }
+}
+
+impl From<GridError> for SmaError {
+    fn from(e: GridError) -> Self {
+        SmaError::Grid(e)
+    }
+}
+
+impl From<StereoError> for SmaError {
+    fn from(e: StereoError) -> Self {
+        SmaError::Stereo(e)
+    }
+}
+
+impl From<MasParError> for SmaError {
+    fn from(e: MasParError) -> Self {
+        SmaError::MasPar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_chain() {
+        let e = SmaError::from(SolveError::Singular);
+        assert!(e.to_string().contains("linear solve failed"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let g = SmaError::from(GridError::EmptyRegion {
+            width: 8,
+            height: 8,
+        });
+        assert!(g.to_string().contains("8x8"));
+
+        let m = SmaError::from(MasParError::SegmentFailed {
+            layer: 2,
+            segment: 1,
+            attempts: 3,
+        });
+        assert!(m.to_string().contains("after 3 attempts"));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            SmaError::from(SolveError::Singular),
+            SmaError::Solve(SolveError::Singular)
+        );
+        assert_ne!(
+            SmaError::Grid(GridError::EmptyPyramid),
+            SmaError::Stereo(StereoError::EmptySearchRange)
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! The fault ledger: process-global accounting of injected faults and
+//! their outcomes.
+//!
+//! The ledger keeps its own always-on atomics — tests assert on it
+//! without needing `SMA_OBS` — and mirrors every event onto `sma-obs`
+//! counters (`fault.*`) so the observability exporters pick the ledger
+//! up for `METRICS_*.json` and the `obs_report` fault table.
+
+use crate::injector::FaultSite;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SITES: usize = FaultSite::ALL.len();
+
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+static RECOVERED: AtomicU64 = AtomicU64::new(0);
+static DEGRADED: AtomicU64 = AtomicU64::new(0);
+static DEGRADED_NATURAL: AtomicU64 = AtomicU64::new(0);
+static QUARANTINED: AtomicU64 = AtomicU64::new(0);
+
+static SITE_INJECTED: [AtomicU64; SITES] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+// sma-obs mirrors. These no-op unless the obs runtime is enabled; the
+// atomics above are the source of truth for tests.
+static OBS_INJECTED: sma_obs::Counter = sma_obs::Counter::new("fault.injected");
+static OBS_RECOVERED: sma_obs::Counter = sma_obs::Counter::new("fault.recovered");
+static OBS_DEGRADED: sma_obs::Counter = sma_obs::Counter::new("fault.degraded");
+static OBS_DEGRADED_NATURAL: sma_obs::Counter = sma_obs::Counter::new("fault.degraded_natural");
+static OBS_QUARANTINED: sma_obs::Counter = sma_obs::Counter::new("fault.quarantined_pixels");
+static OBS_SITE: [sma_obs::Counter; SITES] = [
+    sma_obs::Counter::new("fault.site.router_send"),
+    sma_obs::Counter::new("fault.site.router_fetch"),
+    sma_obs::Counter::new("fault.site.xnet_fetch"),
+    sma_obs::Counter::new("fault.site.pe_memory"),
+    sma_obs::Counter::new("fault.site.pe_fault"),
+    sma_obs::Counter::new("fault.site.moment_plane"),
+    sma_obs::Counter::new("fault.site.input_dropout"),
+];
+
+pub(crate) fn record_injected(site: FaultSite) {
+    INJECTED.fetch_add(1, Ordering::Relaxed);
+    SITE_INJECTED[site.idx()].fetch_add(1, Ordering::Relaxed);
+    OBS_INJECTED.incr();
+    OBS_SITE[site.idx()].incr();
+}
+
+pub(crate) fn record_recovered(_site: FaultSite) {
+    RECOVERED.fetch_add(1, Ordering::Relaxed);
+    OBS_RECOVERED.incr();
+}
+
+pub(crate) fn record_degraded(_site: FaultSite) {
+    DEGRADED.fetch_add(1, Ordering::Relaxed);
+    OBS_DEGRADED.incr();
+}
+
+/// Record a degradation caused by the *input itself* (singular system
+/// on a flat patch, zero-variance window, ...), not by an injected
+/// fault. Counted outside the `injected == recovered + degraded`
+/// invariant.
+pub fn note_natural_degradation() {
+    DEGRADED_NATURAL.fetch_add(1, Ordering::Relaxed);
+    OBS_DEGRADED_NATURAL.incr();
+}
+
+/// Record `n` input pixels quarantined (non-finite values replaced and
+/// masked) by the grid validity layer.
+pub fn note_quarantined(n: u64) {
+    if n > 0 {
+        QUARANTINED.fetch_add(n, Ordering::Relaxed);
+        OBS_QUARANTINED.add(n);
+    }
+}
+
+/// A point-in-time copy of the fault ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    /// Faults that fired.
+    pub injected: u64,
+    /// Fired faults fully absorbed by retry/re-route.
+    pub recovered: u64,
+    /// Fired faults absorbed by a result-changing fallback.
+    pub degraded: u64,
+    /// Degradations caused by hostile inputs, with no injection.
+    pub degraded_natural: u64,
+    /// Non-finite input pixels quarantined by the validity layer.
+    pub quarantined_pixels: u64,
+    /// Injected counts per [`FaultSite`], in [`FaultSite::ALL`] order.
+    pub injected_by_site: [u64; SITES],
+}
+
+impl LedgerSnapshot {
+    /// The ledger invariant: every fired fault was resolved exactly
+    /// once.
+    pub fn balanced(&self) -> bool {
+        self.injected == self.recovered + self.degraded
+    }
+
+    /// Iterate `(site name, injected count)` pairs.
+    pub fn by_site(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        FaultSite::ALL
+            .iter()
+            .map(|s| (s.name(), self.injected_by_site[s.idx()]))
+    }
+}
+
+/// Snapshot the ledger.
+pub fn ledger() -> LedgerSnapshot {
+    let mut injected_by_site = [0u64; SITES];
+    for (slot, atomic) in injected_by_site.iter_mut().zip(SITE_INJECTED.iter()) {
+        *slot = atomic.load(Ordering::Relaxed);
+    }
+    LedgerSnapshot {
+        injected: INJECTED.load(Ordering::Relaxed),
+        recovered: RECOVERED.load(Ordering::Relaxed),
+        degraded: DEGRADED.load(Ordering::Relaxed),
+        degraded_natural: DEGRADED_NATURAL.load(Ordering::Relaxed),
+        quarantined_pixels: QUARANTINED.load(Ordering::Relaxed),
+        injected_by_site,
+    }
+}
+
+/// Zero the ledger (tests and report binaries).
+pub fn reset_ledger() {
+    INJECTED.store(0, Ordering::Relaxed);
+    RECOVERED.store(0, Ordering::Relaxed);
+    DEGRADED.store(0, Ordering::Relaxed);
+    DEGRADED_NATURAL.store(0, Ordering::Relaxed);
+    QUARANTINED.store(0, Ordering::Relaxed);
+    for atomic in SITE_INJECTED.iter() {
+        atomic.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_tracks_sites_and_balance() {
+        let _g = crate::exclusive();
+        crate::install(3, 1.0);
+        reset_ledger();
+        crate::inject(FaultSite::RouterSend, 1)
+            .expect("fires")
+            .recovered();
+        crate::inject(FaultSite::RouterSend, 2)
+            .expect("fires")
+            .degraded();
+        crate::inject(FaultSite::InputDropout, 3)
+            .expect("fires")
+            .degraded();
+        note_natural_degradation();
+        note_quarantined(4);
+
+        let snap = ledger();
+        assert!(snap.balanced());
+        assert_eq!(snap.injected, 3);
+        assert_eq!(snap.recovered, 1);
+        assert_eq!(snap.degraded, 2);
+        assert_eq!(snap.degraded_natural, 1);
+        assert_eq!(snap.quarantined_pixels, 4);
+        let by: std::collections::HashMap<_, _> = snap.by_site().collect();
+        assert_eq!(by["router_send"], 2);
+        assert_eq!(by["input_dropout"], 1);
+        assert_eq!(by["pe_fault"], 0);
+        crate::clear();
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic fault injection and the typed error model for the SMA
+//! pipeline.
+//!
+//! The paper's target machine — a 16384-PE MasPar MP-2 — operates in a
+//! regime where per-PE memory overruns (§4.3), router contention, and
+//! degenerate image windows are routine hazards, not exceptional ones.
+//! This crate gives the reproduction the same operational posture:
+//!
+//! * **Typed errors** ([`SmaError`] and the per-layer [`GridError`],
+//!   [`StereoError`], [`MasParError`] enums): every library driver
+//!   returns `Result` instead of panicking, so a bad pixel degrades one
+//!   pixel instead of aborting the run.
+//! * **Deterministic injection** ([`inject`], [`FaultSite`]): faults
+//!   fire from a ChaCha8 keystream keyed per *decision* — `(global
+//!   seed, site salt, caller key)` — so outcomes are independent of
+//!   thread scheduling and identical across reruns with the same
+//!   `SMA_FAULTS=<seed>:<rate>` environment knob.
+//! * **The ledger** ([`ledger`], [`LedgerSnapshot`]): every injected
+//!   fault is resolved as *recovered* (a retry or re-route restored the
+//!   exact result) or *degraded* (a fallback produced a usable but
+//!   lesser result), maintaining the invariant
+//!   `injected == recovered + degraded`. Natural degradations — inputs
+//!   that were already hostile without any injection — are tallied
+//!   separately. Everything mirrors onto `sma-obs` counters (`fault.*`)
+//!   so `obs_report` can print a fault ledger next to the timing tree.
+//!
+//! ## Armed vs. disarmed
+//!
+//! With `SMA_FAULTS` unset (and no [`install`] call) the pipeline is
+//! *disarmed*: no faults fire, and semantic-changing fallbacks (e.g.
+//! the translation-only model for singular `Fcont` systems) stay off,
+//! keeping output bit-identical to the pre-fault-harness pipeline.
+//! Arming — even with rate 0 — turns the degradation ladder on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod injector;
+mod ledger;
+
+pub use error::{GridError, MasParError, SmaError, StereoError};
+pub use injector::{
+    clear, disarm, enabled, inject, inject_with_draw, install, key2, key3, mix, rate, seed,
+    FaultSite, FaultToken,
+};
+pub use ledger::{
+    ledger, note_natural_degradation, note_quarantined, reset_ledger, LedgerSnapshot,
+};
+
+/// Serialize tests that mutate the process-global fault configuration.
+///
+/// [`install`]/[`clear`] act on process-global state; concurrent tests
+/// in one binary would race. Tests hold this guard around any armed
+/// section. Lock poisoning is ignored — a panicking test already
+/// reported its failure, and the state it left behind is overwritten by
+/// the next `install`.
+pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

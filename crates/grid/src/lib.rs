@@ -17,6 +17,9 @@
 //!   fast path);
 //! * [`pyramid`] — the multi-resolution image pyramid used by the ASA
 //!   stereo substrate's coarse-to-fine search;
+//! * [`validity`] — NaN/Inf input quarantine with per-pixel validity
+//!   masks that propagate through the pyramid (the fault-tolerance
+//!   layer's input gate);
 //! * [`warp`] — bilinear sampling and warping by disparity / flow, used to
 //!   align stereo views and advect synthetic scenes;
 //! * [`flow`] — dense motion ([`flow::FlowField`]) and sparse tracer
@@ -38,6 +41,7 @@ pub mod grid;
 pub mod integral;
 pub mod io;
 pub mod pyramid;
+pub mod validity;
 pub mod warp;
 pub mod window;
 
@@ -45,6 +49,7 @@ pub use border::BorderPolicy;
 pub use flow::{FlowField, FlowStats, Vec2};
 pub use grid::Grid;
 pub use integral::{IntegralImage, MomentIntegral};
+pub use validity::{quarantine, ValidityMask};
 pub use window::{CenteredWindow, WindowBounds};
 
 /// Convenience alias for the single-precision planes used throughout the

@@ -35,12 +35,13 @@ impl Pyramid {
         assert!(!img.is_empty(), "pyramid of empty image");
         let _span = sma_obs::span("pyramid_build");
         let mut levels = vec![img.clone()];
-        for _ in 1..n_levels {
-            let prev = levels.last().expect("non-empty levels");
+        while levels.len() < n_levels {
+            let prev = &levels[levels.len() - 1];
             if prev.width() < 4 || prev.height() < 4 {
                 break;
             }
-            levels.push(downsample(prev));
+            let next = downsample(prev);
+            levels.push(next);
         }
         PYRAMID_BUILDS.incr();
         PYRAMID_LEVELS.add(levels.len() as u64);

@@ -18,7 +18,8 @@ use std::collections::BTreeMap;
 
 use crate::array::{PeArray, PluralVar};
 use crate::cost::{CostLedger, OpCounts};
-use crate::xnet::{xnet_fetch, Direction};
+use crate::xnet::{xnet_fetch_checked, Direction};
+use sma_fault::MasParError;
 
 /// A plural register name.
 pub type Reg = &'static str;
@@ -101,11 +102,11 @@ impl Acu {
         &self.ledger
     }
 
-    fn reg(&self, r: Reg) -> PluralVar<f32> {
+    fn reg(&self, r: Reg) -> Result<PluralVar<f32>, MasParError> {
         self.regs
             .get(r)
-            .unwrap_or_else(|| panic!("read of unwritten register '{r}'"))
-            .clone()
+            .cloned()
+            .ok_or_else(|| MasParError::UnwrittenRegister(r.to_string()))
     }
 
     fn masked_write(&mut self, dst: Reg, value: PluralVar<f32>) {
@@ -126,8 +127,9 @@ impl Acu {
     }
 
     /// Execute one instruction (lockstep, masked) and charge its cost to
-    /// `phase`.
-    pub fn exec(&mut self, phase: &str, instr: &Instr) {
+    /// `phase`. Reading a register no program wrote is a program bug
+    /// surfaced as [`MasParError::UnwrittenRegister`].
+    pub fn exec(&mut self, phase: &str, instr: &Instr) -> Result<(), MasParError> {
         let active = self.array.active_count() as f64;
         match instr {
             Instr::Splat(dst, v) => {
@@ -135,8 +137,8 @@ impl Acu {
                 self.masked_write(dst, PluralVar::splat(nx, ny, *v));
             }
             Instr::Add(dst, a, b) | Instr::Sub(dst, a, b) | Instr::Mul(dst, a, b) => {
-                let va = self.reg(a);
-                let vb = self.reg(b);
+                let va = self.reg(a)?;
+                let vb = self.reg(b)?;
                 let out = match instr {
                     Instr::Add(..) => va.zip_with(&vb, |p, q| p + q),
                     Instr::Sub(..) => va.zip_with(&vb, |p, q| p - q),
@@ -152,9 +154,9 @@ impl Acu {
                 );
             }
             Instr::Fma(dst, a, b, c) => {
-                let va = self.reg(a);
-                let vb = self.reg(b);
-                let vc = self.reg(c);
+                let va = self.reg(a)?;
+                let vb = self.reg(b)?;
+                let vc = self.reg(c)?;
                 let prod = va.zip_with(&vb, |p, q| p * q);
                 let out = prod.zip_with(&vc, |p, q| p + q);
                 self.masked_write(dst, out);
@@ -167,8 +169,8 @@ impl Acu {
                 );
             }
             Instr::Fetch(dst, src, dir) => {
-                let v = self.reg(src);
-                self.masked_write(dst, xnet_fetch(&v, *dir));
+                let v = self.reg(src)?;
+                self.masked_write(dst, xnet_fetch_checked(&v, *dir));
                 self.ledger.charge(
                     phase,
                     OpCounts {
@@ -191,7 +193,7 @@ impl Acu {
             }
             Instr::Store(layer, src) => {
                 assert!(*layer < self.memory.len(), "store to unbound layer");
-                let v = self.reg(src);
+                let v = self.reg(src)?;
                 let (nx, ny) = (self.array.nxproc(), self.array.nyproc());
                 let prev = self.memory[*layer].clone();
                 self.memory[*layer] = PluralVar::from_fn(nx, ny, |x, y| {
@@ -210,19 +212,22 @@ impl Acu {
                 );
             }
         }
+        Ok(())
     }
 
-    /// Run a program under one phase label.
-    pub fn run(&mut self, phase: &str, program: &[Instr]) {
+    /// Run a program under one phase label, stopping at the first
+    /// failing instruction.
+    pub fn run(&mut self, phase: &str, program: &[Instr]) -> Result<(), MasParError> {
         for instr in program {
-            self.exec(phase, instr);
+            self.exec(phase, instr)?;
         }
+        Ok(())
     }
 
     /// ACU-side global sum of a register over active PEs.
-    pub fn reduce_sum(&self, r: Reg) -> f64 {
-        let v = self.reg(r);
-        self.array.reduce(&v, 0.0f64, |acc, x| acc + x as f64)
+    pub fn reduce_sum(&self, r: Reg) -> Result<f64, MasParError> {
+        let v = self.reg(r)?;
+        Ok(self.array.reduce(&v, 0.0f64, |acc, x| acc + x as f64))
     }
 }
 
@@ -261,7 +266,8 @@ mod tests {
                 Instr::Mul("c", "a", "b"),
                 Instr::Add("d", "c", "a"),
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(acu.register("d").unwrap().get(2, 2), 15.0);
         // Two arithmetic instructions x 16 PEs = 32 flops.
         assert_eq!(acu.ledger().phase("k").unwrap().flops_single, 32.0);
@@ -278,16 +284,19 @@ mod tests {
                 Instr::Splat("c", 1.0),
                 Instr::Fma("d", "a", "b", "c"),
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(acu.register("d").unwrap().get(0, 0), 7.0);
         assert_eq!(acu.ledger().phase("k").unwrap().flops_single, 8.0);
     }
 
     #[test]
     fn fetch_moves_data_and_charges_xnet() {
+        let _g = sma_fault::exclusive(); // serialize vs armed fault tests
         let mut acu = Acu::new(4, 4, 0);
         acu.write_memory_free("x", |x, y| (10 * y + x) as f32);
-        acu.run("k", &[Instr::Fetch("n", "x", Direction::North)]);
+        acu.run("k", &[Instr::Fetch("n", "x", Direction::North)])
+            .unwrap();
         // PE (1, 2) reads from (1, 1).
         assert_eq!(acu.register("n").unwrap().get(1, 2), 11.0);
         assert_eq!(acu.ledger().phase("k").unwrap().xnet_bytes, 64.0);
@@ -297,7 +306,8 @@ mod tests {
     fn load_store_roundtrip_with_memory_costs() {
         let mut acu = Acu::new(2, 2, 2);
         acu.write_memory(0, PluralVar::from_fn(2, 2, |x, y| (x + 10 * y) as f32));
-        acu.run("k", &[Instr::Load("r", 0), Instr::Store(1, "r")]);
+        acu.run("k", &[Instr::Load("r", 0), Instr::Store(1, "r")])
+            .unwrap();
         assert_eq!(acu.memory(1).get(1, 1), 11.0);
         assert_eq!(
             acu.ledger().phase("k").unwrap().mem_bytes_direct,
@@ -308,13 +318,14 @@ mod tests {
     #[test]
     fn masking_freezes_inactive_pes() {
         let mut acu = Acu::new(4, 4, 0);
-        acu.run("k", &[Instr::Splat("v", 1.0)]);
+        acu.run("k", &[Instr::Splat("v", 1.0)]).unwrap();
         let cond = PluralVar::from_fn(4, 4, |x, _| x < 2);
         let saved = acu.array_mut().push_active(&cond);
         acu.run(
             "k",
             &[Instr::Splat("one", 1.0), Instr::Add("v", "v", "one")],
-        );
+        )
+        .unwrap();
         acu.array_mut().pop_active(saved);
         assert_eq!(acu.register("v").unwrap().get(0, 0), 2.0);
         assert_eq!(
@@ -326,9 +337,10 @@ mod tests {
 
     #[test]
     fn mean8_kernel() {
+        let _g = sma_fault::exclusive(); // serialize vs armed fault tests
         let mut acu = Acu::new(4, 4, 0);
         acu.write_memory_free("x", |_, _| 5.0);
-        acu.run("mean", &mean8_program());
+        acu.run("mean", &mean8_program()).unwrap();
         // Constant field: the 8-neighbor mean is the same constant.
         let m = acu.register("mean8").unwrap();
         for y in 0..4 {
@@ -347,7 +359,7 @@ mod tests {
     fn reduce_sum_over_active() {
         let mut acu = Acu::new(4, 4, 0);
         acu.write_memory_free("x", |x, y| (x + y) as f32);
-        let total = acu.reduce_sum("x");
+        let total = acu.reduce_sum("x").unwrap();
         let expect: f64 = (0..4)
             .flat_map(|y| (0..4).map(move |x| (x + y) as f64))
             .sum();

@@ -4,6 +4,7 @@
 //! frame data, run lockstep plural phases, fetch neighborhoods through a
 //! read-out scheme, and read the accumulated ledger as Table 2/4 rows.
 
+use sma_fault::MasParError;
 use sma_grid::Grid;
 
 use crate::array::PeArray;
@@ -108,9 +109,10 @@ impl MasPar {
     /// Fold an image with the hierarchical mapping sized to this machine,
     /// charging the load to the ledger as direct memory traffic.
     ///
-    /// # Panics
-    /// Panics if the folded image would not fit the PE memory.
-    pub fn fold(&mut self, phase: &str, img: &Grid<f32>) -> FoldedImage {
+    /// # Errors
+    /// [`MasParError::MemoryBudgetExceeded`] if the folded image would
+    /// not fit the PE memory.
+    pub fn fold(&mut self, phase: &str, img: &Grid<f32>) -> Result<FoldedImage, MasParError> {
         let _span = sma_obs::span("maspar_fold");
         let mapping = DataMapping::new(
             MappingKind::Hierarchical,
@@ -120,12 +122,12 @@ impl MasPar {
             self.config.nyproc,
         );
         let folded = FoldedImage::fold(img, mapping);
-        assert!(
-            folded.bytes_per_pe() <= self.config.pe_memory_bytes,
-            "folded image ({} B/PE) exceeds PE memory ({} B)",
-            folded.bytes_per_pe(),
-            self.config.pe_memory_bytes
-        );
+        if folded.bytes_per_pe() > self.config.pe_memory_bytes {
+            return Err(MasParError::MemoryBudgetExceeded {
+                needed_bytes: folded.bytes_per_pe(),
+                available_bytes: self.config.pe_memory_bytes,
+            });
+        }
         self.ledger.charge(
             phase,
             OpCounts {
@@ -133,7 +135,7 @@ impl MasPar {
                 ..Default::default()
             },
         );
-        folded
+        Ok(folded)
     }
 
     /// Fetch every `(2n+1)^2` neighborhood of a folded image through the
@@ -217,7 +219,7 @@ mod tests {
             ..MachineConfig::goddard_mp2()
         });
         let img = Grid::from_fn(32, 32, |x, y| (x + y) as f32);
-        let folded = m.fold("load", &img);
+        let folded = m.fold("load", &img).unwrap();
         assert_eq!(folded.num_layers(), 16);
         let ops = m.ledger().phase("load").unwrap();
         assert_eq!(ops.mem_bytes_direct, (32.0 * 32.0 * 4.0));
@@ -225,7 +227,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds PE memory")]
     fn oversized_fold_rejected() {
         let mut m = MasPar::new(MachineConfig {
             nxproc: 2,
@@ -234,7 +235,13 @@ mod tests {
             ..MachineConfig::goddard_mp2()
         });
         let img = Grid::filled(32, 32, 0.0f32); // 256 layers needed
-        let _ = m.fold("load", &img);
+        assert!(matches!(
+            m.fold("load", &img),
+            Err(MasParError::MemoryBudgetExceeded {
+                needed_bytes: 1024,
+                available_bytes: 64,
+            })
+        ));
     }
 
     #[test]
@@ -245,7 +252,7 @@ mod tests {
             ..MachineConfig::goddard_mp2()
         });
         let img = Grid::from_fn(16, 16, |x, y| (x * 16 + y) as f32);
-        let folded = m.fold("load", &img);
+        let folded = m.fold("load", &img).unwrap();
 
         let s1 = m.fetch_windows(
             "snake",

@@ -16,6 +16,12 @@
 //! all-to-one gather.
 
 use crate::array::PluralVar;
+use sma_fault::FaultSite;
+
+/// Resend attempts after a dropped router message before the message is
+/// abandoned (the transfer degrades to "receiver keeps its prior
+/// value").
+const ROUTER_RETRIES: u32 = 3;
 
 /// Messages moved through the global router across all operations.
 static ROUTER_MESSAGES: sma_obs::Counter = sma_obs::Counter::new("maspar.router.messages");
@@ -48,12 +54,43 @@ pub struct RouterResult<T> {
     pub max_in_degree: usize,
 }
 
+/// Decide the fate of one router message under fault injection: run the
+/// keyed drop decision per transmission attempt, resending (bounded by
+/// [`ROUTER_RETRIES`]) after each detected drop. Returns whether the
+/// message was ultimately delivered and how many transmissions it took.
+/// With the harness disarmed this is one clean transmission.
+fn transmit(site: FaultSite, x: usize, y: usize) -> (bool, usize) {
+    let mut attempt = 0u32;
+    loop {
+        let key = sma_fault::key3(x as u64, y as u64, attempt as u64);
+        match sma_fault::inject(site, key) {
+            None => return (true, attempt as usize + 1),
+            Some(token) => {
+                if attempt < ROUTER_RETRIES {
+                    // The circuit-switched router reports the failed
+                    // connection; the sender retransmits.
+                    token.recovered();
+                    attempt += 1;
+                } else {
+                    token.degraded();
+                    return (false, attempt as usize + 1);
+                }
+            }
+        }
+    }
+}
+
 /// Route `var` so that each PE's value is *sent* to `dest(ixproc, iyproc)`.
 /// `None` destinations send nothing. When several PEs target the same
 /// destination, the last sender in row-major order wins (matching MPL's
 /// `router[...]` store semantics where simultaneous stores are
 /// serialized and one lands last), and the collision count is reflected
 /// in `max_in_degree`.
+///
+/// Under an armed fault harness (`SMA_FAULTS`), individual messages can
+/// drop in flight; each drop is retransmitted up to [`ROUTER_RETRIES`]
+/// times (counted in `messages`) before the transfer is abandoned and
+/// the destination keeps its prior value.
 pub fn route_send<T: Copy>(
     var: &PluralVar<T>,
     mut dest: impl FnMut(usize, usize) -> Option<(usize, usize)>,
@@ -66,9 +103,12 @@ pub fn route_send<T: Copy>(
         for x in 0..nx {
             if let Some((dx, dy)) = dest(x, y) {
                 assert!(dx < nx && dy < ny, "router destination out of range");
-                out.set(dx, dy, var.get(x, y));
-                in_degree[dy * nx + dx] += 1;
-                messages += 1;
+                let (delivered, transmissions) = transmit(FaultSite::RouterSend, x, y);
+                messages += transmissions;
+                if delivered {
+                    out.set(dx, dy, var.get(x, y));
+                    in_degree[dy * nx + dx] += 1;
+                }
             }
         }
     }
@@ -83,22 +123,33 @@ pub fn route_send<T: Copy>(
 /// Gather: each PE *fetches* the value held by `src(ixproc, iyproc)`.
 /// Fetches always succeed (reads don't collide), but the cost model still
 /// charges by the fan-out of the busiest source.
+///
+/// Under an armed fault harness a fetch *reply* can drop in flight;
+/// after [`ROUTER_RETRIES`] failed refetches the PE degrades to keeping
+/// its own prior value.
 pub fn route_fetch<T: Copy>(
     var: &PluralVar<T>,
     mut src: impl FnMut(usize, usize) -> (usize, usize),
 ) -> RouterResult<T> {
     let (nx, ny) = var.dims();
     let mut out_degree = vec![0usize; nx * ny];
+    let mut messages = 0usize;
     let data = PluralVar::from_fn(nx, ny, |x, y| {
         let (sx, sy) = src(x, y);
         assert!(sx < nx && sy < ny, "router source out of range");
         out_degree[sy * nx + sx] += 1;
-        var.get(sx, sy)
+        let (delivered, transmissions) = transmit(FaultSite::RouterFetch, x, y);
+        messages += transmissions;
+        if delivered {
+            var.get(sx, sy)
+        } else {
+            var.get(x, y)
+        }
     });
-    publish_routing(nx * ny, &out_degree);
+    publish_routing(messages, &out_degree);
     RouterResult {
         data,
-        messages: nx * ny,
+        messages,
         max_in_degree: out_degree.iter().copied().max().unwrap_or(0),
     }
 }
@@ -164,5 +215,43 @@ mod tests {
     fn bad_destination_rejected() {
         let v = PluralVar::splat(2, 2, 0i32);
         let _ = route_send(&v, |_, _| Some((5, 0)));
+    }
+
+    #[test]
+    fn injected_drops_are_deterministic_and_ledgered() {
+        let _g = sma_fault::exclusive();
+        sma_fault::install(99, 0.2);
+        sma_fault::reset_ledger();
+        let v = PluralVar::from_fn(8, 8, |x, y| (y * 8 + x) as i32);
+        let r1 = route_send(&v, |x, y| Some(((x + 1) % 8, y)));
+        let f1 = route_fetch(&v, |x, y| ((x + 3) % 8, y));
+        let led1 = sma_fault::ledger();
+        sma_fault::reset_ledger();
+        let r2 = route_send(&v, |x, y| Some(((x + 1) % 8, y)));
+        let f2 = route_fetch(&v, |x, y| ((x + 3) % 8, y));
+        let led2 = sma_fault::ledger();
+
+        assert_eq!(r1.data, r2.data, "same seed => same degraded data");
+        assert_eq!(r1.messages, r2.messages);
+        assert_eq!(f1.data, f2.data);
+        assert_eq!(led1, led2, "same seed => identical ledger");
+        assert!(led1.balanced());
+        assert!(led1.injected > 0, "rate 0.2 over 128 messages must fire");
+        assert!(
+            r1.messages > 64,
+            "drops must show up as retransmissions ({} messages)",
+            r1.messages
+        );
+        sma_fault::clear();
+    }
+
+    #[test]
+    fn disarmed_routing_is_clean() {
+        let _g = sma_fault::exclusive();
+        sma_fault::clear();
+        let v = PluralVar::from_fn(4, 4, |x, y| (y * 4 + x) as i32);
+        let r = route_send(&v, |x, y| Some((y, x)));
+        assert_eq!(r.messages, 16, "no retransmissions when disarmed");
+        assert_eq!(r.data.get(1, 3), 7, "transpose: (1,3) receives from (3,1)");
     }
 }

@@ -71,6 +71,21 @@ impl Direction {
             Direction::NorthWest => Direction::SouthEast,
         }
     }
+
+    /// Stable index (position in [`ALL_DIRECTIONS`]), used to key fault
+    /// decisions per direction.
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::NorthEast => 1,
+            Direction::East => 2,
+            Direction::SouthEast => 3,
+            Direction::South => 4,
+            Direction::SouthWest => 5,
+            Direction::West => 6,
+            Direction::NorthWest => 7,
+        }
+    }
 }
 
 /// One X-net transfer: every PE *receives* the value its neighbor in
@@ -92,6 +107,46 @@ pub fn xnet_fetch<T: Copy>(var: &PluralVar<T>, dir: Direction) -> PluralVar<T> {
 /// (toroidal). `xnet_send(v, d) == xnet_fetch(v, d.opposite())`.
 pub fn xnet_send<T: Copy>(var: &PluralVar<T>, dir: Direction) -> PluralVar<T> {
     xnet_fetch(var, dir.opposite())
+}
+
+/// [`xnet_fetch`] for `f32` planes with transit fault checking: under an
+/// armed fault harness, a fetched value can suffer a single-bit flip.
+/// The receiving PE's parity check detects the corruption and refetches
+/// (recovered); if the refetch is *also* corrupted the PE accepts the
+/// flipped value (degraded) and downstream validity screening absorbs
+/// it. Disarmed, this is exactly [`xnet_fetch`].
+pub fn xnet_fetch_checked(var: &PluralVar<f32>, dir: Direction) -> PluralVar<f32> {
+    let clean = xnet_fetch(var, dir);
+    if !sma_fault::enabled() {
+        return clean;
+    }
+    let (nx, ny) = clean.dims();
+    PluralVar::from_fn(nx, ny, |x, y| {
+        let v = clean.get(x, y);
+        let key = sma_fault::key3(x as u64, y as u64, dir.index() as u64);
+        match sma_fault::inject_with_draw(sma_fault::FaultSite::XnetFetch, key) {
+            None => v,
+            Some((token, draw)) => {
+                let bit = (draw % 32) as u32;
+                let corrupted = f32::from_bits(v.to_bits() ^ (1u32 << bit));
+                // Refetch: its own keyed decision, in the attempt space
+                // 8..16 so it can never collide with a first-attempt key
+                // (direction indices are 0..8).
+                let retry = sma_fault::key3(x as u64, y as u64, dir.index() as u64 + 8);
+                match sma_fault::inject(sma_fault::FaultSite::XnetFetch, retry) {
+                    None => {
+                        token.recovered();
+                        v
+                    }
+                    Some(second) => {
+                        token.recovered();
+                        second.degraded();
+                        corrupted
+                    }
+                }
+            }
+        }
+    })
 }
 
 /// Number of single X-net hops needed to move data between two PEs using
@@ -170,6 +225,45 @@ mod tests {
             w = xnet_fetch(&w, Direction::NorthEast);
         }
         assert_eq!(w.get(0, 7), (4, 3));
+    }
+
+    #[test]
+    fn checked_fetch_clean_when_disarmed() {
+        let _g = sma_fault::exclusive();
+        sma_fault::clear();
+        let v = PluralVar::from_fn(6, 6, |x, y| (x * 10 + y) as f32);
+        for d in ALL_DIRECTIONS {
+            assert_eq!(xnet_fetch_checked(&v, d), xnet_fetch(&v, d));
+        }
+    }
+
+    #[test]
+    fn checked_fetch_injects_deterministically() {
+        let _g = sma_fault::exclusive();
+        sma_fault::install(4242, 0.3);
+        sma_fault::reset_ledger();
+        let v = PluralVar::from_fn(16, 16, |x, y| (x + y) as f32 + 0.25);
+        let a = xnet_fetch_checked(&v, Direction::East);
+        let led_a = sma_fault::ledger();
+        sma_fault::reset_ledger();
+        let b = xnet_fetch_checked(&v, Direction::East);
+        let led_b = sma_fault::ledger();
+        assert_eq!(a, b, "same seed => identical corrupted plane");
+        assert_eq!(led_a, led_b);
+        assert!(led_a.balanced());
+        assert!(led_a.injected > 0, "rate 0.3 over 256 PEs must fire");
+        assert!(
+            led_a.recovered > 0,
+            "single flips are caught by parity and refetched"
+        );
+        sma_fault::clear();
+    }
+
+    #[test]
+    fn direction_index_matches_all_directions() {
+        for (i, d) in ALL_DIRECTIONS.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
     }
 
     #[test]

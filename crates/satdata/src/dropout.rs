@@ -1,0 +1,104 @@
+//! Satellite input dropouts, driven by the fault harness.
+//!
+//! Real GOES tapes carry scan-line and pixel dropouts (telemetry gaps,
+//! detector saturation). The synthetic scenes are pristine, so the fault
+//! harness injects the defect instead: with `SMA_FAULTS` armed, each
+//! pixel of a frame is independently eligible to drop out, keyed on
+//! `(frame_key, x, y)` so the same seed always punches the same holes.
+//!
+//! A dropped pixel becomes `NaN` — the honest encoding of "no data" —
+//! and is ledgered as *degraded* at the sensor (the harness cannot
+//! recover data that never arrived). Downstream,
+//! `SmaFrames::prepare` quarantines the `NaN`s (repairing them from
+//! finite neighbors and masking them invalid), so an armed pipeline
+//! still completes end to end; the quarantine count in the fault ledger
+//! reports how many holes the pipeline absorbed.
+
+use sma_fault::FaultSite;
+use sma_grid::Grid;
+
+/// Apply harness-driven dropouts to a frame: every injected pixel is
+/// replaced by `NaN`. Disarmed (or at rate 0) this is an exact copy.
+///
+/// `frame_key` distinguishes frames of a sequence so each gets its own
+/// deterministic dropout pattern under one seed.
+pub fn apply_dropouts(img: &Grid<f32>, frame_key: u64) -> Grid<f32> {
+    let mut out = img.clone();
+    if !sma_fault::enabled() {
+        return out;
+    }
+    let (w, h) = img.dims();
+    for y in 0..h {
+        for x in 0..w {
+            let key = sma_fault::key3(frame_key, x as u64, y as u64);
+            if let Some(token) = sma_fault::inject(FaultSite::InputDropout, key) {
+                // Lost at the sensor: nothing upstream can restore it.
+                token.degraded();
+                out.set(x, y, f32::NAN);
+            }
+        }
+    }
+    out
+}
+
+/// Count the `NaN` pixels of a frame (the holes a dropout pass punched).
+pub fn dropout_count(img: &Grid<f32>) -> usize {
+    img.iter().filter(|v| !v.is_finite()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(w: usize, h: usize) -> Grid<f32> {
+        Grid::from_fn(w, h, |x, y| (x + w * y) as f32)
+    }
+
+    #[test]
+    fn disarmed_is_exact_copy() {
+        let _g = sma_fault::exclusive();
+        sma_fault::clear();
+        let img = ramp(16, 16);
+        assert_eq!(apply_dropouts(&img, 0), img);
+    }
+
+    #[test]
+    fn armed_dropouts_are_deterministic_and_ledgered() {
+        let _g = sma_fault::exclusive();
+        sma_fault::install(777, 0.05);
+        sma_fault::reset_ledger();
+        let img = ramp(32, 32);
+        let a = apply_dropouts(&img, 3);
+        let b = apply_dropouts(&img, 3);
+        let other_frame = apply_dropouts(&img, 4);
+        sma_fault::clear();
+
+        // NaN != NaN, so compare hole patterns bitwise.
+        let holes_of = |g: &Grid<f32>| -> Vec<bool> { g.iter().map(|v| !v.is_finite()).collect() };
+        assert_eq!(
+            holes_of(&a),
+            holes_of(&b),
+            "same seed + frame key must drop the same pixels"
+        );
+        let holes = dropout_count(&a);
+        assert!(holes > 0, "rate 0.05 over 1024 px should drop some");
+        assert!(holes < 1024 / 4, "rate 0.05 should not shred the frame");
+        assert_ne!(
+            holes_of(&a),
+            holes_of(&other_frame),
+            "different frame keys must drop different pixels"
+        );
+
+        let snap = sma_fault::ledger();
+        assert!(snap.balanced(), "every dropout token must resolve");
+        let dropped = snap
+            .by_site()
+            .find(|(name, _)| *name == FaultSite::InputDropout.name())
+            .map(|(_, n)| n)
+            .unwrap_or(0);
+        assert_eq!(
+            dropped,
+            (dropout_count(&a) * 2 + dropout_count(&other_frame)) as u64
+        );
+    }
+}

@@ -32,6 +32,7 @@
 pub mod advect;
 pub mod convection;
 pub mod dataset;
+pub mod dropout;
 pub mod layers;
 pub mod multispectral;
 pub mod noise;

@@ -52,10 +52,22 @@ pub fn ncc_score(
             vr += b * b;
         }
     }
-    if vl < MIN_VARIANCE || vr < MIN_VARIANCE {
+    // NaN-safe: a non-finite variance (NaN pixels that escaped the
+    // input quarantine) must take the neutral branch, so test the
+    // *acceptance* condition — `NaN >= x` is false, `NaN < x` is not.
+    if !(vl >= MIN_VARIANCE && vr >= MIN_VARIANCE) {
+        if vl.is_nan() || vr.is_nan() {
+            sma_fault::note_natural_degradation();
+        }
         return 0.0;
     }
-    cov / (vl * vr).sqrt()
+    let score = cov / (vl * vr).sqrt();
+    if score.is_finite() {
+        score
+    } else {
+        sma_fault::note_natural_degradation();
+        0.0
+    }
 }
 
 /// Result of a 1-D disparity search at one pixel.

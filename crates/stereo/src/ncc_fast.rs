@@ -99,12 +99,23 @@ impl NccPrecomp {
         let srr = self.right_sq.window_sum(rx, y, n);
         let slr = self.cross[k].window_sum(x, y, n);
         let cov = slr - sl * sr / count;
-        let vl = sll - sl * sl / count;
-        let vr = srr - sr * sr / count;
+        // Float cancellation can drive a true-zero variance slightly
+        // negative, and NaN inputs make it NaN; `max(0.0)` maps both to
+        // 0 (f64::max returns the non-NaN operand), which the neutral
+        // branch below absorbs instead of feeding `sqrt` a negative or
+        // NaN argument.
+        let vl = (sll - sl * sl / count).max(0.0);
+        let vr = (srr - sr * sr / count).max(0.0);
         if vl < 1e-8 || vr < 1e-8 {
             return Some(0.0);
         }
-        Some(cov / (vl * vr).sqrt())
+        let score = cov / (vl * vr).sqrt();
+        if score.is_finite() {
+            Some(score)
+        } else {
+            sma_fault::note_natural_degradation();
+            Some(0.0)
+        }
     }
 
     /// Best disparity at `(x, y)` over the precomputed range (integer

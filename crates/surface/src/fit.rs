@@ -87,6 +87,22 @@ impl FitContext {
     /// coefficients.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "surface fit window must be at least 3x3 (n >= 1)");
+        match Self::try_new(n) {
+            Ok(ctx) => ctx,
+            // The moment matrix of a (2n+1)^2 window with n >= 1 is
+            // always nonsingular, so this arm is unreachable; keep the
+            // checked constructor for callers that propagate instead.
+            Err(e) => unreachable!("window moment matrix is nonsingular: {e}"),
+        }
+    }
+
+    /// Checked variant of [`FitContext::new`]: returns the solver error
+    /// instead of panicking if `n == 0` or the moment matrix could not
+    /// be inverted.
+    pub fn try_new(n: usize) -> Result<Self, SolveError> {
+        if n == 0 {
+            return Err(SolveError::Singular);
+        }
         // Accumulate the moment matrix M = sum over offsets of row row^T.
         let mut m = SMat::zeros(6);
         let ni = n as isize;
@@ -100,18 +116,17 @@ impl FitContext {
                 }
             }
         }
-        // Invert by solving against the six unit vectors. The moment
-        // matrix of a (2n+1)^2 window with n >= 1 is always nonsingular.
+        // Invert by solving against the six unit vectors.
         let mut inv = [0.0f64; 36];
         for col in 0..6 {
             let mut e = vec![0.0f64; 6];
             e[col] = 1.0;
-            let x = sma_linalg::gauss::solve(&m, &e).expect("window moment matrix is nonsingular");
+            let x = sma_linalg::gauss::solve(&m, &e)?;
             for r in 0..6 {
                 inv[r * 6 + col] = x[r];
             }
         }
-        Self { n, inv }
+        Ok(Self { n, inv })
     }
 
     /// Window half-width this context was built for.

@@ -120,6 +120,14 @@ impl GeomField {
         policy: BorderPolicy,
     ) -> GeomVars {
         let p = ctx.fit(z, x, y, policy);
+        // Non-finite data that escaped the input quarantine yields a
+        // non-finite fit; degrade that pixel to flat-surface geometry
+        // (the exact values a constant patch produces) rather than let
+        // NaN normals poison every window the pixel participates in.
+        if !p.coeffs().iter().all(|c| c.is_finite()) {
+            sma_fault::note_natural_degradation();
+            return GeomVars::default();
+        }
         let n = p.unit_normal();
         GeomVars {
             ni: n.i,

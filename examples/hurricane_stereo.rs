@@ -57,9 +57,10 @@ fn main() {
         &heights[0],
         &heights[1],
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     println!(
         "SMA: tracked {} px, {:.1}% valid",
         result.region.area(),

@@ -115,7 +115,8 @@ fn main() {
         &cfg,
         Region::Interior { margin: 9 },
         ReadoutScheme::Raster,
-    );
+    )
+    .expect("maspar run");
     println!(
         "  {} layers, {} segment(s); read-out: {} plane shifts, {} X-net values",
         report.layers, report.segments, report.readout.plane_shifts, report.readout.xnet_values

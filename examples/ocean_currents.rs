@@ -37,9 +37,10 @@ fn main() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     let flow = result.flow();
     let pts: Vec<(usize, usize)> = result.region.pixels().collect();
     let stats = flow.compare_at(&seq.truth_flows[0], &pts);

@@ -34,9 +34,10 @@ fn main() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     println!(
         "tracked {} pixels, {:.1}% valid, mean error {:.4}",
         result.region.area(),

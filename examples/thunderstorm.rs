@@ -46,8 +46,9 @@ fn main() {
             seq.surface(t),
             seq.surface(t + 1),
             &cfg,
-        );
-        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+        )
+        .expect("prepare");
+        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
         let flow = result.flow();
         let pts: Vec<(usize, usize)> = result.region.pixels().collect();
         let stats = flow.compare_at(&seq.truth_flows[t], &pts);

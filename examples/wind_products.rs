@@ -48,9 +48,9 @@ fn main() {
         nss: 1,
         nst: 2,
     };
-    let frames = SmaFrames::prepare(&i0, &i1, &h0, &h1, &cfg);
+    let frames = SmaFrames::prepare(&i0, &i1, &h0, &h1, &cfg).expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     println!(
         "tracked {} px, {:.1}% valid\n",
         result.region.area(),

@@ -153,7 +153,8 @@ fn cmd_track(args: &[String], opts: &HashMap<String, String>) -> Result<(), Stri
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let margin = cfg.margin() + 2;
     if size <= 2 * margin + 2 {
         return Err(format!(
@@ -161,7 +162,8 @@ fn cmd_track(args: &[String], opts: &HashMap<String, String>) -> Result<(), Stri
             2 * margin + 2
         ));
     }
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin })
+        .map_err(|e| e.to_string())?;
     let flow = result.flow();
     let pts: Vec<(usize, usize)> = result.region.pixels().collect();
     let stats = flow.compare_at(&seq.truth_flows[0], &pts);

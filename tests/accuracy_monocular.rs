@@ -17,9 +17,10 @@ fn luis_analog_dense_subpixel() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     assert!(result.valid_fraction() > 0.95);
     let pts: Vec<(usize, usize)> = result.region.pixels().collect();
     let stats = result.flow().compare_at(&seq.truth_flows[0], &pts);
@@ -51,8 +52,9 @@ fn florida_analog_tracks_multiple_timesteps() {
             seq.surface(t),
             seq.surface(t + 1),
             &cfg,
-        );
-        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+        )
+        .expect("prepare");
+        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
         let pts: Vec<(usize, usize)> = result.region.pixels().collect();
         let stats = result.flow().compare_at(&seq.truth_flows[t], &pts);
         assert!(
@@ -86,9 +88,9 @@ fn semifluid_beats_continuous_on_multilayer_decks() {
 
     let run = |model: MotionModel| {
         let cfg = SmaConfig::small_test(model);
-        let frames = SmaFrames::prepare(&i0, &i1, &h0, &h1, &cfg);
+        let frames = SmaFrames::prepare(&i0, &i1, &h0, &h1, &cfg).expect("prepare");
         let margin = cfg.margin() + 2;
-        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+        let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
         let pts: Vec<(usize, usize)> = result
             .region
             .pixels()

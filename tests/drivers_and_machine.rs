@@ -18,7 +18,8 @@ fn scene_frames(cfg: &SmaConfig) -> (sma::satdata::SceneSequence, SmaFrames) {
         seq.surface(0),
         seq.surface(1),
         cfg,
-    );
+    )
+    .expect("prepare");
     (seq, frames)
 }
 
@@ -30,9 +31,9 @@ fn all_four_drivers_agree() {
         margin: cfg.margin() + 4,
     };
 
-    let reference = track_all_sequential(&frames, &cfg, region);
-    let parallel = sma::core::track_all_parallel(&frames, &cfg, region);
-    let segmented = track_all_segmented(&frames, &cfg, region, 2);
+    let reference = track_all_sequential(&frames, &cfg, region).expect("track");
+    let parallel = sma::core::track_all_parallel(&frames, &cfg, region).expect("track");
+    let segmented = track_all_segmented(&frames, &cfg, region, 2).expect("track");
 
     let mut machine = MasPar::new(MachineConfig {
         nxproc: 8,
@@ -48,7 +49,8 @@ fn all_four_drivers_agree() {
         &cfg,
         region,
         ReadoutScheme::Raster,
-    );
+    )
+    .expect("maspar run");
 
     for (x, y) in reference.region.pixels() {
         let r = reference.estimates.at(x, y);
@@ -93,6 +95,7 @@ fn readout_schemes_give_identical_results() {
             region,
             scheme,
         )
+        .expect("maspar run")
     };
     let snake = run(ReadoutScheme::Snake);
     let raster = run(ReadoutScheme::Raster);
@@ -127,7 +130,8 @@ fn machine_ledger_reflects_frame_traffic() {
             margin: cfg.margin() + 4,
         },
         ReadoutScheme::Raster,
-    );
+    )
+    .expect("maspar run");
     let load = machine.ledger().phase("Load frames").expect("load charged");
     assert_eq!(load.mem_bytes_direct, 4.0 * 48.0 * 48.0 * 4.0);
     assert!(machine.total_seconds() > 0.0);

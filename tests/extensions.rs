@@ -32,7 +32,8 @@ fn hierarchical_tracking_on_hurricane_scene() {
         seq3.surface(3),
         &cfg,
         3,
-    );
+    )
+    .expect("track");
     let mut err = 0.0f32;
     let mut n = 0;
     for y in 30..66 {
@@ -59,9 +60,10 @@ fn median_filter_cleans_sma_output() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     let mut flow = result.flow();
     // Inject impulse outliers, then clean.
     for k in 0..6 {
@@ -91,9 +93,10 @@ fn fill_invalid_completes_dense_field() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     let valid = result.estimates.map(|e| e.valid);
     let (filled, ok) = fill_invalid(&result.flow(), &valid, 64);
     // The whole frame (including margins) becomes valid.

@@ -30,6 +30,7 @@ fn run_on(nproc: usize, scheme: ReadoutScheme) -> sma::core::sequential::SmaResu
         },
         scheme,
     )
+    .expect("maspar run")
     .result
 }
 
@@ -66,7 +67,8 @@ fn ledger_costs_depend_on_machine_but_results_do_not() {
                 margin: cfg.margin() + 4,
             },
             ReadoutScheme::Raster,
-        );
+        )
+        .expect("maspar run");
         (report, machine.total_seconds())
     };
     let (r4, _t4) = run(4);

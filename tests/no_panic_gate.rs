@@ -1,0 +1,92 @@
+//! Panic-freedom gate for the library hot paths.
+//!
+//! The robustness issue replaced panicking paths in the core pipeline
+//! with the typed `SmaError` model; this grep-style gate keeps them
+//! out. It scans the *library* (non-test) code of the four pipeline
+//! crates and fails if an `unwrap()` or `panic!` token reappears.
+//! `expect(...)` and `assert!` remain allowed: they document
+//! impossible states rather than swallow fallible ones.
+//!
+//! The scan is intentionally simple: per file, everything from the
+//! first `#[cfg(test)]` on is ignored (in this codebase unit tests sit
+//! in a trailing `mod tests`), block comments and `//` line tails are
+//! stripped, and the remainder must not contain the forbidden tokens.
+
+use std::path::{Path, PathBuf};
+
+const GATED_SRC_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/grid/src",
+    "crates/stereo/src",
+    "crates/maspar/src",
+];
+
+const FORBIDDEN: &[&str] = &["unwrap()", "panic!"];
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("gated source dir exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Library portion of a source file with comments removed: everything
+/// before the first `#[cfg(test)]`, minus `/* */` blocks and `//` tails.
+fn library_code(text: &str) -> String {
+    let lib = text.split("#[cfg(test)]").next().unwrap_or("");
+    let mut out = String::with_capacity(lib.len());
+    let mut rest = lib;
+    // Strip block comments (no nesting in this codebase).
+    while let Some(start) = rest.find("/*") {
+        out.push_str(&rest[..start]);
+        match rest[start + 2..].find("*/") {
+            Some(end) => rest = &rest[start + 2 + end + 2..],
+            None => {
+                rest = "";
+                break;
+            }
+        }
+    }
+    out.push_str(rest);
+    out.lines()
+        .map(|line| line.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn library_hot_paths_stay_panic_free() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut violations = Vec::new();
+    for dir in GATED_SRC_DIRS {
+        let mut files = Vec::new();
+        rust_sources(&repo.join(dir), &mut files);
+        assert!(!files.is_empty(), "{dir} should contain Rust sources");
+        for path in files {
+            let text = std::fs::read_to_string(&path).expect("readable source file");
+            let code = library_code(&text);
+            for (i, line) in code.lines().enumerate() {
+                for tok in FORBIDDEN {
+                    if line.contains(tok) {
+                        violations.push(format!(
+                            "{}:{}: forbidden `{tok}`: {}",
+                            path.strip_prefix(repo).unwrap_or(&path).display(),
+                            i + 1,
+                            line.trim()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "panic-prone tokens in library hot paths (use the SmaError model \
+         or an expect with an invariant message instead):\n{}",
+        violations.join("\n")
+    );
+}

@@ -17,9 +17,10 @@ fn ocean_eddies_track_subpixel() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     assert!(result.valid_fraction() > 0.95);
     let pts: Vec<(usize, usize)> = result.region.pixels().collect();
     let stats = result.flow().compare_at(&seq.truth_flows[0], &pts);
@@ -43,9 +44,10 @@ fn sea_ice_floes_track_with_semifluid() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     let truth = &seq.truth_flows[0];
     // Score well inside floes (margin from floe edges: truth is nonzero
     // and the pixel stays on the same floe through the step).

@@ -47,9 +47,10 @@ fn stereo_to_semifluid_tracking_is_subpixel_at_tracers() {
         &heights[0],
         &heights[1],
         &cfg,
-    );
+    )
+    .expect("prepare");
     let margin = cfg.margin() + 2;
-    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin });
+    let result = track_all_parallel(&frames, &cfg, Region::Interior { margin }).expect("track");
     assert!(
         result.valid_fraction() > 0.9,
         "valid {}",
@@ -88,12 +89,13 @@ fn parallel_equals_sequential_on_real_scene() {
         seq.surface(0),
         seq.surface(1),
         &cfg,
-    );
+    )
+    .expect("prepare");
     let region = Region::Interior {
         margin: cfg.margin() + 2,
     };
-    let s = track_all_sequential(&frames, &cfg, region);
-    let p = track_all_parallel(&frames, &cfg, region);
+    let s = track_all_sequential(&frames, &cfg, region).expect("track");
+    let p = track_all_parallel(&frames, &cfg, region).expect("track");
     for (x, y) in s.region.pixels() {
         assert_eq!(s.estimates.at(x, y), p.estimates.at(x, y), "at ({x},{y})");
     }

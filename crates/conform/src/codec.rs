@@ -1,0 +1,176 @@
+//! Zero-dependency run-length codec for oracle snapshots.
+//!
+//! Oracle planes are raw little-endian scalar dumps; validity masks and
+//! label planes are long runs of identical bytes, and float planes of
+//! synthetic scenes carry repeated exponent bytes, so a byte-oriented
+//! PackBits-style RLE earns its keep without pulling in a compression
+//! dependency (the container is offline; see `vendor/README.md`).
+//!
+//! Format: a control byte `c` introduces each run.
+//! * `c <= 0x7F` — literal run: the next `c + 1` bytes are copied
+//!   verbatim (1..=128 bytes);
+//! * `c >= 0x80` — repeat run: the next byte is repeated
+//!   `(c - 0x80) + 3` times (3..=130 — runs shorter than 3 never win
+//!   over a literal, so the encoding has no degenerate expansion case
+//!   beyond the 1/128 literal-header overhead).
+
+/// Decode failure: the compressed stream was truncated or malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset of the control byte whose run ran off the end.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated RLE stream at control byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Longest literal run one control byte can introduce.
+const MAX_LITERAL: usize = 128;
+/// Longest repeat run one control byte can encode.
+const MAX_REPEAT: usize = 130;
+/// Shortest repeat worth encoding (a 2-byte repeat token never loses to
+/// a literal of length < 3, and ties waste a flush of the literal head).
+const MIN_REPEAT: usize = 3;
+
+/// Compress `data`. Empty input encodes to an empty stream.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut lit_start = 0usize; // start of the pending literal run
+    let mut i = 0usize;
+    while i < data.len() {
+        // Length of the run of equal bytes starting at i.
+        let b = data[i];
+        let mut run = 1usize;
+        while run < MAX_REPEAT && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= MIN_REPEAT {
+            flush_literals(&mut out, &data[lit_start..i]);
+            out.push(0x80 + (run - MIN_REPEAT) as u8);
+            out.push(b);
+            i += run;
+            lit_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(&mut out, &data[lit_start..]);
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut lit: &[u8]) {
+    while !lit.is_empty() {
+        let n = lit.len().min(MAX_LITERAL);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&lit[..n]);
+        lit = &lit[n..];
+    }
+}
+
+/// Decompress a stream produced by [`compress`].
+///
+/// # Errors
+/// [`CodecError`] if a run header promises more bytes than remain.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0usize;
+    while i < data.len() {
+        let c = data[i];
+        if c <= 0x7F {
+            let n = c as usize + 1;
+            let start = i + 1;
+            let end = start + n;
+            if end > data.len() {
+                return Err(CodecError { offset: i });
+            }
+            out.extend_from_slice(&data[start..end]);
+            i = end;
+        } else {
+            let n = (c - 0x80) as usize + MIN_REPEAT;
+            let Some(&b) = data.get(i + 1) else {
+                return Err(CodecError { offset: i });
+            };
+            out.resize(out.len() + n, b);
+            i += 2;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        assert_eq!(decompress(&c).expect("decompress"), data);
+    }
+
+    #[test]
+    fn round_trips_structured_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"aaa");
+        round_trip(b"aaabbbcccc");
+        round_trip(&[0u8; 1000]);
+        round_trip(&[0xFFu8; 131]); // one byte past MAX_REPEAT
+    }
+
+    #[test]
+    fn round_trips_pseudorandom_and_float_like_inputs() {
+        // xorshift noise: the worst case for RLE, must still round-trip.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let noise: Vec<u8> = (0..4099)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        round_trip(&noise);
+        // f64 little-endian dump of a smooth ramp: repeated high bytes.
+        let floats: Vec<u8> = (0..512)
+            .flat_map(|i| (i as f64 * 0.01).to_le_bytes())
+            .collect();
+        round_trip(&floats);
+    }
+
+    #[test]
+    fn long_runs_actually_compress() {
+        let data = [7u8; 100_000];
+        let c = compress(&data);
+        // Best case is 2 output bytes per MAX_REPEAT input bytes (65:1).
+        assert!(c.len() < data.len() / 50, "compressed to {}", c.len());
+    }
+
+    #[test]
+    fn noise_expansion_is_bounded() {
+        // Literal-only worst case costs 1 header per 128 payload bytes.
+        let mut x = 1u64;
+        let noise: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = compress(&noise);
+        assert!(c.len() <= noise.len() + noise.len() / 128 + 1);
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected() {
+        assert_eq!(decompress(&[0x05]), Err(CodecError { offset: 0 }));
+        assert_eq!(
+            decompress(&[0x00, b'a', 0x80]),
+            Err(CodecError { offset: 2 })
+        );
+        assert_eq!(decompress(&[0x7F, 1, 2, 3]), Err(CodecError { offset: 0 }));
+    }
+}

@@ -1,0 +1,284 @@
+//! The fixed conformance corpus: small deterministic `satdata` scenes
+//! every driver is replayed over.
+//!
+//! Cases are chosen to exercise both motion models, both data regimes
+//! (stereo height surfaces and monocular "digital surface" intensity,
+//! §2), and flow structure beyond pure translation (vortex rotation,
+//! convective divergence) — the inputs where reassociated reductions,
+//! border fallbacks, and read-out ordering could plausibly diverge.
+//! Everything is generated from fixed seeds; the corpus IS the contract,
+//! so changing a case requires re-blessing the oracle and a CHANGES.md
+//! note.
+
+use sma_core::ext::classify::classify_by_height;
+use sma_core::motion::SmaFrames;
+use sma_core::sequential::Region;
+use sma_core::{MotionModel, SmaConfig, SmaError};
+use sma_grid::warp::translate;
+use sma_grid::{BorderPolicy, Grid};
+use sma_satdata::dataset::{
+    florida_thunderstorm_analog, hurricane_frederic_analog, hurricane_luis_analog,
+};
+use sma_stereo::hierarchical::MatchParams;
+use sma_stereo::match_hierarchical;
+
+/// Corpus tier: `Small` runs in the CI gate (`conform_report --small`);
+/// `Full` adds the larger scenes for local/scheduled runs. Both tiers
+/// are oracle-pinned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusTier {
+    /// CI-sized cases (seconds).
+    Small,
+    /// Larger scenes included without `--small`.
+    Full,
+}
+
+/// Height-band thresholds used for the corpus label planes (low / mid /
+/// high deck over the synthetic height units of `satdata`).
+pub const LABEL_BANDS: [f32; 3] = [0.25, 2.0, 6.0];
+
+/// One corpus case: the prepared inputs every driver consumes plus the
+/// derivation inputs for the height/label oracle planes.
+#[derive(Debug, Clone)]
+pub struct ConformCase {
+    /// Stable case name; also the oracle file stem.
+    pub name: &'static str,
+    /// Tier this case belongs to.
+    pub tier: CorpusTier,
+    /// SMA parameters.
+    pub cfg: SmaConfig,
+    /// Intensity at t.
+    pub intensity_before: Grid<f32>,
+    /// Intensity at t+1.
+    pub intensity_after: Grid<f32>,
+    /// Surface (height map or digital surface) at t.
+    pub surface_before: Grid<f32>,
+    /// Surface at t+1.
+    pub surface_after: Grid<f32>,
+    /// Region the drivers track.
+    pub region: Region,
+    /// Rectified stereo views of frame t for the ASA height stage;
+    /// `None` for monocular cases (height plane = the digital surface).
+    pub stereo: Option<(Grid<f32>, Grid<f32>, f32)>,
+}
+
+impl ConformCase {
+    /// Prepare the shared frame bundle (pyramid/geometry/discriminant
+    /// stage — identical input for every driver).
+    ///
+    /// # Errors
+    /// Propagates [`SmaFrames::prepare`] failures (mismatched shapes).
+    pub fn frames(&self) -> Result<SmaFrames, SmaError> {
+        SmaFrames::prepare(
+            &self.intensity_before,
+            &self.intensity_after,
+            &self.surface_before,
+            &self.surface_after,
+            &self.cfg,
+        )
+    }
+
+    /// Frame dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        self.intensity_before.dims()
+    }
+
+    /// The height plane of the oracle: ASA-derived cloud-top heights for
+    /// stereo cases (hierarchical match + parallax conversion), the
+    /// digital surface itself for monocular cases — driver-independent
+    /// by construction, so it pins the pyramid/ASA stage of the
+    /// pipeline.
+    pub fn height_plane(&self) -> Grid<f32> {
+        match &self.stereo {
+            Some((left, right, gain)) => {
+                let disparity = match_hierarchical(left, right, MatchParams::default());
+                // Same conversion as StereoPair::disparity_to_height.
+                disparity.map(|&d| d / gain)
+            }
+            None => self.surface_before.clone(),
+        }
+    }
+
+    /// The label plane of the oracle: height-band classification of
+    /// [`ConformCase::height_plane`].
+    pub fn label_plane(&self) -> Grid<u8> {
+        classify_by_height(&self.height_plane(), &LABEL_BANDS)
+    }
+}
+
+/// The textured test scene shared with `sma-bench` (duplicated here so
+/// the conformance crate does not depend on the bench harness).
+fn wavy(w: usize, h: usize) -> Grid<f32> {
+    Grid::from_fn(w, h, |x, y| {
+        let (xf, yf) = (x as f32, y as f32);
+        (xf * 0.45).sin() * 2.0 + (yf * 0.35).cos() * 1.5 + (xf * 0.12 + yf * 0.21).sin() * 3.0
+    })
+}
+
+fn interior(cfg: &SmaConfig) -> Region {
+    Region::Interior {
+        margin: cfg.margin(),
+    }
+}
+
+/// Build the corpus. `small_only` restricts to the CI tier.
+pub fn corpus(small_only: bool) -> Vec<ConformCase> {
+    let mut cases = Vec::new();
+
+    // 1. Uniform shift, continuous model: the paper's basic correctness
+    // scene; near-tie hypothesis errors under pure translation make it
+    // the sharpest probe of winner-selection order.
+    {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let before = wavy(32, 32);
+        let after = translate(&before, -1.0, 0.0, BorderPolicy::Clamp);
+        cases.push(ConformCase {
+            name: "wavy-shift-cont",
+            tier: CorpusTier::Small,
+            region: interior(&cfg),
+            cfg,
+            intensity_before: before.clone(),
+            intensity_after: after.clone(),
+            surface_before: before,
+            surface_after: after,
+            stereo: None,
+        });
+    }
+
+    // 2. Same scene, semi-fluid model: exercises the Fsemi discriminant
+    // correspondence search.
+    {
+        let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
+        let before = wavy(32, 32);
+        let after = translate(&before, -1.0, 1.0, BorderPolicy::Clamp);
+        cases.push(ConformCase {
+            name: "wavy-shift-semi",
+            tier: CorpusTier::Small,
+            region: interior(&cfg),
+            cfg,
+            intensity_before: before.clone(),
+            intensity_after: after.clone(),
+            surface_before: before,
+            surface_after: after,
+            stereo: None,
+        });
+    }
+
+    // 3. Hurricane Luis analog (monocular rapid-scan vortex, §5):
+    // rotational flow, intensity as digital surface.
+    {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let seq = hurricane_luis_analog(40, 2, 7);
+        cases.push(ConformCase {
+            name: "luis-vortex-cont",
+            tier: CorpusTier::Small,
+            region: interior(&cfg),
+            cfg,
+            intensity_before: seq.frames[0].intensity.clone(),
+            intensity_after: seq.frames[1].intensity.clone(),
+            surface_before: seq.surface(0).clone(),
+            surface_after: seq.surface(1).clone(),
+            stereo: None,
+        });
+    }
+
+    if !small_only {
+        // 4. Hurricane Frederic analog (stereo vortex, §5.1): height
+        // surfaces from synthetic GOES-6/7 parallax; the only case with
+        // a live ASA height stage.
+        {
+            let cfg = SmaConfig::small_test(MotionModel::SemiFluid);
+            let seq = hurricane_frederic_analog(48, 2, 3);
+            let pair = seq.stereo_pair(0).expect("frederic is stereoscopic");
+            cases.push(ConformCase {
+                name: "frederic-stereo-semi",
+                tier: CorpusTier::Full,
+                region: interior(&cfg),
+                cfg,
+                intensity_before: seq.frames[0].intensity.clone(),
+                intensity_after: seq.frames[1].intensity.clone(),
+                surface_before: seq.surface(0).clone(),
+                surface_after: seq.surface(1).clone(),
+                stereo: Some((pair.left, pair.right, pair.gain)),
+            });
+        }
+
+        // 5. Florida thunderstorm analog (monocular convection, §5.2):
+        // divergent outflow plus growth — non-translational brightness
+        // change.
+        {
+            let cfg = SmaConfig::small_test(MotionModel::Continuous);
+            let seq = florida_thunderstorm_analog(48, 2, 11);
+            cases.push(ConformCase {
+                name: "florida-convection-cont",
+                tier: CorpusTier::Full,
+                region: interior(&cfg),
+                cfg,
+                intensity_before: seq.frames[0].intensity.clone(),
+                intensity_after: seq.frames[1].intensity.clone(),
+                surface_before: seq.surface(0).clone(),
+                surface_after: seq.surface(1).clone(),
+                stereo: None,
+            });
+        }
+    }
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus(false);
+        let b = corpus(false);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.intensity_before, y.intensity_before);
+            assert_eq!(x.surface_after, y.surface_after);
+        }
+    }
+
+    #[test]
+    fn small_tier_is_a_prefix_of_the_full_corpus() {
+        let small = corpus(true);
+        let full = corpus(false);
+        assert!(small.len() >= 3);
+        assert!(full.len() > small.len());
+        assert!(small.iter().all(|c| c.tier == CorpusTier::Small));
+        for (s, f) in small.iter().zip(&full) {
+            assert_eq!(s.name, f.name);
+        }
+    }
+
+    #[test]
+    fn regions_are_nonempty_and_frames_prepare() {
+        for case in corpus(false) {
+            let (w, h) = case.dims();
+            assert!(
+                case.region.bounds(w, h).is_some(),
+                "{}: empty region",
+                case.name
+            );
+            case.frames().expect("prepare");
+        }
+    }
+
+    #[test]
+    fn stereo_case_height_plane_differs_from_surface() {
+        let full = corpus(false);
+        let stereo = full
+            .iter()
+            .find(|c| c.stereo.is_some())
+            .expect("corpus has a stereo case");
+        // ASA-recovered heights are an estimate, not a copy of the input
+        // surface — if they were equal the stage would be vacuous.
+        let h = stereo.height_plane();
+        assert_ne!(h, stereo.surface_before);
+        let labels = stereo.label_plane();
+        assert!(labels.as_slice().iter().any(|&c| c > 0));
+    }
+}

@@ -1,0 +1,312 @@
+//! Bit-level and ULP-distance comparison of driver outputs.
+//!
+//! Diffs operate on the snapshot plane set ([`crate::oracle::result_planes`])
+//! so the same machinery compares two live results, or a live result
+//! against a decoded oracle file.
+
+use sma_core::sequential::SmaResult;
+use sma_grid::WindowBounds;
+
+use crate::oracle::{Plane, PlaneKind};
+
+/// Monotonic total-order key for `f32` bit patterns: bitwise-identical
+/// floats map to identical keys and adjacent representable values to
+/// adjacent keys, so key distance is ULP distance.
+fn order_key_f32(bits: u32) -> u32 {
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
+/// Monotonic total-order key for `f64` bit patterns.
+fn order_key_f64(bits: u64) -> u64 {
+    if bits & 0x8000_0000_0000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000_0000_0000
+    }
+}
+
+/// ULP distance between two `f32`s; 0 iff bit-identical, `u64::MAX`
+/// when exactly one side is NaN (NaN payload differences between two
+/// NaNs still measure as a bit distance).
+pub fn ulp_f32(a: f32, b: f32) -> u64 {
+    if a.to_bits() == b.to_bits() {
+        return 0;
+    }
+    if a.is_nan() != b.is_nan() {
+        return u64::MAX;
+    }
+    order_key_f32(a.to_bits()).abs_diff(order_key_f32(b.to_bits())) as u64
+}
+
+/// ULP distance between two `f64`s (same conventions as [`ulp_f32`]).
+pub fn ulp_f64(a: f64, b: f64) -> u64 {
+    if a.to_bits() == b.to_bits() {
+        return 0;
+    }
+    if a.is_nan() != b.is_nan() {
+        return u64::MAX;
+    }
+    order_key_f64(a.to_bits()).abs_diff(order_key_f64(b.to_bits()))
+}
+
+/// The first diverging scalar of a comparison, in (pixel-raster, then
+/// plane-order) priority.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Plane (field) name, e.g. `flow.u`.
+    pub plane: String,
+    /// Pixel column.
+    pub x: usize,
+    /// Pixel row.
+    pub y: usize,
+    /// Left-hand scalar's raw bits (widened to 64).
+    pub a_bits: u64,
+    /// Right-hand scalar's raw bits.
+    pub b_bits: u64,
+}
+
+/// Per-plane comparison summary.
+#[derive(Debug, Clone)]
+pub struct PlaneDiff {
+    /// Plane name.
+    pub plane: String,
+    /// Scalars compared.
+    pub compared: usize,
+    /// Scalars whose bit patterns differ.
+    pub diverging: usize,
+    /// Maximum ULP distance over the plane (floats; `u64::MAX` for a
+    /// NaN-vs-number mismatch, and for any `u8` plane mismatch, which
+    /// has no meaningful ULP).
+    pub max_ulp: u64,
+    /// First diverging pixel of this plane (raster order).
+    pub first: Option<Divergence>,
+}
+
+/// Whole-result comparison: all planes, restricted to a pixel window.
+#[derive(Debug, Clone)]
+pub struct ResultDiff {
+    /// Per-plane summaries, in snapshot plane order.
+    pub planes: Vec<PlaneDiff>,
+    /// First diverging pixel across all planes, in raster-scan order
+    /// (ties at one pixel broken by plane order) — the per-pixel
+    /// attribution the matrix reports.
+    pub first: Option<Divergence>,
+}
+
+impl ResultDiff {
+    /// True when every compared scalar was bit-identical.
+    pub fn bit_identical(&self) -> bool {
+        self.planes.iter().all(|p| p.diverging == 0)
+    }
+
+    /// Total diverging scalars.
+    pub fn diverging(&self) -> usize {
+        self.planes.iter().map(|p| p.diverging).sum()
+    }
+
+    /// Maximum ULP distance across all float planes.
+    pub fn max_ulp(&self) -> u64 {
+        self.planes.iter().map(|p| p.max_ulp).max().unwrap_or(0)
+    }
+
+    /// Summary of the plane with the given name.
+    pub fn plane(&self, name: &str) -> Option<&PlaneDiff> {
+        self.planes.iter().find(|p| p.plane == name)
+    }
+}
+
+fn scalar_bits(plane: &Plane, idx: usize) -> u64 {
+    match plane.kind {
+        PlaneKind::F32 => {
+            let b = &plane.raw[idx * 4..idx * 4 + 4];
+            u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64
+        }
+        PlaneKind::F64 => {
+            let b = &plane.raw[idx * 8..idx * 8 + 8];
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        }
+        PlaneKind::U8 => plane.raw[idx] as u64,
+    }
+}
+
+fn scalar_ulp(kind: PlaneKind, a_bits: u64, b_bits: u64) -> u64 {
+    if a_bits == b_bits {
+        return 0;
+    }
+    match kind {
+        PlaneKind::F32 => ulp_f32(f32::from_bits(a_bits as u32), f32::from_bits(b_bits as u32)),
+        PlaneKind::F64 => ulp_f64(f64::from_bits(a_bits), f64::from_bits(b_bits)),
+        PlaneKind::U8 => u64::MAX,
+    }
+}
+
+/// Compare two equally-shaped plane sets over `region` of a `w`-wide
+/// frame. Planes are matched by name; a plane present on only one side
+/// counts as fully divergent (shape drift is drift).
+pub fn diff_planes(a: &[Plane], b: &[Plane], w: usize, region: WindowBounds) -> ResultDiff {
+    let mut planes = Vec::with_capacity(a.len());
+    // (y, x, plane-order) priority for the global first divergence.
+    let mut first: Option<(usize, usize, usize, Divergence)> = None;
+    for (pi, pa) in a.iter().enumerate() {
+        let Some(pb) = b.iter().find(|p| p.name == pa.name) else {
+            planes.push(PlaneDiff {
+                plane: pa.name.clone(),
+                compared: 0,
+                diverging: region.area(),
+                max_ulp: u64::MAX,
+                first: None,
+            });
+            continue;
+        };
+        let mut diff = PlaneDiff {
+            plane: pa.name.clone(),
+            compared: 0,
+            diverging: 0,
+            max_ulp: 0,
+            first: None,
+        };
+        if pa.kind != pb.kind || pa.raw.len() != pb.raw.len() {
+            diff.diverging = region.area();
+            diff.max_ulp = u64::MAX;
+            planes.push(diff);
+            continue;
+        }
+        for (x, y) in region.pixels() {
+            let idx = y * w + x;
+            let (ab, bb) = (scalar_bits(pa, idx), scalar_bits(pb, idx));
+            diff.compared += 1;
+            if ab != bb {
+                diff.diverging += 1;
+                diff.max_ulp = diff.max_ulp.max(scalar_ulp(pa.kind, ab, bb));
+                let d = Divergence {
+                    plane: pa.name.clone(),
+                    x,
+                    y,
+                    a_bits: ab,
+                    b_bits: bb,
+                };
+                if diff.first.is_none() {
+                    diff.first = Some(d.clone());
+                }
+                if first
+                    .as_ref()
+                    .is_none_or(|&(fy, fx, fp, _)| (y, x, pi) < (fy, fx, fp))
+                {
+                    first = Some((y, x, pi, d));
+                }
+            }
+        }
+        planes.push(diff);
+    }
+    ResultDiff {
+        planes,
+        first: first.map(|(_, _, _, d)| d),
+    }
+}
+
+/// Compare two live driver results over the intersection of their
+/// tracked regions (drivers under comparison always share a region; the
+/// intersection makes the comparison well-defined regardless).
+pub fn diff_results(a: &SmaResult, b: &SmaResult) -> ResultDiff {
+    let region = WindowBounds {
+        x0: a.region.x0.max(b.region.x0),
+        y0: a.region.y0.max(b.region.y0),
+        x1: a.region.x1.min(b.region.x1),
+        y1: a.region.y1.min(b.region.y1),
+    };
+    diff_planes(
+        &crate::oracle::result_planes(a),
+        &crate::oracle::result_planes(b),
+        a.estimates.width(),
+        region,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_grid::Grid;
+
+    #[test]
+    fn ulp_distances() {
+        assert_eq!(ulp_f64(1.0, 1.0), 0);
+        assert_eq!(ulp_f64(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_f64(0.0, -0.0), 1); // adjacent in the total order
+        assert_eq!(ulp_f64(1.0, f64::NAN), u64::MAX);
+        assert_eq!(ulp_f32(1.0, 1.0 + f32::EPSILON), 1);
+        // Symmetry and sign straddling.
+        assert_eq!(ulp_f64(-1.0, 1.0), ulp_f64(1.0, -1.0));
+        assert!(ulp_f64(-f64::MIN_POSITIVE, f64::MIN_POSITIVE) > 0);
+    }
+
+    #[test]
+    fn identical_planes_diff_clean() {
+        let g = Grid::from_fn(4, 4, |x, y| (x + y) as f64);
+        let a = vec![Plane::from_f64("p", &g)];
+        let region = WindowBounds {
+            x0: 0,
+            y0: 0,
+            x1: 3,
+            y1: 3,
+        };
+        let d = diff_planes(&a, &a.clone(), 4, region);
+        assert!(d.bit_identical());
+        assert_eq!(d.diverging(), 0);
+        assert!(d.first.is_none());
+    }
+
+    #[test]
+    fn first_divergence_is_raster_ordered() {
+        let g = Grid::from_fn(4, 4, |x, y| (x + y) as f64);
+        let mut g2 = g.clone();
+        g2.set(3, 2, 99.0);
+        g2.set(1, 1, 98.0); // earlier in raster order
+        let a = vec![Plane::from_f64("p", &g)];
+        let b = vec![Plane::from_f64("p", &g2)];
+        let region = WindowBounds {
+            x0: 0,
+            y0: 0,
+            x1: 3,
+            y1: 3,
+        };
+        let d = diff_planes(&a, &b, 4, region);
+        assert_eq!(d.diverging(), 2);
+        let first = d.first.expect("diverges");
+        assert_eq!((first.x, first.y), (1, 1));
+    }
+
+    #[test]
+    fn divergence_outside_region_is_ignored() {
+        let g = Grid::filled(4, 4, 1.0f64);
+        let mut g2 = g.clone();
+        g2.set(0, 0, 2.0);
+        let a = vec![Plane::from_f64("p", &g)];
+        let b = vec![Plane::from_f64("p", &g2)];
+        let region = WindowBounds {
+            x0: 1,
+            y0: 1,
+            x1: 3,
+            y1: 3,
+        };
+        assert!(diff_planes(&a, &b, 4, region).bit_identical());
+    }
+
+    #[test]
+    fn missing_plane_counts_as_divergent() {
+        let g = Grid::filled(2, 2, 1.0f64);
+        let a = vec![Plane::from_f64("p", &g)];
+        let region = WindowBounds {
+            x0: 0,
+            y0: 0,
+            x1: 1,
+            y1: 1,
+        };
+        let d = diff_planes(&a, &[], 2, region);
+        assert!(!d.bit_identical());
+        assert_eq!(d.max_ulp(), u64::MAX);
+    }
+}

@@ -1,0 +1,196 @@
+//! The driver grid: every SMA driver variant the harness replays, plus
+//! the runtime obs/fault combinations each one must be insensitive to.
+
+use maspar_sim::machine::{MachineConfig, MasPar, ReadoutScheme};
+use sma_core::fastpath::{
+    track_all_integral, track_all_integral_parallel, track_all_integral_segmented,
+};
+use sma_core::maspar_driver::{track_on_maspar, MasparRunReport};
+use sma_core::motion::SmaFrames;
+use sma_core::precompute::track_all_segmented;
+use sma_core::sequential::SmaResult;
+use sma_core::{track_all_parallel, track_all_sequential, SmaError};
+
+use crate::corpus::ConformCase;
+
+/// Hypothesis-row chunk used by the segmented drivers (2 of the
+/// `2 * nzs + 1` rows per segment — forces multi-segment checkpointing
+/// on every corpus case).
+pub const SEGMENT_Z_ROWS: usize = 2;
+
+/// PE array edge for the simulated MasPar runs (8 x 8 keeps layer counts
+/// meaningful on the small corpus frames).
+pub const MASPAR_EDGE: usize = 8;
+
+/// One driver variant under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DriverKind {
+    /// The sequential reference baseline.
+    Sequential,
+    /// Rayon row-parallel driver.
+    Parallel,
+    /// §4.1/§4.3 precompute + hypothesis-row segmentation.
+    Segmented,
+    /// Simulated MP-2 (`track_on_maspar`, raster read-out).
+    Maspar,
+    /// Moment-plane integral-image fast path, sequential.
+    Fastpath,
+    /// Fast path, Rayon row-parallel.
+    FastpathParallel,
+    /// Fast path, hypothesis-row segmented.
+    FastpathSegmented,
+}
+
+/// Every driver variant, in matrix order (the reference first).
+pub const ALL_DRIVERS: [DriverKind; 7] = [
+    DriverKind::Sequential,
+    DriverKind::Parallel,
+    DriverKind::Segmented,
+    DriverKind::Maspar,
+    DriverKind::Fastpath,
+    DriverKind::FastpathParallel,
+    DriverKind::FastpathSegmented,
+];
+
+impl DriverKind {
+    /// Stable display / metrics name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DriverKind::Sequential => "sequential",
+            DriverKind::Parallel => "parallel",
+            DriverKind::Segmented => "segmented",
+            DriverKind::Maspar => "maspar",
+            DriverKind::Fastpath => "fastpath",
+            DriverKind::FastpathParallel => "fastpath_par",
+            DriverKind::FastpathSegmented => "fastpath_seg",
+        }
+    }
+
+    /// True for the integral-image variants (ULP-bounded contract; the
+    /// exact family is bit-identical).
+    pub fn is_fastpath(self) -> bool {
+        matches!(
+            self,
+            DriverKind::Fastpath | DriverKind::FastpathParallel | DriverKind::FastpathSegmented
+        )
+    }
+
+    /// Run this driver on a prepared case.
+    ///
+    /// # Errors
+    /// Propagates the driver's [`SmaError`] (empty region, machine
+    /// memory breach, ...).
+    pub fn run(self, case: &ConformCase, frames: &SmaFrames) -> Result<SmaResult, SmaError> {
+        match self {
+            DriverKind::Sequential => track_all_sequential(frames, &case.cfg, case.region),
+            DriverKind::Parallel => track_all_parallel(frames, &case.cfg, case.region),
+            DriverKind::Segmented => {
+                track_all_segmented(frames, &case.cfg, case.region, SEGMENT_Z_ROWS)
+            }
+            DriverKind::Maspar => {
+                run_maspar(case, ReadoutScheme::Raster).map(|report| report.result)
+            }
+            DriverKind::Fastpath => track_all_integral(frames, &case.cfg, case.region),
+            DriverKind::FastpathParallel => {
+                track_all_integral_parallel(frames, &case.cfg, case.region)
+            }
+            DriverKind::FastpathSegmented => {
+                track_all_integral_segmented(frames, &case.cfg, case.region, SEGMENT_Z_ROWS)
+            }
+        }
+    }
+}
+
+/// Run the MasPar driver on a fresh simulated machine with the given
+/// read-out scheme (the scheme must not change results — one of the
+/// gates the report asserts).
+///
+/// # Errors
+/// Propagates [`track_on_maspar`] failures.
+pub fn run_maspar(case: &ConformCase, scheme: ReadoutScheme) -> Result<MasparRunReport, SmaError> {
+    let mut machine = MasPar::new(MachineConfig {
+        nxproc: MASPAR_EDGE,
+        nyproc: MASPAR_EDGE,
+        ..MachineConfig::goddard_mp2()
+    });
+    track_on_maspar(
+        &mut machine,
+        &case.intensity_before,
+        &case.intensity_after,
+        &case.surface_before,
+        &case.surface_after,
+        &case.cfg,
+        case.region,
+        scheme,
+    )
+}
+
+/// A runtime feature combination. The `obs` and `fault` cargo features
+/// are compile-time, but both layers are runtime-togglable inside one
+/// binary: observability through its level filter, the fault harness by
+/// arming it at rate 0 (every injection site evaluates its gate but
+/// nothing fires). The conformance claim is that neither toggle may
+/// change a single output bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeCombo {
+    /// Observability recording on (`summary` level) or `off`.
+    pub obs: bool,
+    /// Fault harness armed at rate 0 vs fully disarmed.
+    pub faults_armed: bool,
+}
+
+/// The four runtime combinations every driver is replayed under.
+pub const ALL_COMBOS: [RuntimeCombo; 4] = [
+    RuntimeCombo {
+        obs: false,
+        faults_armed: false,
+    },
+    RuntimeCombo {
+        obs: true,
+        faults_armed: false,
+    },
+    RuntimeCombo {
+        obs: false,
+        faults_armed: true,
+    },
+    RuntimeCombo {
+        obs: true,
+        faults_armed: true,
+    },
+];
+
+/// Deterministic seed for armed-rate-0 runs (the seed is irrelevant at
+/// rate 0 but pinned anyway so reruns are identical by construction).
+pub const COMBO_FAULT_SEED: u64 = 42;
+
+impl RuntimeCombo {
+    /// Stable display name, e.g. `obs+faults0`.
+    pub fn name(self) -> &'static str {
+        match (self.obs, self.faults_armed) {
+            (false, false) => "plain",
+            (true, false) => "obs",
+            (false, true) => "faults0",
+            (true, true) => "obs+faults0",
+        }
+    }
+
+    /// Run `f` with this combination installed, restoring the previous
+    /// obs level and disarming the fault harness afterwards.
+    pub fn with<T>(self, f: impl FnOnce() -> T) -> T {
+        let prev = sma_obs::level();
+        sma_obs::set_level(if self.obs {
+            sma_obs::ObsLevel::Summary
+        } else {
+            sma_obs::ObsLevel::Off
+        });
+        if self.faults_armed {
+            sma_fault::install(COMBO_FAULT_SEED, 0.0);
+        } else {
+            sma_fault::disarm();
+        }
+        let out = f();
+        sma_fault::disarm();
+        sma_obs::set_level(prev);
+        out
+    }
+}

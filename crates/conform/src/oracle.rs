@@ -1,0 +1,368 @@
+//! The golden-oracle store: versioned, compressed snapshots of the
+//! reference driver's flow/height/label outputs for the fixed corpus.
+//!
+//! One oracle file holds one corpus case. The container is a small
+//! little-endian binary format (magic + version + named planes); every
+//! plane carries an FNV-1a digest of its raw bytes so corruption is
+//! distinguished from genuine drift. Scalars are stored as raw IEEE-754
+//! bit patterns, so an oracle diff is a *bit-level* comparison — exactly
+//! the contract the conformance matrix pins for the exact drivers.
+
+use sma_core::motion::MotionEstimate;
+use sma_core::sequential::SmaResult;
+use sma_grid::Grid;
+
+use crate::codec;
+
+/// Container magic: "SMAC" + format version nibble-coded in ASCII.
+pub const MAGIC: &[u8; 8] = b"SMACONF\x01";
+/// Current snapshot format version (bump on any layout change).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Scalar type of a stored plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneKind {
+    /// 32-bit IEEE-754, little-endian bit patterns.
+    F32,
+    /// 64-bit IEEE-754, little-endian bit patterns.
+    F64,
+    /// Raw bytes (validity masks, class labels).
+    U8,
+}
+
+impl PlaneKind {
+    fn tag(self) -> u8 {
+        match self {
+            PlaneKind::F32 => 0,
+            PlaneKind::F64 => 1,
+            PlaneKind::U8 => 2,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(PlaneKind::F32),
+            1 => Some(PlaneKind::F64),
+            2 => Some(PlaneKind::U8),
+            _ => None,
+        }
+    }
+}
+
+/// One named output plane (row-major, width x height scalars).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    /// Plane name (`flow.u`, `flow.v`, `error`, `valid`, `height`, ...).
+    pub name: String,
+    /// Scalar type.
+    pub kind: PlaneKind,
+    /// Raw little-endian scalar bytes.
+    pub raw: Vec<u8>,
+}
+
+impl Plane {
+    /// Build from an `f32` grid (bit patterns, not values).
+    pub fn from_f32(name: &str, g: &Grid<f32>) -> Self {
+        Plane {
+            name: name.to_string(),
+            kind: PlaneKind::F32,
+            raw: g.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect(),
+        }
+    }
+
+    /// Build from an `f64` grid.
+    pub fn from_f64(name: &str, g: &Grid<f64>) -> Self {
+        Plane {
+            name: name.to_string(),
+            kind: PlaneKind::F64,
+            raw: g.as_slice().iter().flat_map(|v| v.to_le_bytes()).collect(),
+        }
+    }
+
+    /// Build from a byte grid.
+    pub fn from_u8(name: &str, g: &Grid<u8>) -> Self {
+        Plane {
+            name: name.to_string(),
+            kind: PlaneKind::U8,
+            raw: g.as_slice().to_vec(),
+        }
+    }
+
+    /// FNV-1a digest of the raw bytes.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(&self.raw)
+    }
+}
+
+/// A full snapshot of one corpus case: the case name, frame dimensions,
+/// and every oracle plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseSnapshot {
+    /// Corpus case name (also the oracle file stem).
+    pub case_name: String,
+    /// Frame width.
+    pub width: u32,
+    /// Frame height.
+    pub height: u32,
+    /// Stored planes, in a fixed order.
+    pub planes: Vec<Plane>,
+}
+
+/// Snapshot decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// Magic or format version mismatch.
+    BadHeader(String),
+    /// Stream ended before a promised field.
+    Truncated(&'static str),
+    /// A plane's FNV digest did not match its decompressed bytes.
+    DigestMismatch {
+        /// Name of the corrupt plane.
+        plane: String,
+    },
+    /// The RLE stream was malformed.
+    Codec(codec::CodecError),
+    /// Field was not valid UTF-8 / a known tag.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::BadHeader(s) => write!(f, "bad oracle header: {s}"),
+            OracleError::Truncated(what) => write!(f, "oracle truncated reading {what}"),
+            OracleError::DigestMismatch { plane } => {
+                write!(f, "oracle plane {plane:?} failed its integrity digest")
+            }
+            OracleError::Codec(e) => write!(f, "oracle plane codec error: {e}"),
+            OracleError::Malformed(what) => write!(f, "malformed oracle field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// FNV-1a 64-bit digest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], OracleError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(OracleError::Truncated(what))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, OracleError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, OracleError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, OracleError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self, what: &'static str) -> Result<String, OracleError> {
+        let n = self.u32(what)? as usize;
+        let b = self.take(n, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| OracleError::Malformed(what))
+    }
+}
+
+impl CaseSnapshot {
+    /// Serialize to the on-disk container (planes RLE-compressed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        put_string(&mut out, &self.case_name);
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&(self.planes.len() as u32).to_le_bytes());
+        for p in &self.planes {
+            put_string(&mut out, &p.name);
+            out.push(p.kind.tag());
+            out.extend_from_slice(&(p.raw.len() as u64).to_le_bytes());
+            out.extend_from_slice(&p.digest().to_le_bytes());
+            let comp = codec::compress(&p.raw);
+            out.extend_from_slice(&(comp.len() as u64).to_le_bytes());
+            out.extend_from_slice(&comp);
+        }
+        out
+    }
+
+    /// Decode and integrity-check an on-disk container.
+    ///
+    /// # Errors
+    /// Any [`OracleError`] variant on malformed, truncated, version- or
+    /// digest-mismatched input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, OracleError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(OracleError::BadHeader(format!(
+                "magic {magic:02x?} != {MAGIC:02x?}"
+            )));
+        }
+        let version = r.u32("version")?;
+        if version != FORMAT_VERSION {
+            return Err(OracleError::BadHeader(format!(
+                "format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let case_name = r.string("case name")?;
+        let width = r.u32("width")?;
+        let height = r.u32("height")?;
+        let n_planes = r.u32("plane count")? as usize;
+        let mut planes = Vec::with_capacity(n_planes);
+        for _ in 0..n_planes {
+            let name = r.string("plane name")?;
+            let kind = PlaneKind::from_tag(r.u8("plane kind")?)
+                .ok_or(OracleError::Malformed("plane kind"))?;
+            let raw_len = r.u64("raw length")? as usize;
+            let digest = r.u64("digest")?;
+            let comp_len = r.u64("compressed length")? as usize;
+            let comp = r.take(comp_len, "compressed plane")?;
+            let raw = codec::decompress(comp).map_err(OracleError::Codec)?;
+            if raw.len() != raw_len || fnv1a64(&raw) != digest {
+                return Err(OracleError::DigestMismatch { plane: name });
+            }
+            planes.push(Plane { name, kind, raw });
+        }
+        Ok(CaseSnapshot {
+            case_name,
+            width,
+            height,
+            planes,
+        })
+    }
+
+    /// Look up a plane by name.
+    pub fn plane(&self, name: &str) -> Option<&Plane> {
+        self.planes.iter().find(|p| p.name == name)
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// The fixed plane set snapshotted from a driver result: flow components
+/// as `f32` bit patterns, minimized error and the six affine parameters
+/// as `f64` bit patterns, and the validity mask. Invalid pixels are
+/// normalized to [`MotionEstimate::invalid`]'s representation so the
+/// planes are well-defined everywhere.
+pub fn result_planes(result: &SmaResult) -> Vec<Plane> {
+    let est = &result.estimates;
+    let inv = MotionEstimate::invalid();
+    let norm = |e: MotionEstimate| if e.valid { e } else { inv };
+    let mut planes = vec![
+        Plane::from_f32("flow.u", &est.map(|&e| norm(e).displacement.u)),
+        Plane::from_f32("flow.v", &est.map(|&e| norm(e).displacement.v)),
+        Plane::from_f64("error", &est.map(|&e| norm(e).error)),
+        Plane::from_u8("valid", &est.map(|&e| u8::from(e.valid))),
+    ];
+    for (i, pname) in ["ai", "bi", "aj", "bj", "ak", "bk"].iter().enumerate() {
+        planes.push(Plane::from_f64(
+            &format!("affine.{pname}"),
+            &est.map(|&e| norm(e).affine.params()[i]),
+        ));
+    }
+    planes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> CaseSnapshot {
+        CaseSnapshot {
+            case_name: "unit-sample".to_string(),
+            width: 4,
+            height: 3,
+            planes: vec![
+                Plane::from_f32("flow.u", &Grid::from_fn(4, 3, |x, y| (x * y) as f32 * 0.5)),
+                Plane::from_f64("error", &Grid::from_fn(4, 3, |x, y| (x + y) as f64)),
+                Plane::from_u8("valid", &Grid::filled(4, 3, 1u8)),
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_bit_exact() {
+        let snap = sample_snapshot();
+        let decoded = CaseSnapshot::decode(&snap.encode()).expect("decode");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn wrong_version_and_magic_rejected() {
+        let snap = sample_snapshot();
+        let mut bytes = snap.encode();
+        bytes[MAGIC.len()] = 99; // version field
+        assert!(matches!(
+            CaseSnapshot::decode(&bytes),
+            Err(OracleError::BadHeader(_))
+        ));
+        let mut bytes = snap.encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            CaseSnapshot::decode(&bytes),
+            Err(OracleError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_plane_fails_digest() {
+        let snap = sample_snapshot();
+        let mut bytes = snap.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = CaseSnapshot::decode(&bytes);
+        assert!(
+            matches!(
+                err,
+                Err(OracleError::DigestMismatch { .. }) | Err(OracleError::Codec(_))
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn nan_bit_patterns_survive_the_round_trip() {
+        // Bit-level storage must distinguish NaN payloads values cannot.
+        let g = Grid::from_vec(2, 1, vec![f64::from_bits(0x7FF8000000000001), f64::NAN]);
+        let snap = CaseSnapshot {
+            case_name: "nan".into(),
+            width: 2,
+            height: 1,
+            planes: vec![Plane::from_f64("p", &g)],
+        };
+        let back = CaseSnapshot::decode(&snap.encode()).expect("decode");
+        assert_eq!(back.planes[0].raw, snap.planes[0].raw);
+    }
+}

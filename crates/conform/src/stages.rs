@@ -1,0 +1,316 @@
+//! Per-stage bisection: when two drivers diverge, localize the first
+//! diverging pipeline stage (pyramid → ASA → surface fit → Fcont →
+//! Fsemi → label) and the first diverging pixel inside it.
+//!
+//! Each stage is fingerprinted as a set of named planes plus an FNV
+//! digest over their raw bytes. The first three stages are shared
+//! preprocessing (identical inputs for every driver), so a divergence
+//! attributing to them indicates input-preparation drift; driver bugs
+//! attribute to the matching stages (`Fcont`/`Fsemi`) or the label
+//! post-processing built on the driver's own flow.
+
+use sma_core::ext::classify::{classify_and_clean, classify_by_height};
+use sma_core::motion::SmaFrames;
+use sma_core::sequential::SmaResult;
+use sma_core::{MotionModel, SmaConfig, SmaError};
+use sma_grid::pyramid::Pyramid;
+use sma_grid::{Grid, WindowBounds};
+
+use crate::corpus::{ConformCase, LABEL_BANDS};
+use crate::diff::{diff_planes, Divergence};
+use crate::driver::DriverKind;
+use crate::oracle::{fnv1a64, result_planes, Plane};
+
+/// Pyramid levels fingerprinted by the pyramid stage.
+const PYRAMID_LEVELS: usize = 3;
+/// Outlier snap radius of the label-stage cleaning pass (pixels).
+const LABEL_MAX_DEV: f32 = 1.5;
+
+/// A pipeline stage, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Multi-resolution pyramid of the input intensity.
+    Pyramid,
+    /// Automatic stereo analysis → cloud-top heights (digital surface
+    /// for monocular cases).
+    Asa,
+    /// Quadratic surface-patch fits (geometry + discriminant planes).
+    SurfaceFit,
+    /// Continuous-model hypothesis matching.
+    Fcont,
+    /// Semi-fluid-model hypothesis matching.
+    Fsemi,
+    /// Cloud-class label + classification-guided flow cleaning.
+    Label,
+}
+
+/// All stages in pipeline order.
+pub const PIPELINE: [Stage; 6] = [
+    Stage::Pyramid,
+    Stage::Asa,
+    Stage::SurfaceFit,
+    Stage::Fcont,
+    Stage::Fsemi,
+    Stage::Label,
+];
+
+impl Stage {
+    /// Stable display / metrics name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Pyramid => "pyramid",
+            Stage::Asa => "asa",
+            Stage::SurfaceFit => "surface_fit",
+            Stage::Fcont => "fcont",
+            Stage::Fsemi => "fsemi",
+            Stage::Label => "label",
+        }
+    }
+}
+
+/// One stage's fingerprint: the planes it produced and their digest.
+#[derive(Debug, Clone)]
+pub struct StageFingerprint {
+    /// The stage.
+    pub stage: Stage,
+    /// Width of the stage's planes (stages may differ from frame size).
+    pub width: usize,
+    /// Pixel window the stage is compared over.
+    pub region: WindowBounds,
+    /// Named planes.
+    pub planes: Vec<Plane>,
+    /// FNV-1a digest over all plane bytes (cheap equality probe).
+    pub digest: u64,
+}
+
+/// A full per-driver pipeline trace.
+#[derive(Debug, Clone)]
+pub struct StageTrace {
+    /// Driver the trace belongs to.
+    pub driver: DriverKind,
+    /// Fingerprints in pipeline order.
+    pub stages: Vec<StageFingerprint>,
+}
+
+/// Attribution of a pair divergence: the first diverging stage and the
+/// first diverging (pixel, plane) inside it.
+#[derive(Debug, Clone)]
+pub struct StageAttribution {
+    /// First stage whose fingerprints differ.
+    pub stage: Stage,
+    /// First diverging scalar within that stage.
+    pub divergence: Option<Divergence>,
+}
+
+fn fingerprint(
+    stage: Stage,
+    width: usize,
+    region: WindowBounds,
+    planes: Vec<Plane>,
+) -> StageFingerprint {
+    let mut digest = fnv1a64(&[]);
+    for p in &planes {
+        digest ^= fnv1a64(p.name.as_bytes()).wrapping_add(fnv1a64(&p.raw));
+    }
+    StageFingerprint {
+        stage,
+        width,
+        region,
+        planes,
+        digest,
+    }
+}
+
+fn full_region(g: &Grid<f32>) -> WindowBounds {
+    WindowBounds {
+        x0: 0,
+        y0: 0,
+        x1: g.width() - 1,
+        y1: g.height() - 1,
+    }
+}
+
+/// Trace every pipeline stage for one driver on one case.
+///
+/// `result` is the driver's output under the case's own motion model
+/// (reused for the matching stage it corresponds to); the opposite
+/// model's matching stage is produced by one extra driver run.
+///
+/// # Errors
+/// Propagates driver / preparation failures.
+pub fn stage_trace(
+    case: &ConformCase,
+    driver: DriverKind,
+    result: &SmaResult,
+) -> Result<StageTrace, SmaError> {
+    let mut stages = Vec::with_capacity(PIPELINE.len());
+
+    // Pyramid: shared preprocessing on the input intensity.
+    let pyr = Pyramid::build(&case.intensity_before, PYRAMID_LEVELS);
+    let planes: Vec<Plane> = (0..pyr.num_levels())
+        .map(|k| Plane::from_f32(&format!("pyramid.l{k}"), pyr.level(k)))
+        .collect();
+    stages.push(fingerprint(
+        Stage::Pyramid,
+        pyr.level(0).width(),
+        full_region(pyr.level(0)),
+        planes,
+    ));
+
+    // ASA: the height plane (stereo recovery or digital surface).
+    let height = case.height_plane();
+    stages.push(fingerprint(
+        Stage::Asa,
+        height.width(),
+        full_region(&height),
+        vec![Plane::from_f32("height", &height)],
+    ));
+
+    // Surface fit: geometry + discriminant planes of the prepared bundle.
+    let frames = case.frames()?;
+    stages.push(fingerprint(
+        Stage::SurfaceFit,
+        case.dims().0,
+        full_region(&case.surface_before),
+        surface_planes(&frames),
+    ));
+
+    // Matching stages: one per motion model. The case's own model reuses
+    // the already-computed result; the other model runs the driver once
+    // more so matching bugs localize to the right discriminant.
+    let (w, _h) = case.dims();
+    for (stage, model) in [
+        (Stage::Fcont, MotionModel::Continuous),
+        (Stage::Fsemi, MotionModel::SemiFluid),
+    ] {
+        let model_result;
+        let r = if case.cfg.model == model {
+            result
+        } else {
+            let cfg = SmaConfig { model, ..case.cfg };
+            let mf = SmaFrames::prepare(
+                &case.intensity_before,
+                &case.intensity_after,
+                &case.surface_before,
+                &case.surface_after,
+                &cfg,
+            )?;
+            model_result = driver.run(&with_cfg(case, cfg), &mf)?;
+            &model_result
+        };
+        stages.push(fingerprint(stage, w, r.region, result_planes(r)));
+    }
+
+    // Label: class plane + classification-cleaned flow of the driver's
+    // own-model result.
+    let classes = classify_by_height(&height, &LABEL_BANDS);
+    let (cleaned, _snapped) = classify_and_clean(
+        &result.flow(),
+        &classes,
+        LABEL_BANDS.len() + 1,
+        LABEL_MAX_DEV,
+    );
+    let flow_u = Grid::from_fn(cleaned.width(), cleaned.height(), |x, y| cleaned.at(x, y).u);
+    let flow_v = Grid::from_fn(cleaned.width(), cleaned.height(), |x, y| cleaned.at(x, y).v);
+    stages.push(fingerprint(
+        Stage::Label,
+        w,
+        result.region,
+        vec![
+            Plane::from_u8("labels", &classes),
+            Plane::from_f32("clean_flow.u", &flow_u),
+            Plane::from_f32("clean_flow.v", &flow_v),
+        ],
+    ));
+
+    Ok(StageTrace { driver, stages })
+}
+
+fn with_cfg(case: &ConformCase, cfg: SmaConfig) -> ConformCase {
+    ConformCase {
+        cfg,
+        ..case.clone()
+    }
+}
+
+fn surface_planes(frames: &SmaFrames) -> Vec<Plane> {
+    let (w, h) = frames.dims();
+    let mut planes = Vec::new();
+    for (tag, geo) in [("before", &frames.geo_before), ("after", &frames.geo_after)] {
+        for (field, get) in [
+            (
+                "zx",
+                (|v| v.zx) as fn(sma_surface::geometry::GeomVars) -> f64,
+            ),
+            ("zy", |v| v.zy),
+            ("nk", |v| v.nk),
+            ("d", |v| v.d),
+        ] {
+            planes.push(Plane::from_f64(
+                &format!("geom.{tag}.{field}"),
+                &Grid::from_fn(w, h, |x, y| get(geo.at(x, y))),
+            ));
+        }
+    }
+    planes.push(Plane::from_f32("disc.before", &frames.disc_before));
+    planes.push(Plane::from_f32("disc.after", &frames.disc_after));
+    planes
+}
+
+/// Compare two traces and attribute the first diverging stage.
+pub fn attribute(a: &StageTrace, b: &StageTrace) -> Option<StageAttribution> {
+    for (fa, fb) in a.stages.iter().zip(&b.stages) {
+        debug_assert_eq!(fa.stage, fb.stage);
+        if fa.digest == fb.digest {
+            continue;
+        }
+        let d = diff_planes(&fa.planes, &fb.planes, fa.width, fa.region);
+        return Some(StageAttribution {
+            stage: fa.stage,
+            divergence: d.first,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::corpus;
+
+    #[test]
+    fn identical_traces_attribute_to_nothing() {
+        let case = &corpus(true)[0];
+        let frames = case.frames().expect("prepare");
+        let result = DriverKind::Sequential.run(case, &frames).expect("run");
+        let t1 = stage_trace(case, DriverKind::Sequential, &result).expect("trace");
+        let t2 = stage_trace(case, DriverKind::Sequential, &result).expect("trace");
+        assert!(attribute(&t1, &t2).is_none());
+    }
+
+    #[test]
+    fn corrupted_matching_stage_attributes_past_preprocessing() {
+        let case = &corpus(true)[0];
+        let frames = case.frames().expect("prepare");
+        let result = DriverKind::Sequential.run(case, &frames).expect("run");
+        let t1 = stage_trace(case, DriverKind::Sequential, &result).expect("trace");
+        let mut t2 = t1.clone();
+        // Corrupt one byte of the case's own matching stage (Fcont for
+        // this corpus entry) — attribution must name it, not a shared
+        // preprocessing stage, and must localize the pixel.
+        let idx = PIPELINE
+            .iter()
+            .position(|&s| s == Stage::Fcont)
+            .expect("fcont in pipeline");
+        let region = t2.stages[idx].region;
+        let w = t2.stages[idx].width;
+        let byte = (region.y0 * w + region.x0) * 4; // first tracked f32
+        t2.stages[idx].planes[0].raw[byte] ^= 0x01;
+        t2.stages[idx].digest ^= 0xDEAD;
+        let att = attribute(&t1, &t2).expect("diverges");
+        assert_eq!(att.stage, Stage::Fcont);
+        let d = att.divergence.expect("pixel located");
+        assert_eq!((d.x, d.y), (region.x0, region.y0));
+        assert_eq!(d.plane, "flow.u");
+    }
+}

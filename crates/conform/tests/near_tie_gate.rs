@@ -1,0 +1,48 @@
+//! Permanent gate for the fast-path near-tie guard.
+//!
+//! A period-2 pattern in x makes the +1 and -1 shift hypotheses agree up
+//! to rounding, so the moment-plane kernel's reassociated sums are
+//! maximally likely to flip the argmin relative to the sequential
+//! reference. The near-tie guard in `sma_core::fastpath` re-routes any
+//! pixel whose winning margin falls inside twice the declared
+//! fast-vs-exact error bound through the exact kernel, which makes the
+//! `displacement_exact` clause of the fast-path contract (see
+//! `sma_conform::matrix::FASTPATH_BOUND`) hold by construction. This
+//! test keeps that clause honest on the nastiest scene we know.
+
+use sma_core::fastpath::track_all_integral;
+use sma_core::motion::SmaFrames;
+use sma_core::sequential::Region;
+use sma_core::{track_all_sequential, MotionModel, SmaConfig};
+use sma_grid::Grid;
+
+#[test]
+fn periodic_scene_never_flips_the_winner() {
+    let cfg = SmaConfig::small_test(MotionModel::Continuous);
+    // Period-2 pattern in x, mildly modulated in y so windows are not
+    // exactly equal (exactly-equal windows trivially tie bit-for-bit).
+    let before = Grid::from_fn(28, 28, |x, y| {
+        (x as f32 * std::f32::consts::PI).cos() * (1.0 + 0.2 * (y as f32 * 0.37).sin())
+            + 0.4 * (y as f32 * 0.23).cos()
+    });
+    let after = Grid::from_fn(28, 28, |x, y| {
+        let xs = (x as isize - 1).clamp(0, 27) as usize;
+        before.at(xs, y)
+    });
+    let frames = SmaFrames::prepare(&before, &after, &before, &after, &cfg).expect("prepare");
+    let region = Region::Interior {
+        margin: cfg.margin(),
+    };
+    let seq = track_all_sequential(&frames, &cfg, region).expect("seq");
+    let fast = track_all_integral(&frames, &cfg, region).expect("fast");
+    let bounds = region.bounds(28, 28).expect("bounds");
+    for (x, y) in bounds.pixels() {
+        let (s, f) = (seq.estimates.at(x, y), fast.estimates.at(x, y));
+        assert_eq!(s.valid, f.valid, "validity flip at ({x},{y})");
+        assert_eq!(
+            s.displacement, f.displacement,
+            "fastpath winner flipped at ({x},{y}): seq e={:.17e} vs fast e={:.17e}",
+            s.error, f.error
+        );
+    }
+}

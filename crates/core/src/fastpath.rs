@@ -62,6 +62,31 @@ static CORNER_LOOKUPS: sma_obs::Counter = sma_obs::Counter::new("fastpath.corner
 /// Per-offset moment planes built (one per hypothesis offset per
 /// segment).
 static OFFSET_PLANES: sma_obs::Counter = sma_obs::Counter::new("fastpath.offset_planes_built");
+/// Pixels whose best and runner-up hypothesis errors were closer than
+/// the near-tie margin and were re-evaluated with the exact kernel.
+static NEAR_TIE_REROUTE: sma_obs::Counter = sma_obs::Counter::new("fastpath.near_tie_pixels");
+
+/// Absolute term of the near-tie margin (see [`NEAR_TIE_REL`]).
+pub const NEAR_TIE_ABS: f64 = 2e-9;
+/// Relative term of the near-tie margin. The moment-path error agrees
+/// with the exact kernel only to the declared contract bound
+/// (`1e-9 + 1e-6 * rel`, see the equivalence tests), so when the winning
+/// hypothesis beats the runner-up by less than *twice* that bound the
+/// reassociated arithmetic cannot be trusted to order the two the same
+/// way the exact kernel would — the winner could flip. Such pixels are
+/// re-evaluated with the exact kernel, which makes the fast path's
+/// displacement (and entire estimate, for those pixels) identical to the
+/// sequential reference *by construction* instead of by luck. The
+/// conformance matrix (`sma-conform`) relies on this guard for its
+/// `displacement_exact` contract.
+pub const NEAR_TIE_REL: f64 = 2e-6;
+
+/// True when `best` and `runner_up` are too close for the moment path's
+/// error precision to decide the winner.
+fn near_tie(best: f64, runner_up: f64) -> bool {
+    runner_up.is_finite()
+        && (runner_up - best) <= NEAR_TIE_ABS + NEAR_TIE_REL * best.abs().max(runner_up.abs())
+}
 
 /// Number of static moment channels (the 12 nonzero `A^T A` entries).
 pub const STATIC_CHANNELS: usize = 12;
@@ -349,6 +374,13 @@ fn track_integral_impl(
         StaticMoments::compute(frames)
     };
 
+    // Runner-up error per interior pixel, carried across segments so the
+    // near-tie decision is independent of how the hypothesis rows are
+    // chunked (the offsets are visited in the same ascending order
+    // regardless of `z_rows`). `-inf` marks a pixel that already holds
+    // an exact-kernel result (corrupt-sum re-route).
+    let mut second: Grid<f64> = Grid::filled(w, h, f64::INFINITY);
+
     // Segment loop over hypothesis rows (z_rows = full search height for
     // the unsegmented drivers: a single segment).
     let mut row0 = -ns;
@@ -373,56 +405,90 @@ fn track_integral_impl(
 
         drop(_plane_span);
 
-        let evaluate = |x: usize, y: usize, running: MotionEstimate| -> MotionEstimate {
-            let mut local_best = running;
-            // 4 SAT corners for the static window-sum, 4 more per offset.
-            CORNER_LOOKUPS.add(4 * (1 + offsets.len()) as u64);
-            let s = stat.sat.window_sum(x, y, nt);
-            if !s.iter().all(|v| v.is_finite()) {
-                // Corrupted moment data (hostile input that slipped past
-                // quarantine): re-route the pixel through the exact
-                // kernel, which rebuilds its sums from raw geometry.
-                sma_fault::note_natural_degradation();
-                return track_pixel(frames, cfg, x, y);
-            }
-            for (oi, &(ox, oy)) in offsets.iter().enumerate() {
-                let t = planes[oi].window_sum(x, y, nt);
-                if !t.iter().all(|v| v.is_finite()) {
+        let evaluate =
+            |x: usize, y: usize, running: MotionEstimate, runner: f64| -> (MotionEstimate, f64) {
+                let mut local_best = running;
+                let mut local_second = runner;
+                // 4 SAT corners for the static window-sum, 4 more per offset.
+                CORNER_LOOKUPS.add(4 * (1 + offsets.len()) as u64);
+                let s = stat.sat.window_sum(x, y, nt);
+                if !s.iter().all(|v| v.is_finite()) {
+                    // Corrupted moment data (hostile input that slipped past
+                    // quarantine): re-route the pixel through the exact
+                    // kernel, which rebuilds its sums from raw geometry.
                     sma_fault::note_natural_degradation();
-                    return track_pixel(frames, cfg, x, y);
+                    return (track_pixel(frames, cfg, x, y), f64::NEG_INFINITY);
                 }
-                if let Some((params, error)) = solve_moments(&s, &t) {
-                    if error < local_best.error {
-                        let (rx, ry) = refined_displacement(frames, cfg, x, y, ox, oy);
-                        let z0 = surface_delta(frames, x, y, rx, ry);
-                        local_best = MotionEstimate {
-                            displacement: Vec2::new(rx as f32, ry as f32),
-                            affine: LocalAffine::from_params(&params, rx as f64, ry as f64, z0),
-                            error,
-                            valid: true,
-                        };
+                for (oi, &(ox, oy)) in offsets.iter().enumerate() {
+                    let t = planes[oi].window_sum(x, y, nt);
+                    if !t.iter().all(|v| v.is_finite()) {
+                        sma_fault::note_natural_degradation();
+                        return (track_pixel(frames, cfg, x, y), f64::NEG_INFINITY);
+                    }
+                    if let Some((params, error)) = solve_moments(&s, &t) {
+                        if error < local_best.error {
+                            local_second = local_best.error;
+                            let (rx, ry) = refined_displacement(frames, cfg, x, y, ox, oy);
+                            let z0 = surface_delta(frames, x, y, rx, ry);
+                            local_best = MotionEstimate {
+                                displacement: Vec2::new(rx as f32, ry as f32),
+                                affine: LocalAffine::from_params(&params, rx as f64, ry as f64, z0),
+                                error,
+                                valid: true,
+                            };
+                        } else if error < local_second {
+                            local_second = error;
+                        }
                     }
                 }
-            }
-            local_best
-        };
+                (local_best, local_second)
+            };
 
         if parallel {
-            let updated: Vec<((usize, usize), MotionEstimate)> = interior
+            let updated: Vec<((usize, usize), (MotionEstimate, f64))> = interior
                 .par_iter()
-                .map(|&(x, y)| ((x, y), evaluate(x, y, best.at(x, y))))
+                .map(|&(x, y)| ((x, y), evaluate(x, y, best.at(x, y), second.at(x, y))))
                 .collect();
-            for ((x, y), est) in updated {
+            for ((x, y), (est, sec)) in updated {
                 best.set(x, y, est);
+                second.set(x, y, sec);
             }
         } else {
             for &(x, y) in &interior {
-                let est = evaluate(x, y, best.at(x, y));
+                let (est, sec) = evaluate(x, y, best.at(x, y), second.at(x, y));
                 best.set(x, y, est);
+                second.set(x, y, sec);
             }
         }
         // Segment's offset planes dropped here, exactly as on the PE.
         row0 = row1 + 1;
+    }
+
+    // Near-tie guard: where the moment path's winning margin is inside
+    // the noise band of its own error precision, the argmin is not
+    // trustworthy — re-evaluate those pixels with the exact kernel so
+    // the winner (and the whole estimate) matches the sequential
+    // reference by construction. The decision uses the globally best
+    // and runner-up errors, so it is identical for the sequential,
+    // parallel and segmented fast-path variants.
+    let ties: Vec<(usize, usize)> = interior
+        .iter()
+        .copied()
+        .filter(|&(x, y)| best.at(x, y).valid && near_tie(best.at(x, y).error, second.at(x, y)))
+        .collect();
+    NEAR_TIE_REROUTE.add(ties.len() as u64);
+    if parallel {
+        let rerun: Vec<((usize, usize), MotionEstimate)> = ties
+            .par_iter()
+            .map(|&(x, y)| ((x, y), track_pixel(frames, cfg, x, y)))
+            .collect();
+        for ((x, y), est) in rerun {
+            best.set(x, y, est);
+        }
+    } else {
+        for &(x, y) in &ties {
+            best.set(x, y, track_pixel(frames, cfg, x, y));
+        }
     }
 
     Ok(SmaResult {
@@ -652,5 +718,22 @@ mod tests {
         let err = track_all_integral_segmented(&f, &cfg, Region::Interior { margin: 10 }, 0)
             .expect_err("z_rows = 0 must be rejected");
         assert!(err.to_string().contains("at least one hypothesis row"));
+    }
+
+    #[test]
+    fn near_tie_predicate_margins() {
+        // Comfortable margins are not ties.
+        assert!(!near_tie(1.0, 1.1));
+        assert!(!near_tie(0.0, 1e-8));
+        // Inside the absolute band near zero.
+        assert!(near_tie(0.0, 1e-9));
+        // Inside the relative band at scale.
+        assert!(near_tie(1.0, 1.0 + 1e-6));
+        assert!(!near_tie(1.0, 1.0 + 1e-5));
+        // No runner-up (infinity init) or exact-kernel sentinel
+        // (neg-infinity): never a tie.
+        assert!(!near_tie(0.5, f64::INFINITY));
+        assert!(!near_tie(0.5, f64::NEG_INFINITY));
+        assert!(!near_tie(0.5, f64::NAN));
     }
 }

@@ -259,6 +259,66 @@ mod tests {
     }
 
     #[test]
+    fn windows_flush_against_each_border() {
+        // A window whose edge lands *exactly* on an image border takes
+        // the boundary branch of every corner lookup — the classic
+        // off-by-one site. Exercise all four borders with a full-size
+        // (unclipped) window and check against brute force.
+        let g = img(); // 9 x 7
+        let it = IntegralImage::build(&g);
+        let n = 2usize;
+        let cases = [
+            (n, 3, "left"),                 // x0 == 0 exactly
+            (8 - n, 3, "right"),            // x1 == w-1 exactly
+            (4, n, "top"),                  // y0 == 0 exactly
+            (4, 6 - n, "bottom"),           // y1 == h-1 exactly
+            (n, n, "top-left"),             // both low edges flush
+            (8 - n, 6 - n, "bottom-right"), // both high edges flush
+        ];
+        for (cx, cy, which) in cases {
+            assert_eq!(it.window_area(cx, cy, n), 25, "{which} window clipped");
+            let want = brute_sum(&g, cx - n, cy - n, cx + n, cy + n);
+            assert!(
+                (it.window_sum(cx, cy, n) - want).abs() < 1e-9,
+                "{which} flush window at ({cx},{cy})"
+            );
+        }
+    }
+
+    #[test]
+    fn one_by_one_grid() {
+        let g = Grid::filled(1, 1, 4.5f32);
+        let it = IntegralImage::build(&g);
+        let it2 = IntegralImage::build_squared(&g);
+        // Every window on a 1x1 image clips to the single pixel.
+        for n in 0..3usize {
+            assert_eq!(it.window_area(0, 0, n), 1);
+            assert!((it.window_sum(0, 0, n) - 4.5).abs() < 1e-12);
+            assert!((it.window_mean(0, 0, n) - 4.5).abs() < 1e-12);
+            assert!((it2.window_sum(0, 0, n) - 4.5 * 4.5).abs() < 1e-9);
+        }
+        assert!((it.rect_sum(0, 0, 0, 0) - 4.5).abs() < 1e-12);
+        let mi = MomentIntegral::<2>::from_fn(1, 1, |_, _| [1.0, -2.0]);
+        assert_eq!(mi.window_sum(0, 0, 2), [1.0, -2.0]);
+    }
+
+    #[test]
+    fn single_row_and_single_column_grids() {
+        // Degenerate aspect ratios hit the y-only / x-only boundary
+        // branches in isolation.
+        let row = Grid::from_fn(7, 1, |x, _| x as f32);
+        let it = IntegralImage::build(&row);
+        assert!((it.rect_sum(0, 0, 6, 0) - 21.0).abs() < 1e-12);
+        assert!((it.window_sum(3, 0, 1) - 9.0).abs() < 1e-12); // 2+3+4
+        assert_eq!(it.window_area(3, 0, 1), 3);
+        assert_eq!(it.window_area(0, 0, 1), 2); // clipped left
+        let col = Grid::from_fn(1, 7, |_, y| y as f32);
+        let ic = IntegralImage::build(&col);
+        assert!((ic.window_sum(0, 3, 1) - 9.0).abs() < 1e-12);
+        assert_eq!(ic.window_area(0, 6, 1), 2); // clipped bottom
+    }
+
+    #[test]
     fn moment_integral_matches_per_channel_brute_force() {
         let chan = |x: usize, y: usize| -> [f64; 3] {
             let v = (x * 13 + y * 7) % 11;

@@ -86,13 +86,11 @@ impl LayeredScene {
         );
         let (w, h) = self.layers[0].mask.dims();
         // Indices sorted by descending height: first opaque hit wins.
+        // total_cmp keeps the order total (and the sort panic-free) even
+        // if a NaN height slips in; NaN sorts above +inf and so wins
+        // visibility deterministically instead of poisoning the sort.
         let mut order: Vec<usize> = (0..self.layers.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.layers[b]
-                .height
-                .partial_cmp(&self.layers[a].height)
-                .expect("finite heights")
-        });
+        order.sort_by(|&a, &b| self.layers[b].height.total_cmp(&self.layers[a].height));
         let mut intensity = Grid::filled(w, h, self.background);
         let mut height = Grid::filled(w, h, 0.0f32);
         for y in 0..h {
@@ -119,12 +117,7 @@ impl LayeredScene {
         );
         let (w, h) = self.layers[0].mask.dims();
         let mut order: Vec<usize> = (0..self.layers.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.layers[b]
-                .height
-                .partial_cmp(&self.layers[a].height)
-                .expect("finite heights")
-        });
+        order.sort_by(|&a, &b| self.layers[b].height.total_cmp(&self.layers[a].height));
         FlowField::from_fn(w, h, |x, y| {
             for &li in &order {
                 if self.layers[li].mask.at(x, y) > 0.5 {

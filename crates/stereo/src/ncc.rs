@@ -10,8 +10,16 @@
 use sma_grid::{BorderPolicy, Grid};
 
 /// Minimum template variance for a meaningful correlation score; flatter
-/// (textureless) templates return score 0 (no evidence).
-const MIN_VARIANCE: f64 = 1e-8;
+/// (textureless) templates return [`NEUTRAL_SCORE`] (no evidence).
+///
+/// Shared with the integral-image path in [`crate::ncc_fast`] so both
+/// paths classify the same windows as textureless — the conformance
+/// harness relies on the two paths agreeing on the neutral branch.
+pub const MIN_VARIANCE: f64 = 1e-8;
+
+/// Score reported for windows with no correlation evidence (textureless,
+/// or numerically degenerate). Shared by both NCC paths.
+pub const NEUTRAL_SCORE: f64 = 0.0;
 
 /// Zero-mean NCC between the `(2n+1)^2` template centered at `(x, y)` in
 /// `left` and the window centered at `(x + d, y)` in `right`.
@@ -59,14 +67,14 @@ pub fn ncc_score(
         if vl.is_nan() || vr.is_nan() {
             sma_fault::note_natural_degradation();
         }
-        return 0.0;
+        return NEUTRAL_SCORE;
     }
     let score = cov / (vl * vr).sqrt();
     if score.is_finite() {
         score
     } else {
         sma_fault::note_natural_degradation();
-        0.0
+        NEUTRAL_SCORE
     }
 }
 
@@ -96,7 +104,10 @@ pub fn best_disparity(
     let mut scores: Vec<f64> = Vec::with_capacity(2 * range + 1);
     for d in center - range as isize..=center + range as isize {
         let s = ncc_score(left, right, x, y, d, n);
-        if s > best_s {
+        // total_cmp: deterministic total order even against NaN (which
+        // ncc_score never returns today, but the selection must not
+        // silently depend on that).
+        if s.total_cmp(&best_s).is_gt() {
             best_s = s;
             best_d = d;
         }

@@ -14,6 +14,7 @@
 //! round-off — asserted by tests — and the hierarchical matcher only
 //! trusts interior scores anyway.
 
+use crate::ncc::{MIN_VARIANCE, NEUTRAL_SCORE};
 use sma_grid::{Grid, IntegralImage};
 
 /// Precomputed tables for NCC over a fixed disparity range.
@@ -106,15 +107,15 @@ impl NccPrecomp {
         // NaN argument.
         let vl = (sll - sl * sl / count).max(0.0);
         let vr = (srr - sr * sr / count).max(0.0);
-        if vl < 1e-8 || vr < 1e-8 {
-            return Some(0.0);
+        if vl < MIN_VARIANCE || vr < MIN_VARIANCE {
+            return Some(NEUTRAL_SCORE);
         }
         let score = cov / (vl * vr).sqrt();
         if score.is_finite() {
             Some(score)
         } else {
             sma_fault::note_natural_degradation();
-            Some(0.0)
+            Some(NEUTRAL_SCORE)
         }
     }
 
@@ -126,7 +127,10 @@ impl NccPrecomp {
         let mut out: Option<(isize, f64)> = None;
         for d in lo..=hi {
             if let Some(s) = self.score(x, y, d) {
-                if out.is_none_or(|(_, bs)| s > bs) {
+                // total_cmp mirrors `best_disparity` in `crate::ncc`:
+                // the two paths must pick the same winner under the
+                // same (total, NaN-proof) ordering.
+                if out.is_none_or(|(_, bs)| s.total_cmp(&bs).is_gt()) {
                     out = Some((d, s));
                 }
             }
@@ -198,7 +202,33 @@ mod tests {
     fn textureless_scores_zero() {
         let flat = Grid::filled(32, 32, 2.0f32);
         let pre = NccPrecomp::build(&flat, &flat, -2, 2, 3);
-        assert_eq!(pre.score(16, 16, 0), Some(0.0));
+        assert_eq!(pre.score(16, 16, 0), Some(NEUTRAL_SCORE));
+    }
+
+    #[test]
+    fn both_paths_agree_on_neutral_score_for_zero_variance() {
+        // One flat view (zero variance) against one textured view, both
+        // ways round: the reference and fast paths must take the same
+        // neutral branch with the same shared constant, for every
+        // candidate disparity — not scores that merely happen to match.
+        let flat = Grid::filled(32, 32, 2.0f32);
+        let img = textured(32, 32);
+        let pre_lf = NccPrecomp::build(&flat, &img, -2, 2, 3);
+        let pre_rf = NccPrecomp::build(&img, &flat, -2, 2, 3);
+        for d in -2isize..=2 {
+            assert_eq!(
+                pre_lf.score(16, 16, d),
+                Some(NEUTRAL_SCORE),
+                "fast lf d={d}"
+            );
+            assert_eq!(
+                pre_rf.score(16, 16, d),
+                Some(NEUTRAL_SCORE),
+                "fast rf d={d}"
+            );
+            assert_eq!(ncc_score(&flat, &img, 16, 16, d, 3), NEUTRAL_SCORE);
+            assert_eq!(ncc_score(&img, &flat, 16, 16, d, 3), NEUTRAL_SCORE);
+        }
     }
 
     #[test]

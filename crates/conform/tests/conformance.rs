@@ -9,6 +9,7 @@ use sma_conform::corpus::{corpus, CorpusTier};
 use sma_conform::driver::{DriverKind, RuntimeCombo, ALL_COMBOS, ALL_DRIVERS};
 use sma_conform::matrix::check_pair;
 use sma_conform::oracle::{result_planes, CaseSnapshot};
+use sma_stream::{FrameSource, StreamEngine};
 
 #[test]
 fn one_case_matrix_honors_every_contract() {
@@ -19,21 +20,54 @@ fn one_case_matrix_honors_every_contract() {
         .expect("small corpus case");
     assert_eq!(case.tier, CorpusTier::Small);
     let frames = case.frames().expect("prepare");
+    // The same case's frame bundle assembled by the streaming engine
+    // (the case as a two-frame sequence): every driver must treat the
+    // streamed pair as indistinguishable from the pairwise one, so the
+    // contract matrix runs over the cross product of both preparations.
+    let mut engine = StreamEngine::with_goddard_budget(
+        vec![
+            FrameSource {
+                intensity: &case.intensity_before,
+                surface: &case.surface_before,
+            },
+            FrameSource {
+                intensity: &case.intensity_after,
+                surface: &case.surface_after,
+            },
+        ],
+        case.cfg,
+    );
+    let streamed = engine.pair(0).expect("streamed pair");
     let results: Vec<_> = ALL_DRIVERS
         .iter()
-        .map(|d| (*d, d.run(case, &frames).expect("driver run")))
+        .flat_map(|d| {
+            [
+                (*d, "pairwise", d.run(case, &frames).expect("driver run")),
+                (*d, "streamed", d.run(case, &streamed).expect("driver run")),
+            ]
+        })
         .collect();
-    for (i, (da, ra)) in results.iter().enumerate() {
-        for (db, rb) in &results[i + 1..] {
+    for (i, (da, pa, ra)) in results.iter().enumerate() {
+        for (db, pb, rb) in &results[i + 1..] {
             let v = check_pair(*da, *db, ra, rb);
             assert!(
                 v.within_contract,
-                "{} vs {} violated its contract: {:?}",
+                "{} ({pa}) vs {} ({pb}) violated its contract: {:?}",
                 da.name(),
                 db.name(),
                 v.first_violation
             );
         }
+    }
+    // Same driver, streamed vs pairwise preparation: bit-identical.
+    for pair in results.chunks(2) {
+        let diff = sma_conform::diff::diff_results(&pair[0].2, &pair[1].2);
+        assert!(
+            diff.bit_identical(),
+            "{}: streamed preparation changed output bits: {:?}",
+            pair[0].0.name(),
+            diff.first
+        );
     }
 }
 

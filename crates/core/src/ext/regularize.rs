@@ -105,9 +105,14 @@ pub fn fill_invalid(
     let (w, h) = flow.dims();
     let mut f = flow.clone();
     let mut ok = valid.clone();
+    // Double-buffered relaxation: the back buffers are allocated once
+    // and refreshed from the fronts each pass (a memcpy, no per-pass
+    // clone), written only at newly-filled pixels, then swapped in.
+    let mut next_f = flow.clone();
+    let mut next_ok = valid.clone();
     for _ in 0..passes {
-        let mut next_f = f.clone();
-        let mut next_ok = ok.clone();
+        next_f.copy_from(&f);
+        next_ok.as_mut_slice().copy_from_slice(ok.as_slice());
         let mut changed = false;
         for y in 0..h {
             for x in 0..w {
@@ -138,8 +143,8 @@ pub fn fill_invalid(
                 }
             }
         }
-        f = next_f;
-        ok = next_ok;
+        std::mem::swap(&mut f, &mut next_f);
+        std::mem::swap(&mut ok, &mut next_ok);
         if !changed {
             break;
         }
@@ -236,6 +241,74 @@ mod tests {
         let (filled, ok) = fill_invalid(&flow, &valid, 2);
         assert!(ok.at(3, 3));
         assert!((filled.at(3, 3) - Vec2::new(1.0, 1.0)).magnitude() < 1e-6);
+    }
+
+    /// The pre-double-buffering `fill_invalid`: fresh clones every
+    /// pass. Kept as the oracle for the buffer-swap rewrite.
+    fn fill_invalid_reference(
+        flow: &FlowField,
+        valid: &Grid<bool>,
+        passes: usize,
+    ) -> (FlowField, Grid<bool>) {
+        let (w, h) = flow.dims();
+        let mut f = flow.clone();
+        let mut ok = valid.clone();
+        for _ in 0..passes {
+            let mut next_f = f.clone();
+            let mut next_ok = ok.clone();
+            let mut changed = false;
+            for y in 0..h {
+                for x in 0..w {
+                    if ok.at(x, y) {
+                        continue;
+                    }
+                    let mut sum = Vec2::ZERO;
+                    let mut n = 0u32;
+                    for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            let sx = x as isize + dx;
+                            let sy = y as isize + dy;
+                            if sx >= 0
+                                && sy >= 0
+                                && (sx as usize) < w
+                                && (sy as usize) < h
+                                && ok.at(sx as usize, sy as usize)
+                            {
+                                sum = sum + f.at(sx as usize, sy as usize);
+                                n += 1;
+                            }
+                        }
+                    }
+                    if n > 0 {
+                        next_f.set(x, y, sum * (1.0 / n as f32));
+                        next_ok.set(x, y, true);
+                        changed = true;
+                    }
+                }
+            }
+            f = next_f;
+            ok = next_ok;
+            if !changed {
+                break;
+            }
+        }
+        (f, ok)
+    }
+
+    #[test]
+    fn fill_invalid_double_buffer_matches_clone_per_pass_reference() {
+        // Irregular validity pattern with islands, rims, and a border
+        // hole; every pass count from "no-op" through "converged".
+        let flow = FlowField::from_fn(13, 11, |x, y| {
+            Vec2::new((x as f32 * 0.7).sin() * 3.0, (y as f32 * 1.3).cos() * 2.0)
+        });
+        let valid = Grid::from_fn(13, 11, |x, y| (x * 7 + y * 5 + x * y) % 4 != 0);
+        for passes in 0..=8 {
+            let (fa, oa) = fill_invalid(&flow, &valid, passes);
+            let (fb, ob) = fill_invalid_reference(&flow, &valid, passes);
+            assert_eq!(fa, fb, "flow diverged at passes={passes}");
+            assert_eq!(oa, ob, "validity diverged at passes={passes}");
+        }
     }
 
     #[test]

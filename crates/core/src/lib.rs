@@ -65,7 +65,7 @@ pub mod timing;
 pub use affine::LocalAffine;
 pub use config::{MotionModel, SmaConfig};
 pub use fastpath::{track_all_integral, track_all_integral_parallel, track_all_integral_segmented};
-pub use motion::{MotionEstimate, SmaFrames};
+pub use motion::{FrameArtifacts, MotionEstimate, SmaFrames};
 pub use parallel::track_all_parallel;
 pub use sequential::track_all_sequential;
 pub use sma_fault::{GridError, LedgerSnapshot, MasParError, SmaError, StereoError};

@@ -67,7 +67,7 @@ pub struct MasparRunReport {
     /// fault or memory breach (checkpoint/resume; zero when disarmed).
     pub segment_retries: usize,
     /// `(layer, segment)` units abandoned after exhausting
-    /// [`SEGMENT_RETRIES`]; their pixels keep the best-so-far estimate
+    /// `SEGMENT_RETRIES`; their pixels keep the best-so-far estimate
     /// from the segments that did complete (zero when disarmed).
     pub segments_lost: usize,
 }
@@ -76,7 +76,7 @@ pub struct MasparRunReport {
 /// PE array, neighborhood traffic goes through `scheme`, and tracking
 /// proceeds layer by layer, hypothesis-row segment by segment. Under an
 /// armed fault harness, an injected PE fault or memory breach retries
-/// the affected `(layer, segment)` unit up to [`SEGMENT_RETRIES`] times
+/// the affected `(layer, segment)` unit up to `SEGMENT_RETRIES` times
 /// before abandoning it (checkpoint/resume: completed segments are never
 /// re-run, and abandoned segments only cost their hypothesis rows).
 ///

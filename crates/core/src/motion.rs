@@ -32,6 +32,8 @@
 //! first partial derivatives to zero ... leads to another system of
 //! linear equations that were solved using Gaussian-elimination".
 
+use std::sync::Arc;
+
 use sma_fault::{GridError, SmaError};
 use sma_grid::{BorderPolicy, Grid, ValidityMask, Vec2};
 use sma_linalg::gauss::solve6;
@@ -53,30 +55,127 @@ pub(crate) static GE_SOLVES: sma_obs::Counter = sma_obs::Counter::new("sma.ge_so
 /// leaves this counter alone.
 static TEMPLATE_TERMS: sma_obs::Counter = sma_obs::Counter::new("sma.template_terms");
 
+/// The derived planes of *one* frame, computed once and shareable by
+/// every pair the frame participates in. On an N-frame sequence, frame
+/// `t` serves both pairs `(t-1, t)` and `(t, t+1)`; preparing artifacts
+/// per frame instead of per pair halves the preparation work (the
+/// streaming engine in `sma-stream` caches these by frame id).
+///
+/// All planes are `Arc`-shared so assembling a [`SmaFrames`] pair from
+/// two artifact sets copies pointers, not pixels.
+#[derive(Debug, Clone)]
+pub struct FrameArtifacts {
+    /// Quarantined (NaN/Inf-repaired) intensity plane.
+    pub intensity: Arc<Grid<f32>>,
+    /// Quarantined surface plane.
+    pub surface: Arc<Grid<f32>>,
+    /// Validity of this frame's two input planes (intensity ∩ surface).
+    pub validity: Arc<ValidityMask>,
+    /// Geometric variables of the surface (window `Nz`).
+    pub geo: Arc<GeomField>,
+    /// Discriminant plane of the intensity surface (window
+    /// `max(NsT, 1)`).
+    pub disc: Arc<Grid<f32>>,
+    /// Non-finite pixels repaired while quarantining this frame.
+    pub quarantined: u64,
+}
+
+impl FrameArtifacts {
+    /// Compute one frame's derived planes: quarantine both input planes,
+    /// fit the surface geometry, and extract the intensity discriminant.
+    /// This is exactly the per-frame half of [`SmaFrames::prepare`], so
+    /// a pair assembled from two artifact sets is bit-identical to the
+    /// pairwise preparation.
+    ///
+    /// # Errors
+    /// [`GridError::ShapeMismatch`] if the two planes disagree in shape;
+    /// [`SmaError::Config`] if `cfg` is invalid.
+    pub fn prepare(
+        intensity: &Grid<f32>,
+        surface: &Grid<f32>,
+        cfg: &SmaConfig,
+    ) -> Result<Self, SmaError> {
+        if surface.dims() != intensity.dims() {
+            return Err(GridError::ShapeMismatch {
+                expected: intensity.dims(),
+                got: surface.dims(),
+            }
+            .into());
+        }
+        cfg.validate().map_err(SmaError::Config)?;
+        let _span = sma_obs::span("frame_artifacts");
+
+        let (i, mask_i, q_i) = sma_grid::quarantine(intensity);
+        let (s, mask_s, q_s) = sma_grid::quarantine(surface);
+        let quarantined = q_i + q_s;
+        if quarantined > 0 {
+            sma_fault::note_quarantined(quarantined);
+        }
+        let validity = mask_i.intersect(&mask_s);
+
+        let policy = BorderPolicy::Clamp;
+        let geo = GeomField::compute_par(&s, cfg.nz, policy);
+        // Semi-fluid discriminants always use the *intensity* surface
+        // with the semi-fluid surface-patch window ("using the intensity
+        // image", §2.3; NsT doubles as the surface-patch size, §4.3).
+        let disc = GeomField::compute_par(&i, cfg.nst.max(1), policy).discriminant_plane();
+        Ok(Self {
+            intensity: Arc::new(i),
+            surface: Arc::new(s),
+            validity: Arc::new(validity),
+            geo: Arc::new(geo),
+            disc: Arc::new(disc),
+            quarantined,
+        })
+    }
+
+    /// Frame dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        self.geo.dims()
+    }
+
+    /// Approximate heap bytes held by these artifacts (the cache-charge
+    /// unit of the streaming engine): intensity + surface + discriminant
+    /// f32 planes, the validity bitmap, and the geometry field's seven
+    /// f64 variables per pixel.
+    pub fn resident_bytes(&self) -> usize {
+        let (w, h) = self.dims();
+        let px = w * h;
+        // GeomVars: zx, zy, e, g, ni, nj, nk — 7 f64 per pixel.
+        px * (3 * 4 + 1 + 7 * 8)
+    }
+}
+
 /// Everything the per-pixel kernels need about one frame pair, computed
 /// once ("Local surface patches are fit for each pixel in both the
 /// intensity and surface images at both time steps" — the Table 2
 /// "Surface fit" and "Compute geometric variables" phases).
+///
+/// All planes are `Arc`-shared: a pair assembled by the streaming
+/// engine ([`SmaFrames::from_artifacts`]) references the per-frame
+/// artifact planes directly, and cloning an `SmaFrames` copies pointers
+/// only. Shared references deref-coerce to the plain plane types, so
+/// kernels read the fields exactly as before.
 #[derive(Debug, Clone)]
 pub struct SmaFrames {
     /// Geometric variables of the *surface* at `t`.
-    pub geo_before: GeomField,
+    pub geo_before: Arc<GeomField>,
     /// Geometric variables of the surface at `t+1`.
-    pub geo_after: GeomField,
+    pub geo_after: Arc<GeomField>,
     /// Discriminant plane of the *intensity* surface at `t` (semi-fluid
     /// matching input).
-    pub disc_before: Grid<f32>,
+    pub disc_before: Arc<Grid<f32>>,
     /// Discriminant plane of the intensity surface at `t+1`.
-    pub disc_after: Grid<f32>,
+    pub disc_after: Arc<Grid<f32>>,
     /// Surface map at `t` (for `z0`).
-    pub surface_before: Grid<f32>,
+    pub surface_before: Arc<Grid<f32>>,
     /// Surface map at `t+1`.
-    pub surface_after: Grid<f32>,
+    pub surface_after: Arc<Grid<f32>>,
     /// Which input pixels carried finite data: pixels where *any* of the
     /// four input planes held a NaN/Inf are quarantined (repaired by
     /// neighbor interpolation before processing) and marked invalid
     /// here. All-valid for clean inputs.
-    pub validity: ValidityMask,
+    pub validity: Arc<ValidityMask>,
 }
 
 impl SmaFrames {
@@ -102,48 +201,62 @@ impl SmaFrames {
         cfg: &SmaConfig,
     ) -> Result<Self, SmaError> {
         let expected = intensity_before.dims();
-        for got in [
-            intensity_after.dims(),
-            surface_before.dims(),
-            surface_after.dims(),
-        ] {
+        for got in [intensity_after.dims(), surface_after.dims()] {
             if got != expected {
                 return Err(GridError::ShapeMismatch { expected, got }.into());
             }
         }
-        cfg.validate().map_err(SmaError::Config)?;
         let _span = sma_obs::span("sma_prepare");
+        // Per-frame halves (quarantine + geometry + discriminant); the
+        // streaming engine computes these once per *frame* and reuses
+        // them for both adjacent pairs — this pairwise entry point is
+        // simply the uncached composition of the same two halves.
+        let before = FrameArtifacts::prepare(intensity_before, surface_before, cfg)?;
+        let after = FrameArtifacts::prepare(intensity_after, surface_after, cfg)?;
+        Self::from_artifacts(&before, &after)
+    }
 
-        // Quarantine non-finite pixels in all four planes; the combined
-        // mask marks every pixel whose value in *any* plane was repaired.
-        let (ib, mask_ib, q_ib) = sma_grid::quarantine(intensity_before);
-        let (ia, mask_ia, q_ia) = sma_grid::quarantine(intensity_after);
-        let (sb, mask_sb, q_sb) = sma_grid::quarantine(surface_before);
-        let (sa, mask_sa, q_sa) = sma_grid::quarantine(surface_after);
-        let quarantined = q_ib + q_ia + q_sb + q_sa;
-        if quarantined > 0 {
-            sma_fault::note_quarantined(quarantined);
+    /// Assemble a frame pair from two per-frame artifact sets, sharing
+    /// every plane (pointer copies only). Bit-identical to
+    /// [`SmaFrames::prepare`] on the same inputs by construction —
+    /// `prepare` is implemented on top of this.
+    ///
+    /// # Errors
+    /// [`GridError::ShapeMismatch`] if the frames disagree in shape.
+    pub fn from_artifacts(
+        before: &FrameArtifacts,
+        after: &FrameArtifacts,
+    ) -> Result<Self, SmaError> {
+        if after.dims() != before.dims() {
+            return Err(GridError::ShapeMismatch {
+                expected: before.dims(),
+                got: after.dims(),
+            }
+            .into());
         }
-        let validity = mask_ib
-            .intersect(&mask_ia)
-            .intersect(&mask_sb)
-            .intersect(&mask_sa);
-
-        let policy = BorderPolicy::Clamp;
-        let geo_before = GeomField::compute_par(&sb, cfg.nz, policy);
-        let geo_after = GeomField::compute_par(&sa, cfg.nz, policy);
-        // Semi-fluid discriminants always use the *intensity* surface
-        // with the semi-fluid surface-patch window ("using the intensity
-        // image", §2.3; NsT doubles as the surface-patch size, §4.3).
-        let disc_before = GeomField::compute_par(&ib, cfg.nst.max(1), policy).discriminant_plane();
-        let disc_after = GeomField::compute_par(&ia, cfg.nst.max(1), policy).discriminant_plane();
+        // A pixel is valid for the pair only if valid in all four input
+        // planes (intersection is commutative and associative, so the
+        // per-frame grouping matches the original four-way intersect).
+        // Two all-valid frames share one all-valid mask without
+        // allocating a new plane.
+        let validity = if before.validity.is_all_valid() {
+            if after.validity.is_all_valid() {
+                Arc::clone(&before.validity)
+            } else {
+                Arc::clone(&after.validity)
+            }
+        } else if after.validity.is_all_valid() {
+            Arc::clone(&before.validity)
+        } else {
+            Arc::new(before.validity.intersect(&after.validity))
+        };
         Ok(Self {
-            geo_before,
-            geo_after,
-            disc_before,
-            disc_after,
-            surface_before: sb,
-            surface_after: sa,
+            geo_before: Arc::clone(&before.geo),
+            geo_after: Arc::clone(&after.geo),
+            disc_before: Arc::clone(&before.disc),
+            disc_after: Arc::clone(&after.disc),
+            surface_before: Arc::clone(&before.surface),
+            surface_after: Arc::clone(&after.surface),
             validity,
         })
     }

@@ -151,6 +151,19 @@ impl FlowField {
         &self.grid
     }
 
+    /// Copy every displacement from `src` into this field without
+    /// allocating — the refresh half of a double-buffered relaxation
+    /// pass (e.g. `fill_invalid`'s back buffer).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, src: &FlowField) {
+        assert_eq!(self.dims(), src.dims(), "flow shape mismatch");
+        self.grid
+            .as_mut_slice()
+            .copy_from_slice(src.grid.as_slice());
+    }
+
     /// The `u` component as a plane.
     pub fn u_plane(&self) -> Grid<f32> {
         self.grid.map(|v| v.u)

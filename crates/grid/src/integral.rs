@@ -12,7 +12,7 @@ use crate::grid::Grid;
 /// A summed-area table over an image: `table[(x, y)]` holds the sum of
 /// all pixels `(i, j)` with `i <= x`, `j <= y`, in `f64` (f32 prefix sums
 /// of large images lose precision).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntegralImage {
     table: Grid<f64>,
 }

@@ -14,10 +14,18 @@
 //! On a clean plane [`quarantine`] touches nothing and returns the
 //! input unchanged — zero-fault runs stay bit-identical.
 
+use std::sync::Arc;
+
 use crate::grid::Grid;
 
 /// Count of non-finite pixels repaired across all quarantine passes.
 static QUARANTINED: sma_obs::Counter = sma_obs::Counter::new("grid.validity.quarantined");
+/// Bytes of mask-pyramid levels allocated (downsampled levels, plus a
+/// copied level 0 when built from a plain reference).
+static MASK_BYTES_OWNED: sma_obs::Counter = sma_obs::Counter::new("grid.validity.bytes_owned");
+/// Bytes of level-0 masks shared instead of copied
+/// ([`ValidityMask::pyramid_arc`]).
+static MASK_BYTES_SHARED: sma_obs::Counter = sma_obs::Counter::new("grid.validity.bytes_shared");
 
 /// A per-pixel validity bitmap paired with a plane of the same shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,9 +123,26 @@ impl ValidityMask {
 
     /// The mask for every pyramid level (`levels[0]` = this mask),
     /// matching a [`crate::pyramid::Pyramid`] of `n_levels` built on the
-    /// paired plane (the same early-stop rule applies).
-    pub fn pyramid(&self, n_levels: usize) -> Vec<ValidityMask> {
-        let mut levels = vec![self.clone()];
+    /// paired plane (the same early-stop rule applies). Level 0 is a
+    /// copy of `self`; callers that already hold the mask behind an
+    /// `Arc` should use [`ValidityMask::pyramid_arc`], which shares it.
+    pub fn pyramid(&self, n_levels: usize) -> Vec<Arc<ValidityMask>> {
+        let (w, h) = self.dims();
+        MASK_BYTES_OWNED.add((w * h) as u64);
+        Self::pyramid_levels(Arc::new(self.clone()), n_levels)
+    }
+
+    /// [`ValidityMask::pyramid`] from a shared full-resolution mask:
+    /// level 0 is the shared mask itself, never copied — the analog of
+    /// [`crate::pyramid::Pyramid::build_arc`] for validity planes.
+    pub fn pyramid_arc(this: &Arc<ValidityMask>, n_levels: usize) -> Vec<Arc<ValidityMask>> {
+        let (w0, h0) = this.dims();
+        MASK_BYTES_SHARED.add((w0 * h0) as u64);
+        Self::pyramid_levels(Arc::clone(this), n_levels)
+    }
+
+    fn pyramid_levels(level0: Arc<ValidityMask>, n_levels: usize) -> Vec<Arc<ValidityMask>> {
+        let mut levels = vec![level0];
         while levels.len() < n_levels {
             let prev = &levels[levels.len() - 1];
             let (w, h) = prev.dims();
@@ -125,7 +150,8 @@ impl ValidityMask {
                 break;
             }
             let next = prev.downsample();
-            levels.push(next);
+            MASK_BYTES_OWNED.add((next.dims().0 * next.dims().1) as u64);
+            levels.push(Arc::new(next));
         }
         levels
     }

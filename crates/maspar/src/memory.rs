@@ -179,6 +179,46 @@ impl MemoryBudget {
         self.fastpath_max_segment_rows()
             .map(|z| (2 * self.nzs + 1).div_ceil(z))
     }
+
+    // --- Streaming sequence-cache accounting ---------------------------
+    //
+    // A sequence run keeps *derived frame artifacts* (geometry fields,
+    // validity pyramids, moment tables) alive across adjacent pairs so
+    // frame t is prepared once, not twice. That cache competes for the
+    // same machine memory the §4.3 model budgets per PE: whatever a PE
+    // does not need for its resident state, segmented template store and
+    // working buffers is slack, and the aggregate slack across the PE
+    // array is the machine-wide headroom the cross-pair cache may occupy.
+
+    /// PEs of the Goddard MP-2 ("16,384 processing elements").
+    pub const GODDARD_NUM_PES: usize = 16 * 1024;
+
+    /// Per-PE bytes left over once the segmented run is resident: PE
+    /// memory minus [`MemoryBudget::total_bytes`] at the largest segment
+    /// that fits. Zero if the configuration cannot run at all.
+    pub fn pe_slack_bytes(&self) -> usize {
+        self.max_segment_rows()
+            .map(|z| self.pe_memory_bytes - self.total_bytes(z))
+            .unwrap_or(0)
+    }
+
+    /// Byte budget for the streaming artifact cache: the §4.3 per-PE
+    /// accounting extended across the machine — aggregate slack over
+    /// `n_pes` PEs. The cache's resident high-water must stay at or
+    /// under this bound.
+    pub fn stream_cache_bytes(&self, n_pes: usize) -> usize {
+        self.pe_slack_bytes() * n_pes
+    }
+
+    /// How many cached frames of `frame_bytes` each the streaming cache
+    /// budget admits on an `n_pes` machine (floor; zero when a single
+    /// frame exceeds the budget).
+    pub fn stream_cache_frames(&self, n_pes: usize, frame_bytes: usize) -> usize {
+        if frame_bytes == 0 {
+            return 0;
+        }
+        self.stream_cache_bytes(n_pes) / frame_bytes
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +405,47 @@ mod tests {
         };
         assert_eq!(b.fastpath_max_segment_rows(), None);
         assert_eq!(b.fastpath_num_segments(), None);
+    }
+
+    #[test]
+    fn stream_cache_budget_is_aggregate_slack() {
+        let b = MemoryBudget {
+            xvr: 4,
+            yvr: 4,
+            nzs: 6,
+            nst: 2,
+            nss: 1,
+            pe_memory_bytes: GODDARD_PE_MEMORY_BYTES,
+        };
+        let z = b.max_segment_rows().unwrap();
+        let slack = GODDARD_PE_MEMORY_BYTES - b.total_bytes(z);
+        assert_eq!(b.pe_slack_bytes(), slack);
+        assert_eq!(
+            b.stream_cache_bytes(MemoryBudget::GODDARD_NUM_PES),
+            slack * MemoryBudget::GODDARD_NUM_PES
+        );
+        // Frederic-size frames comfortably fit the aggregate slack.
+        let frame = 512 * 512 * 4 * 3;
+        assert!(b.stream_cache_frames(MemoryBudget::GODDARD_NUM_PES, frame) >= 2);
+        assert_eq!(b.stream_cache_frames(MemoryBudget::GODDARD_NUM_PES, 0), 0);
+    }
+
+    #[test]
+    fn impossible_config_has_zero_stream_budget() {
+        let b = MemoryBudget {
+            xvr: 8,
+            yvr: 8,
+            nzs: 30,
+            nst: 2,
+            nss: 1,
+            pe_memory_bytes: 4 * 1024,
+        };
+        assert_eq!(b.pe_slack_bytes(), 0);
+        assert_eq!(b.stream_cache_bytes(MemoryBudget::GODDARD_NUM_PES), 0);
+        assert_eq!(
+            b.stream_cache_frames(MemoryBudget::GODDARD_NUM_PES, 1024),
+            0
+        );
     }
 
     #[test]

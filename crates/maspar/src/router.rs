@@ -56,7 +56,7 @@ pub struct RouterResult<T> {
 
 /// Decide the fate of one router message under fault injection: run the
 /// keyed drop decision per transmission attempt, resending (bounded by
-/// [`ROUTER_RETRIES`]) after each detected drop. Returns whether the
+/// `ROUTER_RETRIES`) after each detected drop. Returns whether the
 /// message was ultimately delivered and how many transmissions it took.
 /// With the harness disarmed this is one clean transmission.
 fn transmit(site: FaultSite, x: usize, y: usize) -> (bool, usize) {
@@ -88,7 +88,7 @@ fn transmit(site: FaultSite, x: usize, y: usize) -> (bool, usize) {
 /// in `max_in_degree`.
 ///
 /// Under an armed fault harness (`SMA_FAULTS`), individual messages can
-/// drop in flight; each drop is retransmitted up to [`ROUTER_RETRIES`]
+/// drop in flight; each drop is retransmitted up to `ROUTER_RETRIES`
 /// times (counted in `messages`) before the transfer is abandoned and
 /// the destination keeps its prior value.
 pub fn route_send<T: Copy>(
@@ -125,7 +125,7 @@ pub fn route_send<T: Copy>(
 /// charges by the fan-out of the busiest source.
 ///
 /// Under an armed fault harness a fetch *reply* can drop in flight;
-/// after [`ROUTER_RETRIES`] failed refetches the PE degrades to keeping
+/// after `ROUTER_RETRIES` failed refetches the PE degrades to keeping
 /// its own prior value.
 pub fn route_fetch<T: Copy>(
     var: &PluralVar<T>,

@@ -10,7 +10,7 @@
 //!
 //! Three pieces:
 //!
-//! * **Spans** ([`span`]): hierarchical wall-clock timers. Guards push a
+//! * **Spans** ([`span()`]): hierarchical wall-clock timers. Guards push a
 //!   name onto a thread-local stack; on drop the `/`-joined path is
 //!   aggregated into a process-global registry, so timings from Rayon
 //!   workers and explicit threads land in the same tree.
@@ -33,7 +33,7 @@
 //! | `trace`   | `spans`, plus a stderr line as each span opens           |
 //!
 //! Compile-time kill switch: build this crate with
-//! `--no-default-features` and [`span`] returns a zero-sized guard,
+//! `--no-default-features` and [`span()`] returns a zero-sized guard,
 //! [`metrics::Counter::add`] is an empty `#[inline]` body, and
 //! [`level`] is a `const`-foldable `Off`.
 

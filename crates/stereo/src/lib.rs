@@ -36,3 +36,4 @@ pub use asa::{Asa, AsaConfig};
 pub use geometry::SatelliteGeometry;
 pub use hierarchical::match_hierarchical;
 pub use ncc::{best_disparity, ncc_score};
+pub use ncc_fast::{NccPrecomp, ViewTables};

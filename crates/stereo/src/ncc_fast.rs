@@ -14,15 +14,53 @@
 //! round-off — asserted by tests — and the hierarchical matcher only
 //! trusts interior scores anyway.
 
+use std::sync::Arc;
+
 use crate::ncc::{MIN_VARIANCE, NEUTRAL_SCORE};
 use sma_grid::{Grid, IntegralImage};
 
+/// The *per-view* half of the NCC precompute: sum and squared-sum
+/// integral images of one image. These depend on a single frame only,
+/// so on a sequence the streaming artifact cache computes them once per
+/// frame and both adjacent pairs share them
+/// ([`NccPrecomp::build_with_views`]); only the cross-product tables
+/// are pair-specific.
+#[derive(Debug, Clone)]
+pub struct ViewTables {
+    /// Summed-area table of the view.
+    pub sum: Arc<IntegralImage>,
+    /// Summed-area table of the squared view.
+    pub sq: Arc<IntegralImage>,
+    dims: (usize, usize),
+}
+
+impl ViewTables {
+    /// Build the per-view tables for one image.
+    pub fn build(view: &Grid<f32>) -> Self {
+        Self {
+            sum: Arc::new(IntegralImage::build(view)),
+            sq: Arc::new(IntegralImage::build_squared(view)),
+            dims: view.dims(),
+        }
+    }
+
+    /// View dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        self.dims
+    }
+
+    /// Heap bytes of the two tables (cache-charge accounting): each SAT
+    /// stores one f64 per pixel of a `(w+1) x (h+1)` plane.
+    pub fn resident_bytes(&self) -> usize {
+        let (w, h) = self.dims;
+        2 * (w + 1) * (h + 1) * std::mem::size_of::<f64>()
+    }
+}
+
 /// Precomputed tables for NCC over a fixed disparity range.
 pub struct NccPrecomp {
-    left_sum: IntegralImage,
-    left_sq: IntegralImage,
-    right_sum: IntegralImage,
-    right_sq: IntegralImage,
+    left: ViewTables,
+    right: ViewTables,
     /// `cross[k]` integrates `left(x, y) * right(x + d_min + k, y)`.
     cross: Vec<IntegralImage>,
     d_min: isize,
@@ -43,7 +81,38 @@ impl NccPrecomp {
         d_max: isize,
         n: usize,
     ) -> Self {
+        Self::build_with_views(
+            ViewTables::build(left),
+            ViewTables::build(right),
+            left,
+            right,
+            d_min,
+            d_max,
+            n,
+        )
+    }
+
+    /// [`NccPrecomp::build`] reusing per-view tables computed earlier
+    /// (e.g. pulled from the streaming artifact cache). Only the
+    /// pair-specific cross-product tables are built here; the result is
+    /// bit-identical to [`NccPrecomp::build`] because the per-view
+    /// tables are pure functions of each view.
+    ///
+    /// # Panics
+    /// Panics if the views (or tables) differ in shape or
+    /// `d_min > d_max`.
+    pub fn build_with_views(
+        left_tables: ViewTables,
+        right_tables: ViewTables,
+        left: &Grid<f32>,
+        right: &Grid<f32>,
+        d_min: isize,
+        d_max: isize,
+        n: usize,
+    ) -> Self {
         assert_eq!(left.dims(), right.dims(), "stereo pair shape mismatch");
+        assert_eq!(left_tables.dims(), left.dims(), "left table shape");
+        assert_eq!(right_tables.dims(), right.dims(), "right table shape");
         assert!(d_min <= d_max, "empty disparity range");
         let (w, h) = left.dims();
         let cross = (d_min..=d_max)
@@ -56,10 +125,8 @@ impl NccPrecomp {
             })
             .collect();
         Self {
-            left_sum: IntegralImage::build(left),
-            left_sq: IntegralImage::build_squared(left),
-            right_sum: IntegralImage::build(right),
-            right_sq: IntegralImage::build_squared(right),
+            left: left_tables,
+            right: right_tables,
             cross,
             d_min,
             n,
@@ -94,10 +161,10 @@ impl NccPrecomp {
         }
         let rx = right_x as usize;
         let count = ((2 * n + 1) * (2 * n + 1)) as f64;
-        let sl = self.left_sum.window_sum(x, y, n);
-        let sr = self.right_sum.window_sum(rx, y, n);
-        let sll = self.left_sq.window_sum(x, y, n);
-        let srr = self.right_sq.window_sum(rx, y, n);
+        let sl = self.left.sum.window_sum(x, y, n);
+        let sr = self.right.sum.window_sum(rx, y, n);
+        let sll = self.left.sq.window_sum(x, y, n);
+        let srr = self.right.sq.window_sum(rx, y, n);
         let slr = self.cross[k].window_sum(x, y, n);
         let cov = slr - sl * sr / count;
         // Float cancellation can drive a true-zero variance slightly

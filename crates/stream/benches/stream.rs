@@ -1,0 +1,60 @@
+//! Streaming vs naive per-pair recompute over a short satdata sequence.
+//! The `stream_report` binary emits the same comparison as JSON with
+//! speedup ratios and cache statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sma_core::fastpath::track_all_integral;
+use sma_core::sequential::Region;
+use sma_core::{MotionModel, SmaConfig, SmaFrames};
+use sma_satdata::florida_thunderstorm_analog;
+use sma_stream::{sequence_frames, StreamEngine};
+use std::hint::black_box;
+
+fn bench_stream(c: &mut Criterion) {
+    let cfg = SmaConfig {
+        nz: 3,
+        ..SmaConfig::small_test(MotionModel::Continuous)
+    };
+    let region = Region::Interior {
+        margin: cfg.margin(),
+    };
+    for (label, side, frames) in [("short", 40usize, 4usize), ("medium", 48, 6)] {
+        let seq = florida_thunderstorm_analog(side, frames, 5);
+        let mut g = c.benchmark_group(format!("sma_stream_{label}"));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("naive_pairwise", frames), |b| {
+            b.iter(|| {
+                for t in 0..seq.len() - 1 {
+                    let pair = SmaFrames::prepare(
+                        &seq.frames[t].intensity,
+                        &seq.frames[t + 1].intensity,
+                        seq.surface(t),
+                        seq.surface(t + 1),
+                        &cfg,
+                    )
+                    .expect("prepare");
+                    black_box(track_all_integral(&pair, &cfg, region)).expect("track");
+                }
+            })
+        });
+        g.bench_function(BenchmarkId::new("streaming_pipelined", frames), |b| {
+            b.iter(|| {
+                let mut engine = StreamEngine::with_goddard_budget(sequence_frames(&seq), cfg);
+                black_box(engine.run(|_, pair| track_all_integral(pair, &cfg, region)))
+                    .expect("run");
+            })
+        });
+        g.bench_function(BenchmarkId::new("streaming_cache_only", frames), |b| {
+            b.iter(|| {
+                let mut engine = StreamEngine::with_goddard_budget(sequence_frames(&seq), cfg)
+                    .with_pipelining(false);
+                black_box(engine.run(|_, pair| track_all_integral(pair, &cfg, region)))
+                    .expect("run");
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_stream);
+criterion_main!(benches);

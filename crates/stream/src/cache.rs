@@ -1,0 +1,329 @@
+//! The per-frame artifact cache with budgeted LRU eviction.
+//!
+//! On an N-frame sequence every interior frame participates in two
+//! adjacent pairs, so its derived planes — quarantined inputs, geometry
+//! field, discriminant, validity, NCC view tables, image pyramids — are
+//! worth keeping alive across pairs instead of recomputing per pair.
+//! [`ArtifactCache`] holds them keyed by `(frame id, kind)`, with every
+//! plane `Arc`-shared so a cache hit is a pointer copy.
+//!
+//! Residency is budgeted against the paper's §4.3 memory model: the
+//! byte limit is normally derived from
+//! [`maspar_sim::memory::MemoryBudget::stream_cache_bytes`] — the
+//! aggregate per-PE slack left once the segmented run is resident.
+//! Inserting past the budget evicts least-recently-used entries first;
+//! an entry larger than the whole budget is never admitted (the caller
+//! keeps its own `Arc`, so correctness is unaffected — the entry just
+//! cannot be reused). The resident total therefore never exceeds the
+//! budget, which the high-water gauge and a regression test assert.
+
+use std::sync::Arc;
+
+use sma_core::FrameArtifacts;
+use sma_grid::pyramid::Pyramid;
+use sma_grid::ValidityMask;
+use sma_stereo::ViewTables;
+
+static CACHE_HITS: sma_obs::Counter = sma_obs::Counter::new("stream.cache_hits");
+static CACHE_MISSES: sma_obs::Counter = sma_obs::Counter::new("stream.cache_misses");
+static PLANES_EVICTED: sma_obs::Counter = sma_obs::Counter::new("stream.planes_evicted");
+/// Largest resident byte total the cache ever reached.
+static CACHE_BYTES_HIGH_WATER: sma_obs::HighWater =
+    sma_obs::HighWater::new("stream.cache_bytes_high_water");
+
+/// Which derived artifact of a frame an entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// The [`FrameArtifacts`] set (quarantined planes, geometry,
+    /// discriminant, validity).
+    Frame,
+    /// Per-view NCC sum/squared-sum tables ([`ViewTables`]).
+    NccTables,
+    /// Gaussian pyramid of the intensity plane (all levels; level `k`
+    /// is reachable without copying via `Pyramid::level_arc`).
+    IntensityPyramid,
+    /// Validity-mask pyramid matching [`ArtifactKind::IntensityPyramid`].
+    ValidityPyramid,
+}
+
+/// One cached artifact. Every variant is cheap to clone (`Arc`s inside).
+#[derive(Debug, Clone)]
+pub enum CachedArtifact {
+    /// A full [`FrameArtifacts`] set.
+    Frame(Arc<FrameArtifacts>),
+    /// NCC per-view tables.
+    NccTables(ViewTables),
+    /// Intensity pyramid.
+    IntensityPyramid(Pyramid),
+    /// Validity-mask pyramid.
+    ValidityPyramid(Vec<Arc<ValidityMask>>),
+}
+
+impl CachedArtifact {
+    /// The kind tag of this artifact.
+    pub fn kind(&self) -> ArtifactKind {
+        match self {
+            CachedArtifact::Frame(_) => ArtifactKind::Frame,
+            CachedArtifact::NccTables(_) => ArtifactKind::NccTables,
+            CachedArtifact::IntensityPyramid(_) => ArtifactKind::IntensityPyramid,
+            CachedArtifact::ValidityPyramid(_) => ArtifactKind::ValidityPyramid,
+        }
+    }
+
+    /// Bytes this entry charges against the budget. Planes shared with
+    /// another entry are charged where they are *owned*: a pyramid's
+    /// level 0 is the frame artifact's intensity plane (shared via
+    /// `Pyramid::build_arc`), so pyramids charge only their decimated
+    /// levels.
+    pub fn charged_bytes(&self) -> usize {
+        match self {
+            CachedArtifact::Frame(a) => a.resident_bytes(),
+            CachedArtifact::NccTables(t) => t.resident_bytes(),
+            CachedArtifact::IntensityPyramid(p) => (1..p.num_levels())
+                .map(|k| p.level(k).len() * std::mem::size_of::<f32>())
+                .sum(),
+            CachedArtifact::ValidityPyramid(masks) => masks
+                .iter()
+                .skip(1)
+                .map(|m| {
+                    let (w, h) = m.dims();
+                    w * h
+                })
+                .sum(),
+        }
+    }
+
+    /// Number of distinct planes the entry holds (the eviction counter's
+    /// unit): 5 for a frame set (intensity, surface, validity, geometry,
+    /// discriminant), 2 for NCC tables, one per pyramid level.
+    fn plane_count(&self) -> u64 {
+        match self {
+            CachedArtifact::Frame(_) => 5,
+            CachedArtifact::NccTables(_) => 2,
+            CachedArtifact::IntensityPyramid(p) => p.num_levels() as u64,
+            CachedArtifact::ValidityPyramid(masks) => masks.len() as u64,
+        }
+    }
+}
+
+/// Point-in-time cache statistics. Kept by the cache itself (not read
+/// back from the obs registry) so behaviour-sensitive callers — the
+/// report's acceptance gates, the identity tests — see the same numbers
+/// whether observability is on or off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their entry resident.
+    pub hits: u64,
+    /// Artifact computations (lookup failures plus pipelined prefetch
+    /// builds — every miss corresponds to one `prepare`).
+    pub misses: u64,
+    /// Entries pushed out by the LRU policy.
+    pub evictions: u64,
+    /// Largest resident byte total ever reached.
+    pub high_water_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// LRU cache of per-frame derived artifacts, budgeted in bytes.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    budget_bytes: usize,
+    /// Most-recently-used last. Sequences are short-windowed (the live
+    /// set is a handful of frames), so a scanned `Vec` beats a
+    /// hash-map + list LRU here.
+    entries: Vec<((usize, ArtifactKind), CachedArtifact, usize)>,
+    resident_bytes: usize,
+    stats: CacheStats,
+}
+
+impl ArtifactCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            entries: Vec::new(),
+            resident_bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether `(frame, kind)` is resident, without touching recency or
+    /// the hit/miss statistics (used by the prefetch decision).
+    pub fn contains(&self, frame: usize, kind: ArtifactKind) -> bool {
+        self.entries.iter().any(|(k, _, _)| *k == (frame, kind))
+    }
+
+    /// Look up `(frame, kind)`, marking the entry most-recently-used on
+    /// a hit. A miss only counts the lookup; the caller is expected to
+    /// compute and [`ArtifactCache::insert`] the artifact.
+    pub fn get(&mut self, frame: usize, kind: ArtifactKind) -> Option<CachedArtifact> {
+        let key = (frame, kind);
+        if let Some(pos) = self.entries.iter().position(|(k, _, _)| *k == key) {
+            let entry = self.entries.remove(pos);
+            let out = entry.1.clone();
+            self.entries.push(entry);
+            self.stats.hits += 1;
+            CACHE_HITS.incr();
+            return Some(out);
+        }
+        self.stats.misses += 1;
+        CACHE_MISSES.incr();
+        None
+    }
+
+    /// Record an artifact computation that bypassed [`ArtifactCache::get`]
+    /// (the pipelined prefetch builds artifacts before anything looks
+    /// them up); keeps `misses` equal to the number of `prepare` calls.
+    pub fn note_prefetch_build(&mut self) {
+        self.stats.misses += 1;
+        CACHE_MISSES.incr();
+    }
+
+    /// Insert an artifact for `frame`, evicting least-recently-used
+    /// entries until it fits. An artifact larger than the whole budget
+    /// is not admitted at all — the resident total never exceeds the
+    /// budget. Re-inserting an existing key replaces it.
+    pub fn insert(&mut self, frame: usize, artifact: CachedArtifact) {
+        let key = (frame, artifact.kind());
+        if let Some(pos) = self.entries.iter().position(|(k, _, _)| *k == key) {
+            let (_, _, old_bytes) = self.entries.remove(pos);
+            self.resident_bytes -= old_bytes;
+        }
+        let bytes = artifact.charged_bytes();
+        if bytes > self.budget_bytes {
+            return;
+        }
+        while self.resident_bytes + bytes > self.budget_bytes {
+            let (_, evicted, evicted_bytes) = self.entries.remove(0);
+            self.resident_bytes -= evicted_bytes;
+            self.stats.evictions += 1;
+            PLANES_EVICTED.add(evicted.plane_count());
+        }
+        self.entries.push((key, artifact, bytes));
+        self.resident_bytes += bytes;
+        if self.resident_bytes > self.stats.high_water_bytes {
+            self.stats.high_water_bytes = self.resident_bytes;
+        }
+        CACHE_BYTES_HIGH_WATER.record(self.resident_bytes as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_core::{MotionModel, SmaConfig};
+    use sma_grid::Grid;
+
+    fn artifacts(seed: f32) -> Arc<FrameArtifacts> {
+        let img = Grid::from_fn(24, 24, |x, y| {
+            (x as f32 * 0.3 + seed).sin() + (y as f32 * 0.2).cos()
+        });
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        Arc::new(FrameArtifacts::prepare(&img, &img, &cfg).expect("prepare"))
+    }
+
+    #[test]
+    fn hit_marks_recent_and_counts() {
+        let a = artifacts(0.0);
+        let bytes = a.resident_bytes();
+        let mut c = ArtifactCache::new(10 * bytes);
+        assert!(c.get(0, ArtifactKind::Frame).is_none());
+        c.insert(0, CachedArtifact::Frame(Arc::clone(&a)));
+        assert!(c.get(0, ArtifactKind::Frame).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(c.resident_bytes(), bytes);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let a = artifacts(0.0);
+        let bytes = a.resident_bytes();
+        // Room for exactly two frame sets.
+        let mut c = ArtifactCache::new(2 * bytes);
+        c.insert(0, CachedArtifact::Frame(artifacts(0.0)));
+        c.insert(1, CachedArtifact::Frame(artifacts(1.0)));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(c.get(0, ArtifactKind::Frame).is_some());
+        c.insert(2, CachedArtifact::Frame(artifacts(2.0)));
+        assert!(c.contains(0, ArtifactKind::Frame));
+        assert!(!c.contains(1, ArtifactKind::Frame));
+        assert!(c.contains(2, ArtifactKind::Frame));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.resident_bytes() <= c.budget_bytes());
+    }
+
+    #[test]
+    fn oversize_entry_is_not_admitted() {
+        let a = artifacts(0.0);
+        let mut c = ArtifactCache::new(a.resident_bytes() / 2);
+        c.insert(0, CachedArtifact::Frame(a));
+        assert!(!c.contains(0, ArtifactKind::Frame));
+        assert_eq!(c.resident_bytes(), 0);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn high_water_never_exceeds_budget() {
+        let a = artifacts(0.0);
+        let bytes = a.resident_bytes();
+        let budget = 2 * bytes + bytes / 2;
+        let mut c = ArtifactCache::new(budget);
+        for t in 0..6 {
+            c.insert(t, CachedArtifact::Frame(artifacts(t as f32)));
+        }
+        assert!(c.stats().high_water_bytes <= budget);
+        assert!(c.stats().evictions >= 4);
+    }
+
+    #[test]
+    fn kinds_are_independent_keys() {
+        let a = artifacts(0.0);
+        let tables = ViewTables::build(&a.intensity);
+        let mut c = ArtifactCache::new(usize::MAX);
+        c.insert(0, CachedArtifact::Frame(Arc::clone(&a)));
+        c.insert(0, CachedArtifact::NccTables(tables));
+        assert!(c.contains(0, ArtifactKind::Frame));
+        assert!(c.contains(0, ArtifactKind::NccTables));
+        assert_eq!(
+            c.resident_bytes(),
+            a.resident_bytes() + ViewTables::build(&a.intensity).resident_bytes()
+        );
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_charge() {
+        let a = artifacts(0.0);
+        let bytes = a.resident_bytes();
+        let mut c = ArtifactCache::new(10 * bytes);
+        c.insert(0, CachedArtifact::Frame(Arc::clone(&a)));
+        c.insert(0, CachedArtifact::Frame(a));
+        assert_eq!(c.resident_bytes(), bytes);
+    }
+}

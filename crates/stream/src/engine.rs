@@ -1,0 +1,423 @@
+//! The pipelined streaming engine over an N-frame sequence.
+//!
+//! [`StreamEngine::run`] walks the adjacent pairs `(t, t+1)` of a
+//! sequence, assembling each pair's [`SmaFrames`] from per-frame
+//! [`FrameArtifacts`] held in the [`ArtifactCache`]. Two effects stack:
+//!
+//! * **Cross-pair reuse** — frame `t`'s artifacts serve pairs
+//!   `(t-1, t)` and `(t, t+1)`; the naive per-pair
+//!   [`SmaFrames::prepare`] computes them twice.
+//! * **Pipelining** — while the matcher runs on pair `(t, t+1)`, a
+//!   worker thread prepares frame `t+2`'s artifacts. The vendored rayon
+//!   shim is sequential, so this `std::thread` overlap is the only real
+//!   concurrency in the workspace; preparation effectively disappears
+//!   behind matching whenever matching is the longer stage.
+//!
+//! Both paths execute byte-for-byte the same preparation code
+//! ([`FrameArtifacts::prepare`] is the per-frame half of
+//! [`SmaFrames::prepare`], and artifacts evicted and recomputed are
+//! pure functions of the frame planes), so streaming output is
+//! bit-identical to pairwise preparation for every driver — under
+//! eviction, under pipelining, and at any observability level. The
+//! conformance suite and this crate's tests assert exactly that.
+
+use std::sync::Arc;
+
+use maspar_sim::memory::{MemoryBudget, GODDARD_PE_MEMORY_BYTES};
+use sma_core::{FrameArtifacts, SmaConfig, SmaError, SmaFrames};
+use sma_fault::GridError;
+use sma_grid::pyramid::Pyramid;
+use sma_grid::{Grid, ValidityMask};
+use sma_satdata::SceneSequence;
+use sma_stereo::ViewTables;
+
+use crate::cache::{ArtifactCache, ArtifactKind, CacheStats, CachedArtifact};
+
+/// Borrowed input planes of one sequence frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameSource<'a> {
+    /// Intensity image at `t`.
+    pub intensity: &'a Grid<f32>,
+    /// Surface input at `t` (height map for stereo sequences, the
+    /// intensity itself for monocular ones).
+    pub surface: &'a Grid<f32>,
+}
+
+/// The frame list of a [`SceneSequence`] as borrowed [`FrameSource`]s —
+/// the adapter every satdata-driven caller uses.
+pub fn sequence_frames(seq: &SceneSequence) -> Vec<FrameSource<'_>> {
+    (0..seq.len())
+        .map(|t| FrameSource {
+            intensity: &seq.frames[t].intensity,
+            surface: seq.surface(t),
+        })
+        .collect()
+}
+
+/// The default cache budget for a configuration: the §4.3 model's
+/// aggregate slack on the Goddard MP-2 (16 K PEs at 64 KB, 4 x 4 pixels
+/// per PE), via [`MemoryBudget::stream_cache_bytes`].
+pub fn goddard_cache_budget(cfg: &SmaConfig) -> usize {
+    MemoryBudget {
+        xvr: 4,
+        yvr: 4,
+        nzs: cfg.nzs,
+        nst: cfg.nst,
+        nss: cfg.nss,
+        pe_memory_bytes: GODDARD_PE_MEMORY_BYTES,
+    }
+    .stream_cache_bytes(MemoryBudget::GODDARD_NUM_PES)
+}
+
+/// Streaming executor over one frame sequence.
+pub struct StreamEngine<'a> {
+    frames: Vec<FrameSource<'a>>,
+    cfg: SmaConfig,
+    cache: ArtifactCache,
+    pipelined: bool,
+}
+
+impl<'a> StreamEngine<'a> {
+    /// An engine over `frames` with an explicit cache budget in bytes.
+    ///
+    /// Pipelining defaults to on when the host reports more than one
+    /// hardware thread; on a single-CPU host the prefetch worker cannot
+    /// overlap with matching and would only add spawn overhead, so it
+    /// defaults off. [`StreamEngine::with_pipelining`] overrides either
+    /// way — output is bit-identical regardless.
+    ///
+    /// # Panics
+    /// Panics if the sequence has fewer than two frames.
+    pub fn new(frames: Vec<FrameSource<'a>>, cfg: SmaConfig, budget_bytes: usize) -> Self {
+        assert!(frames.len() >= 2, "a motion sequence needs two frames");
+        let parallel_host = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+        Self {
+            frames,
+            cfg,
+            cache: ArtifactCache::new(budget_bytes),
+            pipelined: parallel_host,
+        }
+    }
+
+    /// [`StreamEngine::new`] with the [`goddard_cache_budget`] for `cfg`.
+    pub fn with_goddard_budget(frames: Vec<FrameSource<'a>>, cfg: SmaConfig) -> Self {
+        let budget = goddard_cache_budget(&cfg);
+        Self::new(frames, cfg, budget)
+    }
+
+    /// Toggle the prepare-ahead worker thread (defaults to on when the
+    /// host has more than one hardware thread — see
+    /// [`StreamEngine::new`]). With it off the engine still caches
+    /// across pairs but prepares frames on the calling thread — the
+    /// configuration the naive-vs-streaming benchmark uses to separate
+    /// the two effects.
+    pub fn with_pipelining(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Cache statistics so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cache's byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.cache.budget_bytes()
+    }
+
+    /// Bytes one frame-artifact set occupies at this configuration —
+    /// the sizing unit for explicit cache budgets. Prepares frame 0 out
+    /// of band; the cache and its statistics are untouched.
+    ///
+    /// # Errors
+    /// Propagates [`FrameArtifacts::prepare`] failures.
+    pub fn artifact_bytes_probe(&self) -> Result<usize, SmaError> {
+        let src = self.frames[0];
+        Ok(FrameArtifacts::prepare(src.intensity, src.surface, &self.cfg)?.resident_bytes())
+    }
+
+    /// Frame `t`'s artifacts, from cache or computed (and cached).
+    ///
+    /// # Errors
+    /// Propagates [`FrameArtifacts::prepare`] failures.
+    pub fn artifacts(&mut self, t: usize) -> Result<Arc<FrameArtifacts>, SmaError> {
+        if let Some(CachedArtifact::Frame(a)) = self.cache.get(t, ArtifactKind::Frame) {
+            return Ok(a);
+        }
+        let src = self.frames[t];
+        let a = Arc::new(FrameArtifacts::prepare(
+            src.intensity,
+            src.surface,
+            &self.cfg,
+        )?);
+        self.cache.insert(t, CachedArtifact::Frame(Arc::clone(&a)));
+        Ok(a)
+    }
+
+    /// The assembled pair `(t, t+1)` — pointer copies once both frames'
+    /// artifacts are resident.
+    ///
+    /// # Errors
+    /// Propagates preparation failures.
+    pub fn pair(&mut self, t: usize) -> Result<SmaFrames, SmaError> {
+        let _span = sma_obs::span("stream_pair_assemble");
+        let before = self.artifacts(t)?;
+        let after = self.artifacts(t + 1)?;
+        SmaFrames::from_artifacts(&before, &after)
+    }
+
+    /// Per-view NCC sum/squared-sum tables of frame `t`'s intensity
+    /// plane, cached under [`ArtifactKind::NccTables`]. Feed two of
+    /// these to `NccPrecomp::build_with_views` to reuse the per-view
+    /// half of the stereo precompute across disparity searches.
+    ///
+    /// # Errors
+    /// Propagates preparation failures.
+    pub fn view_tables(&mut self, t: usize) -> Result<ViewTables, SmaError> {
+        if let Some(CachedArtifact::NccTables(tables)) = self.cache.get(t, ArtifactKind::NccTables)
+        {
+            return Ok(tables);
+        }
+        let a = self.artifacts(t)?;
+        let tables = ViewTables::build(&a.intensity);
+        self.cache
+            .insert(t, CachedArtifact::NccTables(tables.clone()));
+        Ok(tables)
+    }
+
+    /// The intensity pyramid of frame `t` with up to `n_levels` levels,
+    /// cached under [`ArtifactKind::IntensityPyramid`]. Level 0 shares
+    /// the cached artifact's intensity plane (`Pyramid::build_arc`), so
+    /// only the decimated levels cost memory.
+    ///
+    /// # Errors
+    /// Propagates preparation failures.
+    pub fn intensity_pyramid(&mut self, t: usize, n_levels: usize) -> Result<Pyramid, SmaError> {
+        if let Some(CachedArtifact::IntensityPyramid(p)) =
+            self.cache.get(t, ArtifactKind::IntensityPyramid)
+        {
+            if p.num_levels() >= n_levels || p.level(p.num_levels() - 1).width() < 4 {
+                return Ok(p);
+            }
+        }
+        let a = self.artifacts(t)?;
+        let p = Pyramid::build_arc(Arc::clone(&a.intensity), n_levels);
+        self.cache
+            .insert(t, CachedArtifact::IntensityPyramid(p.clone()));
+        Ok(p)
+    }
+
+    /// The validity-mask pyramid of frame `t` (same level count as
+    /// [`StreamEngine::intensity_pyramid`] would build), cached under
+    /// [`ArtifactKind::ValidityPyramid`]. Level 0 shares the artifact's
+    /// mask (`ValidityMask::pyramid_arc`).
+    ///
+    /// # Errors
+    /// Propagates preparation failures.
+    pub fn validity_pyramid(
+        &mut self,
+        t: usize,
+        n_levels: usize,
+    ) -> Result<Vec<Arc<ValidityMask>>, SmaError> {
+        if let Some(CachedArtifact::ValidityPyramid(masks)) =
+            self.cache.get(t, ArtifactKind::ValidityPyramid)
+        {
+            if masks.len() >= n_levels {
+                return Ok(masks);
+            }
+        }
+        let a = self.artifacts(t)?;
+        let masks = ValidityMask::pyramid_arc(&a.validity, n_levels);
+        self.cache
+            .insert(t, CachedArtifact::ValidityPyramid(masks.clone()));
+        Ok(masks)
+    }
+
+    /// Drive `matcher` over every adjacent pair, in order. With
+    /// pipelining on, frame `t+2` is prepared on a worker thread while
+    /// `matcher` runs on pair `(t, t+1)`.
+    ///
+    /// # Errors
+    /// Propagates preparation and matcher failures; preparation errors
+    /// discovered by the prefetch worker surface on the next pair.
+    pub fn run<T>(
+        &mut self,
+        mut matcher: impl FnMut(usize, &SmaFrames) -> Result<T, SmaError>,
+    ) -> Result<Vec<T>, SmaError> {
+        let _span = sma_obs::span("stream_run");
+        let n = self.frames.len();
+        let mut out = Vec::with_capacity(n - 1);
+        for t in 0..n - 1 {
+            let pair = self.pair(t)?;
+            let want_prefetch =
+                self.pipelined && t + 2 < n && !self.cache.contains(t + 2, ArtifactKind::Frame);
+            if want_prefetch {
+                let src = self.frames[t + 2];
+                let cfg = self.cfg;
+                let (matched, prefetched) = std::thread::scope(|scope| {
+                    let worker = scope.spawn(move || {
+                        let _span = sma_obs::span("stream_prefetch");
+                        FrameArtifacts::prepare(src.intensity, src.surface, &cfg)
+                    });
+                    let matched = {
+                        let _span = sma_obs::span("stream_match");
+                        matcher(t, &pair)
+                    };
+                    (matched, worker.join())
+                });
+                match prefetched {
+                    Ok(Ok(a)) => {
+                        self.cache.note_prefetch_build();
+                        self.cache.insert(t + 2, CachedArtifact::Frame(Arc::new(a)));
+                    }
+                    Ok(Err(e)) => return Err(e),
+                    // A panicking worker means the preparation itself
+                    // panicked; surface it as the shape-style error the
+                    // synchronous path would have raised.
+                    Err(_) => {
+                        return Err(SmaError::Grid(GridError::ShapeMismatch {
+                            expected: self.frames[0].intensity.dims(),
+                            got: src.intensity.dims(),
+                        }))
+                    }
+                }
+                out.push(matched?);
+            } else {
+                let matched = {
+                    let _span = sma_obs::span("stream_match");
+                    matcher(t, &pair)
+                };
+                out.push(matched?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_core::{track_all_sequential, MotionModel};
+    use sma_satdata::florida_thunderstorm_analog;
+
+    fn small_cfg() -> SmaConfig {
+        SmaConfig::small_test(MotionModel::Continuous)
+    }
+
+    #[test]
+    fn pair_is_bit_identical_to_pairwise_prepare() {
+        let seq = florida_thunderstorm_analog(40, 4, 7);
+        let frames = sequence_frames(&seq);
+        let cfg = small_cfg();
+        let mut engine = StreamEngine::with_goddard_budget(frames, cfg);
+        for t in 0..seq.len() - 1 {
+            let streamed = engine.pair(t).expect("streamed pair");
+            let pairwise = SmaFrames::prepare(
+                &seq.frames[t].intensity,
+                &seq.frames[t + 1].intensity,
+                seq.surface(t),
+                seq.surface(t + 1),
+                &cfg,
+            )
+            .expect("pairwise pair");
+            assert_eq!(
+                streamed.geo_before.as_ref(),
+                pairwise.geo_before.as_ref(),
+                "geo t={t}"
+            );
+            assert_eq!(streamed.disc_after.as_ref(), pairwise.disc_after.as_ref());
+            assert_eq!(
+                streamed.surface_before.as_ref(),
+                pairwise.surface_before.as_ref()
+            );
+        }
+    }
+
+    #[test]
+    fn interior_frames_are_prepared_once() {
+        let seq = florida_thunderstorm_analog(40, 6, 3);
+        let cfg = small_cfg();
+        let mut engine = StreamEngine::with_goddard_budget(sequence_frames(&seq), cfg);
+        let results = engine
+            .run(|_, frames| {
+                track_all_sequential(
+                    frames,
+                    &cfg,
+                    sma_core::sequential::Region::Interior {
+                        margin: cfg.margin(),
+                    },
+                )
+            })
+            .expect("run");
+        assert_eq!(results.len(), 5);
+        let stats = engine.cache_stats();
+        // Every frame prepared exactly once; interior frames re-fetched.
+        assert_eq!(stats.misses, 6, "stats {stats:?}");
+        assert!(stats.hits >= 4, "stats {stats:?}");
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn pipelining_does_not_change_results() {
+        let seq = florida_thunderstorm_analog(40, 5, 11);
+        let cfg = small_cfg();
+        let region = sma_core::sequential::Region::Interior {
+            margin: cfg.margin(),
+        };
+        let run = |pipelined: bool| {
+            let mut engine = StreamEngine::with_goddard_budget(sequence_frames(&seq), cfg)
+                .with_pipelining(pipelined);
+            engine
+                .run(|_, frames| track_all_sequential(frames, &cfg, region))
+                .expect("run")
+        };
+        let a = run(true);
+        let b = run(false);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.estimates, rb.estimates);
+        }
+    }
+
+    #[test]
+    fn view_tables_match_direct_build() {
+        let seq = florida_thunderstorm_analog(40, 3, 5);
+        let cfg = small_cfg();
+        let mut engine = StreamEngine::with_goddard_budget(sequence_frames(&seq), cfg);
+        let cached = engine.view_tables(1).expect("tables");
+        let direct = ViewTables::build(&engine.artifacts(1).unwrap().intensity);
+        assert_eq!(cached.sum.as_ref(), direct.sum.as_ref());
+        assert_eq!(cached.sq.as_ref(), direct.sq.as_ref());
+        // Second fetch is a pointer-copy hit.
+        let hits = engine.cache_stats().hits;
+        let again = engine.view_tables(1).expect("tables");
+        assert!(Arc::ptr_eq(&again.sum, &cached.sum));
+        assert_eq!(engine.cache_stats().hits, hits + 1);
+    }
+
+    #[test]
+    fn pyramids_share_level_zero_with_artifacts() {
+        let seq = florida_thunderstorm_analog(48, 3, 5);
+        let cfg = small_cfg();
+        let mut engine = StreamEngine::with_goddard_budget(sequence_frames(&seq), cfg);
+        let p = engine.intensity_pyramid(0, 3).expect("pyramid");
+        let a = engine.artifacts(0).expect("artifacts");
+        assert!(Arc::ptr_eq(&p.level_arc(0), &a.intensity));
+        let masks = engine.validity_pyramid(0, 3).expect("masks");
+        assert!(Arc::ptr_eq(&masks[0], &a.validity));
+        assert_eq!(masks.len(), p.num_levels());
+    }
+
+    #[test]
+    #[should_panic(expected = "two frames")]
+    fn single_frame_sequence_rejected() {
+        let seq = florida_thunderstorm_analog(40, 2, 1);
+        let frames = vec![sequence_frames(&seq)[0]];
+        let _ = StreamEngine::with_goddard_budget(frames, small_cfg());
+    }
+}

@@ -72,7 +72,7 @@ impl GeomVars {
 }
 
 /// Dense plane of geometric variables for one frame.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeomField {
     vars: Grid<GeomVars>,
 }

@@ -142,7 +142,8 @@ fn main() {
                                 d.name(),
                                 RuntimeCombo {
                                     obs: false,
-                                    faults_armed: false
+                                    faults_armed: false,
+                                    simd: true
                                 }
                                 .name(),
                                 combo.name(),
@@ -367,6 +368,8 @@ fn print_matrix(verdicts: &[PairVerdict]) {
         DriverKind::Fastpath => "fst",
         DriverKind::FastpathParallel => "fsp",
         DriverKind::FastpathSegmented => "fsg",
+        DriverKind::FastpathSimd => "sim",
+        DriverKind::FastpathSimdParallel => "smp",
     };
     print!("  matrix:      ");
     for d in ALL_DRIVERS {

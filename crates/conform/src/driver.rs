@@ -9,7 +9,9 @@ use sma_core::maspar_driver::{track_on_maspar, MasparRunReport};
 use sma_core::motion::SmaFrames;
 use sma_core::precompute::track_all_segmented;
 use sma_core::sequential::SmaResult;
-use sma_core::{track_all_parallel, track_all_sequential, SmaError};
+use sma_core::{
+    track_all_parallel, track_all_sequential, track_all_simd, track_all_simd_parallel, SmaError,
+};
 
 use crate::corpus::ConformCase;
 
@@ -39,10 +41,15 @@ pub enum DriverKind {
     FastpathParallel,
     /// Fast path, hypothesis-row segmented.
     FastpathSegmented,
+    /// SIMD fast path (amortized 6 x 6 factorization, hoisted gradient
+    /// planes, lane-kernel offset moment planes), sequential.
+    FastpathSimd,
+    /// SIMD fast path, Rayon row-parallel.
+    FastpathSimdParallel,
 }
 
 /// Every driver variant, in matrix order (the reference first).
-pub const ALL_DRIVERS: [DriverKind; 7] = [
+pub const ALL_DRIVERS: [DriverKind; 9] = [
     DriverKind::Sequential,
     DriverKind::Parallel,
     DriverKind::Segmented,
@@ -50,7 +57,26 @@ pub const ALL_DRIVERS: [DriverKind; 7] = [
     DriverKind::Fastpath,
     DriverKind::FastpathParallel,
     DriverKind::FastpathSegmented,
+    DriverKind::FastpathSimd,
+    DriverKind::FastpathSimdParallel,
 ];
+
+/// Numerical family of a driver. Members of one family share per-pixel
+/// arithmetic and evaluation order, so they owe each other bit
+/// identity; pairs that cross families reassociate at least one
+/// reduction and carry the declared ULP contract instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Exact per-template summation (the paper's baseline arithmetic).
+    Exact,
+    /// Moment-plane summed-area-table fast path.
+    Integral,
+    /// Lane-kernel SIMD fast path (offset moment planes + amortized
+    /// factorization). Empirically bit-identical to `Integral` on the
+    /// corpus, but the plane construction order differs, so the
+    /// *declared* cross-family contract stays ULP-bounded.
+    SimdIntegral,
+}
 
 impl DriverKind {
     /// Stable display / metrics name.
@@ -63,16 +89,30 @@ impl DriverKind {
             DriverKind::Fastpath => "fastpath",
             DriverKind::FastpathParallel => "fastpath_par",
             DriverKind::FastpathSegmented => "fastpath_seg",
+            DriverKind::FastpathSimd => "fastpath_simd_seq",
+            DriverKind::FastpathSimdParallel => "fastpath_simd_par",
         }
     }
 
-    /// True for the integral-image variants (ULP-bounded contract; the
-    /// exact family is bit-identical).
+    /// The driver's numerical family (see [`Family`]).
+    pub fn family(self) -> Family {
+        match self {
+            DriverKind::Sequential
+            | DriverKind::Parallel
+            | DriverKind::Segmented
+            | DriverKind::Maspar => Family::Exact,
+            DriverKind::Fastpath | DriverKind::FastpathParallel | DriverKind::FastpathSegmented => {
+                Family::Integral
+            }
+            DriverKind::FastpathSimd | DriverKind::FastpathSimdParallel => Family::SimdIntegral,
+        }
+    }
+
+    /// True for the summed-area-table variants (ULP-bounded contract
+    /// against the exact family; each family is bit-identical within
+    /// itself).
     pub fn is_fastpath(self) -> bool {
-        matches!(
-            self,
-            DriverKind::Fastpath | DriverKind::FastpathParallel | DriverKind::FastpathSegmented
-        )
+        self.family() != Family::Exact
     }
 
     /// Run this driver on a prepared case.
@@ -96,6 +136,10 @@ impl DriverKind {
             }
             DriverKind::FastpathSegmented => {
                 track_all_integral_segmented(frames, &case.cfg, case.region, SEGMENT_Z_ROWS)
+            }
+            DriverKind::FastpathSimd => track_all_simd(frames, &case.cfg, case.region),
+            DriverKind::FastpathSimdParallel => {
+                track_all_simd_parallel(frames, &case.cfg, case.region)
             }
         }
     }
@@ -129,33 +173,47 @@ pub fn run_maspar(case: &ConformCase, scheme: ReadoutScheme) -> Result<MasparRun
 /// are compile-time, but both layers are runtime-togglable inside one
 /// binary: observability through its level filter, the fault harness by
 /// arming it at rate 0 (every injection site evaluates its gate but
-/// nothing fires). The conformance claim is that neither toggle may
-/// change a single output bit.
+/// nothing fires), and the lane-kernel layer through
+/// `sma_grid::simd::set_enabled`. The conformance claim is that none of
+/// the toggles may change a single output bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeCombo {
     /// Observability recording on (`summary` level) or `off`.
     pub obs: bool,
     /// Fault harness armed at rate 0 vs fully disarmed.
     pub faults_armed: bool,
+    /// Lane-kernel SIMD layer enabled (the default) vs forced scalar.
+    pub simd: bool,
 }
 
-/// The four runtime combinations every driver is replayed under.
-pub const ALL_COMBOS: [RuntimeCombo; 4] = [
+/// The five runtime combinations every driver is replayed under: the
+/// obs x faults square with the SIMD kernels on (their default), plus a
+/// forced-scalar run pinning the kernels' bit-identity claim.
+pub const ALL_COMBOS: [RuntimeCombo; 5] = [
     RuntimeCombo {
         obs: false,
         faults_armed: false,
+        simd: true,
     },
     RuntimeCombo {
         obs: true,
         faults_armed: false,
+        simd: true,
     },
     RuntimeCombo {
         obs: false,
         faults_armed: true,
+        simd: true,
     },
     RuntimeCombo {
         obs: true,
         faults_armed: true,
+        simd: true,
+    },
+    RuntimeCombo {
+        obs: false,
+        faults_armed: false,
+        simd: false,
     },
 ];
 
@@ -166,23 +224,30 @@ pub const COMBO_FAULT_SEED: u64 = 42;
 impl RuntimeCombo {
     /// Stable display name, e.g. `obs+faults0`.
     pub fn name(self) -> &'static str {
-        match (self.obs, self.faults_armed) {
-            (false, false) => "plain",
-            (true, false) => "obs",
-            (false, true) => "faults0",
-            (true, true) => "obs+faults0",
+        match (self.obs, self.faults_armed, self.simd) {
+            (false, false, true) => "plain",
+            (true, false, true) => "obs",
+            (false, true, true) => "faults0",
+            (true, true, true) => "obs+faults0",
+            (false, false, false) => "scalar",
+            (true, false, false) => "obs+scalar",
+            (false, true, false) => "faults0+scalar",
+            (true, true, false) => "obs+faults0+scalar",
         }
     }
 
     /// Run `f` with this combination installed, restoring the previous
-    /// obs level and disarming the fault harness afterwards.
+    /// obs level and SIMD toggle and disarming the fault harness
+    /// afterwards.
     pub fn with<T>(self, f: impl FnOnce() -> T) -> T {
         let prev = sma_obs::level();
+        let prev_simd = sma_grid::simd::enabled();
         sma_obs::set_level(if self.obs {
             sma_obs::ObsLevel::Summary
         } else {
             sma_obs::ObsLevel::Off
         });
+        sma_grid::simd::set_enabled(self.simd);
         if self.faults_armed {
             sma_fault::install(COMBO_FAULT_SEED, 0.0);
         } else {
@@ -190,6 +255,7 @@ impl RuntimeCombo {
         }
         let out = f();
         sma_fault::disarm();
+        sma_grid::simd::set_enabled(prev_simd);
         sma_obs::set_level(prev);
         out
     }

@@ -82,8 +82,11 @@ pub const NEAR_TIE_ABS: f64 = 2e-9;
 pub const NEAR_TIE_REL: f64 = 2e-6;
 
 /// True when `best` and `runner_up` are too close for the moment path's
-/// error precision to decide the winner.
-fn near_tie(best: f64, runner_up: f64) -> bool {
+/// error precision to decide the winner. This is the *single* re-route
+/// predicate shared by every moment-path driver (scalar and SIMD, via
+/// [`crate::simd`]): hoisting it here guarantees the two families cannot
+/// drift apart on which pixels take the exact kernel.
+pub fn near_tie(best: f64, runner_up: f64) -> bool {
     runner_up.is_finite()
         && (runner_up - best) <= NEAR_TIE_ABS + NEAR_TIE_REL * best.abs().max(runner_up.abs())
 }
@@ -97,12 +100,12 @@ pub const OFFSET_CHANNELS: usize = 8;
 /// the twelve static channels, plus the six raw per-pixel factors the
 /// per-offset planes are products of (so offset-plane construction costs
 /// two multiplies per channel, no geometry re-fetch).
-struct StaticMoments {
+pub(crate) struct StaticMoments {
     /// SAT over `S0..S11` (see [`static_channels`]).
-    sat: MomentIntegral<STATIC_CHANNELS>,
+    pub(crate) sat: MomentIntegral<STATIC_CHANNELS>,
     /// Per-pixel raw factors `[zx*ie^2, zy*ie^2, ie^2, zx*ig^2, zy*ig^2,
     /// ig^2]` feeding the offset channels.
-    factors: Grid<[f64; 6]>,
+    pub(crate) factors: Grid<[f64; 6]>,
 }
 
 /// The twelve static channels of one pixel, from before-frame geometry:
@@ -132,7 +135,7 @@ fn static_channels(factors: &[f64; 6], zx: f64, zy: f64) -> [f64; STATIC_CHANNEL
 }
 
 impl StaticMoments {
-    fn compute(frames: &SmaFrames) -> Self {
+    pub(crate) fn compute(frames: &SmaFrames) -> Self {
         let (w, h) = frames.dims();
         let factors = Grid::from_fn(w, h, |x, y| {
             let g = frames.geo_before.at(x, y);
@@ -180,16 +183,12 @@ fn offset_moments(
     })
 }
 
-/// Assemble and solve one pixel's normal equations from its summed
-/// static and offset moments; returns the parameter vector and the
-/// minimized error, or `None` when the system is singular (degenerate,
-/// textureless neighborhood — matching the exact kernel's outcome).
-fn solve_moments(
-    s: &[f64; STATIC_CHANNELS],
-    t: &[f64; OFFSET_CHANNELS],
-) -> Option<([f64; 6], f64)> {
-    HYPOTHESES.incr();
-    GE_SOLVES.incr();
+/// Expand the twelve static window sums into the full symmetric
+/// `A^T A` in solver layout (row-major 6 x 6). Shared by the scalar
+/// per-hypothesis solve below and the SIMD driver's per-pixel
+/// factorization ([`crate::simd`]), so both assemble the same matrix
+/// bit for bit.
+pub(crate) fn ata_from_static(s: &[f64; STATIC_CHANNELS]) -> [f64; 36] {
     let mut ata = [0.0f64; 36];
     ata[0] = s[0]; //   (ai, ai)
     ata[2] = s[1]; //   (ai, aj)
@@ -208,15 +207,59 @@ fn solve_moments(
             ata[j * 6 + i] = ata[i * 6 + j];
         }
     }
-    let atb = [
+    ata
+}
+
+/// The hypothesis-dependent right-hand side `A^T b` from the static and
+/// offset window sums (solver layout). Shared with the SIMD driver.
+pub(crate) fn atb_from_moments(s: &[f64; STATIC_CHANNELS], t: &[f64; OFFSET_CHANNELS]) -> [f64; 6] {
+    [
         s[0] - t[0],
         s[7] - t[3],
         s[1] - t[1],
         s[9] - t[4],
         t[2] - s[2],
         t[5] - s[10],
-    ];
-    let btb = (t[6] - 2.0 * t[0] + s[0]) + (t[7] - 2.0 * t[4] + s[9]);
+    ]
+}
+
+/// The hypothesis-dependent `b^T b` scalar from the static and offset
+/// window sums. Shared with the SIMD driver.
+pub(crate) fn btb_from_moments(s: &[f64; STATIC_CHANNELS], t: &[f64; OFFSET_CHANNELS]) -> f64 {
+    (t[6] - 2.0 * t[0] + s[0]) + (t[7] - 2.0 * t[4] + s[9])
+}
+
+/// `eps = theta^T A^T A theta - 2 theta^T A^T b + b^T b`, clamping the
+/// cancellation noise floor at zero (the true minimum is >= 0). The quad
+/// loop is deliberately *dense* (all 36 terms): a structured zero-skip
+/// would diverge from the scalar path whenever `sol` carries a
+/// non-finite value (`0.0 * inf` is NaN, skipped terms are not). Shared
+/// with the SIMD driver.
+pub(crate) fn moment_error(ata: &[f64; 36], atb: &[f64; 6], btb: f64, sol: &[f64; 6]) -> f64 {
+    let mut quad = 0.0f64;
+    for i in 0..6 {
+        let mut row = 0.0f64;
+        for j in 0..6 {
+            row += ata[i * 6 + j] * sol[j];
+        }
+        quad += sol[i] * (row - 2.0 * atb[i]);
+    }
+    (quad + btb).max(0.0)
+}
+
+/// Assemble and solve one pixel's normal equations from its summed
+/// static and offset moments; returns the parameter vector and the
+/// minimized error, or `None` when the system is singular (degenerate,
+/// textureless neighborhood — matching the exact kernel's outcome).
+fn solve_moments(
+    s: &[f64; STATIC_CHANNELS],
+    t: &[f64; OFFSET_CHANNELS],
+) -> Option<([f64; 6], f64)> {
+    HYPOTHESES.incr();
+    GE_SOLVES.incr();
+    let ata = ata_from_static(s);
+    let atb = atb_from_moments(s, t);
+    let btb = btb_from_moments(s, t);
 
     let mut m = ata;
     let mut sol = atb;
@@ -232,17 +275,7 @@ fn solve_moments(
         sol = [0.0, 0.0, 0.0, 0.0, atb[4] / s[5], atb[5] / s[11]];
     }
 
-    // eps = theta^T A^T A theta - 2 theta^T A^T b + b^T b; clamp the
-    // cancellation noise floor at zero (the true minimum is >= 0).
-    let mut quad = 0.0f64;
-    for i in 0..6 {
-        let mut row = 0.0f64;
-        for j in 0..6 {
-            row += ata[i * 6 + j] * sol[j];
-        }
-        quad += sol[i] * (row - 2.0 * atb[i]);
-    }
-    Some((sol, (quad + btb).max(0.0)))
+    Some((sol, moment_error(&ata, &atb, btb, &sol)))
 }
 
 /// Track every pixel of `region` with the integral-image fast path,

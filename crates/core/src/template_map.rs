@@ -30,6 +30,11 @@ pub fn discriminant_match_score(
     nst: usize,
 ) -> f64 {
     let n = nst as isize;
+    if sma_grid::simd::enabled() {
+        if let Some(score) = interior_match_score(disc_before, disc_after, px, py, qx, qy, n) {
+            return score;
+        }
+    }
     let mut score = 0.0f64;
     for dv in -n..=n {
         for du in -n..=n {
@@ -40,6 +45,56 @@ pub fn discriminant_match_score(
         }
     }
     score
+}
+
+/// Lane-chunked fast path for [`discriminant_match_score`]: when both
+/// windows sit fully inside their planes the border clamp is a no-op, so
+/// each window row is a contiguous slice. Squared differences are
+/// evaluated in 8-wide lane blocks; the `score +=` adds stay in `du`
+/// order, so the result is bit-identical to the clamped scalar sweep.
+/// Returns `None` when either window touches a border (the caller falls
+/// back to the clamped path).
+fn interior_match_score(
+    disc_before: &Grid<f32>,
+    disc_after: &Grid<f32>,
+    px: isize,
+    py: isize,
+    qx: isize,
+    qy: isize,
+    n: isize,
+) -> Option<f64> {
+    let inside = |g: &Grid<f32>, x: isize, y: isize| {
+        x - n >= 0 && x + n < g.width() as isize && y - n >= 0 && y + n < g.height() as isize
+    };
+    if !inside(disc_before, px, py) || !inside(disc_after, qx, qy) {
+        return None;
+    }
+    const L: usize = sma_grid::simd::LANES;
+    let side = (2 * n + 1) as usize;
+    let mut score = 0.0f64;
+    for dv in -n..=n {
+        let r0 = &disc_before.row((py + dv) as usize)[(px - n) as usize..][..side];
+        let r1 = &disc_after.row((qy + dv) as usize)[(qx - n) as usize..][..side];
+        sma_grid::simd::note_row(side);
+        let mut i = 0usize;
+        while i + L <= side {
+            let mut t = [0.0f64; L];
+            for l in 0..L {
+                let diff = r1[i + l] as f64 - r0[i + l] as f64;
+                t[l] = diff * diff;
+            }
+            for v in t {
+                score += v;
+            }
+            i += L;
+        }
+        while i < side {
+            let diff = r1[i] as f64 - r0[i] as f64;
+            score += diff * diff;
+            i += 1;
+        }
+    }
+    Some(score)
 }
 
 #[inline]
@@ -263,5 +318,40 @@ mod tests {
         let d = bump_plane(16, 16, 8, 8);
         let plane = ScorePlane::compute(&d, &d, 8, 8, 1, 1, 2);
         let _ = plane.at(5, 0);
+    }
+
+    /// The interior lane kernel must be bit-identical to the clamped
+    /// scalar sweep, and border positions (where the fast path declines)
+    /// must keep producing the clamped answer with the toggle on.
+    #[test]
+    fn simd_match_score_is_bit_identical_to_scalar() {
+        let before = Grid::from_fn(21, 17, |x, y| {
+            ((x as f32 * 0.7).sin() + (y as f32 * 0.9).cos()) * (1.0 + x as f32 * 0.03)
+        });
+        let after = Grid::from_fn(21, 17, |x, y| {
+            ((x as f32 * 0.7 + 0.4).sin() - (y as f32 * 0.9).sin()) * (1.0 - y as f32 * 0.02)
+        });
+        let was = sma_grid::simd::enabled();
+        // nst spanning lane widths: side = 3, 7, 9, 11.
+        for nst in [1usize, 3, 4, 5] {
+            for (px, py, qx, qy) in [
+                (10, 8, 10, 8),   // interior / interior
+                (10, 8, 12, 7),   // interior, shifted interior
+                (0, 0, 10, 8),    // before window clamps
+                (10, 8, 20, 16),  // after window clamps
+                (-3, -2, 25, 30), // both fully outside
+            ] {
+                sma_grid::simd::set_enabled(false);
+                let scalar = discriminant_match_score(&before, &after, px, py, qx, qy, nst);
+                sma_grid::simd::set_enabled(true);
+                let simd = discriminant_match_score(&before, &after, px, py, qx, qy, nst);
+                assert_eq!(
+                    scalar.to_bits(),
+                    simd.to_bits(),
+                    "nst {nst} p ({px},{py}) q ({qx},{qy})"
+                );
+            }
+        }
+        sma_grid::simd::set_enabled(was);
     }
 }

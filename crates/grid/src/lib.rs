@@ -41,6 +41,7 @@ pub mod grid;
 pub mod integral;
 pub mod io;
 pub mod pyramid;
+pub mod simd;
 pub mod validity;
 pub mod warp;
 pub mod window;

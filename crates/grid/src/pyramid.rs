@@ -114,7 +114,15 @@ impl Pyramid {
 
 /// Smooth-and-decimate by 2: output dims `ceil(w/2) x ceil(h/2)`, taking
 /// every even-indexed pixel of the binomially smoothed image.
+///
+/// With the lane-chunked kernels enabled (the default) this routes
+/// through [`crate::simd::downsample_fused`], which skips the odd
+/// columns/rows the decimation would discard; the fused path is
+/// bit-identical to the smooth-then-sample reference below.
 pub fn downsample(img: &Grid<f32>) -> Grid<f32> {
+    if crate::simd::enabled() {
+        return crate::simd::downsample_fused(img);
+    }
     let sm = binomial_smooth(img, BorderPolicy::Reflect);
     let w2 = img.width().div_ceil(2);
     let h2 = img.height().div_ceil(2);

@@ -157,6 +157,119 @@ pub fn solve6(a: &mut [f64; 36], b: &mut [f64; 6]) -> Result<(), SolveError> {
     Ok(())
 }
 
+/// A reusable LU factorization of a 6 x 6 system, recording exactly the
+/// operations [`solve6`] would perform so that [`Lu6::solve`] is
+/// **bit-identical** to calling `solve6` on the same matrix — for any
+/// right-hand side.
+///
+/// This is the amortization kernel of the SMA moment fast path: `A^T A`
+/// is hypothesis-independent, so one pixel's matrix is factored once and
+/// re-solved for each of the `(2 Nzs + 1)^2` hypothesis right-hand
+/// sides, eliminating the per-hypothesis pivot search, row swaps and
+/// elimination sweeps.
+///
+/// Bit-identity argument. `solve6` interleaves three kinds of `b`
+/// operations: (1) the swap at column `col`, (2) the forward update
+/// `b[r] -= factor * b[col]` for `r > col`, (3) back substitution.
+/// Replaying all swaps first (in ascending column order) and then all
+/// forward updates (in ascending column order) produces the same values:
+/// a swap at column `c` only touches rows `>= c`, whose forward updates
+/// (driven by columns `< c`) read `b[col]` values that are final before
+/// either schedule touches row `c`. The update skip `factor == 0.0`
+/// matches `solve6`'s `continue`, and the stored multiplier slots are
+/// swapped along with the rest of the row during later pivots, exactly
+/// as `solve6` swaps its zeroed slots.
+#[derive(Debug, Clone)]
+pub struct Lu6 {
+    /// Combined L (stored multipliers, strictly lower) / U (upper) factor.
+    m: [f64; 36],
+    /// `piv[col]` = row swapped with `col` at elimination step `col`.
+    piv: [usize; 6],
+}
+
+impl Lu6 {
+    /// Factor `a`, replicating [`solve6`]'s elimination (same scale
+    /// reference, same strictly-greater partial pivot, same singularity
+    /// tolerance).
+    ///
+    /// # Errors
+    /// [`SolveError::Singular`] exactly when `solve6` would fail on `a`.
+    pub fn factor(a: &[f64; 36]) -> Result<Self, SolveError> {
+        const N: usize = 6;
+        let mut m = *a;
+        let mut piv = [0usize; N];
+        let scale = m.iter().fold(0.0f64, |s, v| s.max(v.abs())).max(1.0);
+        for col in 0..N {
+            let mut p = col;
+            let mut best = m[col * N + col].abs();
+            for r in col + 1..N {
+                let v = m[r * N + col].abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best <= PIVOT_TOL * scale {
+                return Err(SolveError::Singular);
+            }
+            piv[col] = p;
+            if p != col {
+                for c in 0..N {
+                    m.swap(col * N + c, p * N + c);
+                }
+            }
+            let pivot = m[col * N + col];
+            for r in col + 1..N {
+                let factor = m[r * N + col] / pivot;
+                // `solve6` zeroes the slot and skips the row update when
+                // the factor is exactly zero; storing the zero factor
+                // reproduces that skip in `solve`.
+                m[r * N + col] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col + 1..N {
+                    m[r * N + c] -= factor * m[col * N + c];
+                }
+            }
+        }
+        Ok(Self { m, piv })
+    }
+
+    /// Solve for one right-hand side in place; bit-identical to
+    /// `solve6(&mut a.clone(), b)` for the factored `a`.
+    pub fn solve(&self, b: &mut [f64; 6]) {
+        const N: usize = 6;
+        // All row swaps first, in elimination order.
+        for col in 0..N {
+            let p = self.piv[col];
+            if p != col {
+                b.swap(col, p);
+            }
+        }
+        // Forward substitution with the stored multipliers; a zero
+        // multiplier skips the update exactly as solve6's `continue`.
+        for col in 0..N {
+            let bc = b[col];
+            for (r, br) in b.iter_mut().enumerate().skip(col + 1) {
+                let factor = self.m[r * N + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                *br -= factor * bc;
+            }
+        }
+        // Back substitution, identical to solve6's.
+        for r in (0..N).rev() {
+            let mut acc = b[r];
+            for (c, bc) in b.iter().enumerate().skip(r + 1) {
+                acc -= self.m[r * N + c] * bc;
+            }
+            b[r] = acc / self.m[r * N + r];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +372,84 @@ mod tests {
             a[5 * 6 + c] = a[4 * 6 + c];
         }
         let mut b = [1.0; 6];
+        assert_eq!(solve6(&mut a, &mut b).unwrap_err(), SolveError::Singular);
+    }
+
+    /// Deterministic splitmix64 stream for matrix generation.
+    fn splitmix(seed: &mut u64) -> f64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+
+    #[test]
+    fn lu6_solve_is_bit_identical_to_solve6() {
+        // Many pseudo-random systems, including pivot-forcing zero
+        // leading entries and mixed scales; every component must match
+        // solve6 to the last bit, for several right-hand sides each.
+        let mut seed = 7u64;
+        for trial in 0..200 {
+            let mut a = [0.0f64; 36];
+            for v in a.iter_mut() {
+                *v = splitmix(&mut seed) * 10f64.powi(trial % 7 - 3);
+            }
+            if trial % 3 == 0 {
+                // Zero the leading entry to force an immediate pivot.
+                a[0] = 0.0;
+            }
+            if trial % 5 == 0 {
+                // Sparsify: structural zeros exercise the factor == 0.0
+                // skip in both paths.
+                for (k, v) in a.iter_mut().enumerate() {
+                    if (k * 2654435761usize).is_multiple_of(4) {
+                        *v = 0.0;
+                    }
+                }
+            }
+            let lu = Lu6::factor(&a);
+            for rhs_trial in 0..3 {
+                let mut b = [0.0f64; 6];
+                for v in b.iter_mut() {
+                    *v = splitmix(&mut seed) * (1.0 + rhs_trial as f64);
+                }
+                let mut a6 = a;
+                let mut b6 = b;
+                let direct = solve6(&mut a6, &mut b6);
+                match (&lu, &direct) {
+                    (Ok(lu), Ok(())) => {
+                        let mut x = b;
+                        lu.solve(&mut x);
+                        for i in 0..6 {
+                            assert_eq!(
+                                x[i].to_bits(),
+                                b6[i].to_bits(),
+                                "trial {trial} rhs {rhs_trial} component {i}: {} vs {}",
+                                x[i],
+                                b6[i]
+                            );
+                        }
+                    }
+                    (Err(e1), Err(e2)) => assert_eq!(e1, e2, "trial {trial}"),
+                    (l, d) => panic!("trial {trial}: factor {l:?} vs solve6 {d:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lu6_singular_matches_solve6() {
+        let mut a = [0.0f64; 36];
+        for i in 0..6 {
+            a[i * 6 + i] = 1.0;
+        }
+        for c in 0..6 {
+            a[5 * 6 + c] = a[4 * 6 + c]; // rank 5
+        }
+        assert_eq!(Lu6::factor(&a).unwrap_err(), SolveError::Singular);
+        let mut b = [1.0f64; 6];
         assert_eq!(solve6(&mut a, &mut b).unwrap_err(), SolveError::Singular);
     }
 

@@ -36,10 +36,25 @@ pub struct ViewTables {
 
 impl ViewTables {
     /// Build the per-view tables for one image.
+    ///
+    /// With the lane-chunked kernels enabled (the default) the sum and
+    /// squared-sum tables come from one fused pass
+    /// ([`IntegralImage::build_pair_fused`]); the fused pass is
+    /// bit-identical to the two separate builds.
     pub fn build(view: &Grid<f32>) -> Self {
+        let _span = sma_obs::span("ncc_view_tables");
+        let (sum, sq) = if sma_grid::simd::enabled() {
+            let (s, q) = IntegralImage::build_pair_fused(view);
+            (Arc::new(s), Arc::new(q))
+        } else {
+            (
+                Arc::new(IntegralImage::build(view)),
+                Arc::new(IntegralImage::build_squared(view)),
+            )
+        };
         Self {
-            sum: Arc::new(IntegralImage::build(view)),
-            sq: Arc::new(IntegralImage::build_squared(view)),
+            sum,
+            sq,
             dims: view.dims(),
         }
     }
@@ -114,16 +129,32 @@ impl NccPrecomp {
         assert_eq!(left_tables.dims(), left.dims(), "left table shape");
         assert_eq!(right_tables.dims(), right.dims(), "right table shape");
         assert!(d_min <= d_max, "empty disparity range");
+        let _span = sma_obs::span("ncc_cross_tables");
         let (w, h) = left.dims();
-        let cross = (d_min..=d_max)
-            .map(|d| {
-                let prod = Grid::from_fn(w, h, |x, y| {
-                    let sx = (x as isize + d).clamp(0, w as isize - 1) as usize;
-                    left.at(x, y) * right.at(sx, y)
-                });
-                IntegralImage::build(&prod)
-            })
-            .collect();
+        let cross = if sma_grid::simd::enabled() {
+            // One scratch plane reused across all disparities: the
+            // interior of each product row is a contiguous slice
+            // multiply (8-wide lanes), only the clamped edges go pixel
+            // by pixel. Same f32 products as the scalar closure below —
+            // bit-identical tables.
+            let mut scratch = Grid::filled(w, h, 0.0f32);
+            (d_min..=d_max)
+                .map(|d| {
+                    cross_product_into(left, right, d, &mut scratch);
+                    IntegralImage::build(&scratch)
+                })
+                .collect()
+        } else {
+            (d_min..=d_max)
+                .map(|d| {
+                    let prod = Grid::from_fn(w, h, |x, y| {
+                        let sx = (x as isize + d).clamp(0, w as isize - 1) as usize;
+                        left.at(x, y) * right.at(sx, y)
+                    });
+                    IntegralImage::build(&prod)
+                })
+                .collect()
+        };
         Self {
             left: left_tables,
             right: right_tables,
@@ -203,6 +234,34 @@ impl NccPrecomp {
             }
         }
         out
+    }
+}
+
+/// Fill `out(x, y) = left(x, y) * right(clamp(x + d), y)` — the
+/// disparity-`d` cross-product plane. Interior columns (where `x + d`
+/// is in range) are a contiguous slice multiply through
+/// [`sma_grid::simd::mul_into`]; the clamped edge columns replicate the
+/// border pixel scalar-wise, exactly like the reference closure in
+/// [`NccPrecomp::build_with_views`].
+fn cross_product_into(left: &Grid<f32>, right: &Grid<f32>, d: isize, out: &mut Grid<f32>) {
+    let (w, h) = left.dims();
+    // x + d in [0, w - 1]  <=>  lo <= x < hi.
+    let lo = ((-d).max(0) as usize).min(w);
+    let hi = ((w as isize - d).clamp(0, w as isize) as usize).max(lo);
+    for y in 0..h {
+        let l = left.row(y);
+        let r = right.row(y);
+        let o = out.row_mut(y);
+        for x in 0..lo {
+            o[x] = l[x] * r[0];
+        }
+        if hi > lo {
+            let rl = (lo as isize + d) as usize;
+            sma_grid::simd::mul_into(&l[lo..hi], &r[rl..rl + (hi - lo)], &mut o[lo..hi]);
+        }
+        for x in hi..w {
+            o[x] = l[x] * r[w - 1];
+        }
     }
 }
 
@@ -295,6 +354,44 @@ mod tests {
             );
             assert_eq!(ncc_score(&flat, &img, 16, 16, d, 3), NEUTRAL_SCORE);
             assert_eq!(ncc_score(&img, &flat, 16, 16, d, 3), NEUTRAL_SCORE);
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_table_builds_are_bit_identical() {
+        // Non-multiple-of-8 width, disparities past both image edges
+        // (fully clamped product rows), and everything between: the
+        // lane-chunked build must reproduce the scalar tables bit for
+        // bit, per disparity and per prefix cell.
+        let left = textured(33, 9);
+        let right = translate(&left, -2.0, 0.0, BorderPolicy::Clamp);
+        sma_grid::simd::set_enabled(false);
+        let scalar = NccPrecomp::build(&left, &right, -40, 40, 3);
+        sma_grid::simd::set_enabled(true);
+        let simd = NccPrecomp::build(&left, &right, -40, 40, 3);
+        assert_eq!(scalar.cross.len(), simd.cross.len());
+        for (k, (a, b)) in scalar.cross.iter().zip(simd.cross.iter()).enumerate() {
+            for y in 0..9 {
+                for x in 0..33 {
+                    assert_eq!(
+                        a.rect_sum(0, 0, x, y).to_bits(),
+                        b.rect_sum(0, 0, x, y).to_bits(),
+                        "cross[{k}] at ({x},{y})"
+                    );
+                }
+            }
+        }
+        for y in 0..9 {
+            for x in 0..33 {
+                assert_eq!(
+                    scalar.left.sum.rect_sum(0, 0, x, y).to_bits(),
+                    simd.left.sum.rect_sum(0, 0, x, y).to_bits()
+                );
+                assert_eq!(
+                    scalar.left.sq.rect_sum(0, 0, x, y).to_bits(),
+                    simd.left.sq.rect_sum(0, 0, x, y).to_bits()
+                );
+            }
         }
     }
 

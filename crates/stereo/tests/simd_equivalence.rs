@@ -1,0 +1,92 @@
+//! Property equivalence: the NCC table construction with the SIMD lane
+//! kernels against the scalar builds — including zero-variance windows,
+//! where the normalization denominator vanishes and both paths must
+//! agree on the (non-)match verdict bit for bit.
+
+use proptest::prelude::*;
+use sma_grid::{simd, Grid};
+use sma_stereo::ncc_fast::NccPrecomp;
+
+/// Deterministic pseudo-random f32 plane.
+fn textured(w: usize, h: usize, seed: u64) -> Grid<f32> {
+    Grid::from_fn(w, h, |x, y| {
+        let mix = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((y * w + x) as u64)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        (mix >> 40) as f32 / 16_777_216.0 * 4.0
+    })
+}
+
+/// Compare every `(x, y, d)` score under both kernel layers.
+fn assert_tables_identical(
+    left: &Grid<f32>,
+    right: &Grid<f32>,
+    d_min: isize,
+    d_max: isize,
+    n: usize,
+) -> Result<(), String> {
+    let was = simd::enabled();
+    simd::set_enabled(false);
+    let scalar = NccPrecomp::build(left, right, d_min, d_max, n);
+    simd::set_enabled(true);
+    let lanes = NccPrecomp::build(left, right, d_min, d_max, n);
+    simd::set_enabled(was);
+    let (w, h) = left.dims();
+    for y in 0..h {
+        for x in 0..w {
+            for d in d_min..=d_max {
+                let a = scalar.score(x, y, d);
+                let b = lanes.score(x, y, d);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.to_bits(), b.to_bits(), "({}, {}) d {}", x, y, d);
+                    }
+                    _ => prop_assert!(false, "score presence diverged at ({x}, {y}) d {d}"),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Textured pair, disparity ranges that force full-clamp columns at
+    /// both edges: lane and scalar table builds score identically.
+    #[test]
+    fn ncc_tables_toggle_is_bit_identical(
+        w in 9usize..26,
+        h in 3usize..12,
+        seed in 0u64..1000,
+        n in 1usize..3,
+        reach in 1isize..6,
+    ) {
+        let left = textured(w, h, seed);
+        let right = textured(w, h, seed ^ 0x77);
+        assert_tables_identical(&left, &right, -reach, reach, n)?;
+    }
+
+    /// Zero-variance windows: a constant stripe (and a fully constant
+    /// right view) makes the NCC denominator vanish; both paths must
+    /// return the same verdict for every window.
+    #[test]
+    fn zero_variance_windows_agree(
+        w in 9usize..22,
+        h in 5usize..10,
+        seed in 0u64..1000,
+        level in -2i32..3,
+    ) {
+        let mut left = textured(w, h, seed);
+        // A flat horizontal band wide enough to swallow whole templates.
+        for y in 2..h.min(5) {
+            for x in 0..w {
+                left.set(x, y, level as f32);
+            }
+        }
+        let right = Grid::filled(w, h, level as f32);
+        assert_tables_identical(&left, &right, -3, 3, 1)?;
+    }
+}

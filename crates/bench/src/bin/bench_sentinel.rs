@@ -1,0 +1,219 @@
+//! Bench sentinel: diff the current `BENCH_hotpath.json` /
+//! `BENCH_stream.json` against the committed baselines and fail on
+//! regression.
+//!
+//! Usage: `bench_sentinel [--tolerance R] [--hotpath FILE]
+//! [--stream FILE] [--baseline-hotpath FILE] [--baseline-stream FILE]`
+//!
+//! Wall-clock seconds are machine-dependent, so the sentinel never
+//! compares them. It compares the *speedup ratios* each report derives
+//! (integral-vs-exact, SIMD-vs-integral, streaming-vs-naive): ratios of
+//! two timings taken seconds apart on the same host divide out the
+//! host, leaving only genuine structural regressions plus scheduler
+//! noise. A scenario regresses when its current ratio falls below
+//! `baseline * (1 - tolerance)`; the default tolerance of 0.35 sits
+//! well above observed run-to-run jitter and well below the 3 x / 10 x
+//! structural margins the reports gate on. Deterministic fields —
+//! streaming cache hit/miss/eviction counts and the `bit_identical`
+//! flag — are compared exactly: they do not jitter, so any drift is a
+//! behaviour change, not noise.
+//!
+//! Scenarios present only in the baseline fail the run (coverage must
+//! not silently shrink); scenarios present only in the current file are
+//! reported and accepted (new coverage needs a `--bless`-style baseline
+//! refresh, which is just copying the file).
+
+use sma_obs::json::{parse, JsonValue};
+
+/// Relative shrink a speedup ratio may show before the sentinel fails.
+const DEFAULT_TOLERANCE: f64 = 0.35;
+
+/// One scenario's comparable numbers.
+struct Scenario {
+    name: String,
+    /// `(field, value)` speedup ratios, tolerance-compared.
+    ratios: Vec<(String, f64)>,
+    /// `(field, value)` deterministic counts, exact-compared.
+    exact: Vec<(String, f64)>,
+}
+
+fn load(path: &str) -> Result<Vec<Scenario>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read ({e})"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: not valid JSON ({e})"))?;
+    let scenarios = match doc.get("scenarios") {
+        Some(JsonValue::Arr(s)) => s,
+        _ => return Err(format!("{path}: missing scenarios array")),
+    };
+    let mut out = Vec::new();
+    for (i, sc) in scenarios.iter().enumerate() {
+        let obj = match sc {
+            JsonValue::Obj(fields) => fields,
+            _ => return Err(format!("{path}: scenario {i} is not an object")),
+        };
+        let name = sc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{path}: scenario {i} has no name"))?
+            .to_string();
+        let mut ratios = Vec::new();
+        let mut exact = Vec::new();
+        for (field, value) in obj {
+            if field.starts_with("speedup_") {
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| format!("{path}: {name}.{field} is not a number"))?;
+                ratios.push((field.clone(), v));
+            } else if matches!(
+                field.as_str(),
+                "cache_hits" | "cache_misses" | "cache_evictions"
+            ) {
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| format!("{path}: {name}.{field} is not a number"))?;
+                exact.push((field.clone(), v));
+            } else if field == "bit_identical" {
+                let v = match value {
+                    JsonValue::Bool(b) => f64::from(*b),
+                    _ => return Err(format!("{path}: {name}.{field} is not a bool")),
+                };
+                exact.push((field.clone(), v));
+            }
+        }
+        if ratios.is_empty() {
+            return Err(format!("{path}: scenario {name} has no speedup_* field"));
+        }
+        out.push(Scenario {
+            name,
+            ratios,
+            exact,
+        });
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no scenarios"));
+    }
+    Ok(out)
+}
+
+/// Compare one current file against its baseline; returns failure lines.
+fn compare(label: &str, current: &[Scenario], baseline: &[Scenario], tol: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.name == base.name) else {
+            failures.push(format!(
+                "{label}: scenario {:?} present in baseline but missing from current run",
+                base.name
+            ));
+            continue;
+        };
+        for (field, base_v) in &base.ratios {
+            let Some((_, cur_v)) = cur.ratios.iter().find(|(f, _)| f == field) else {
+                failures.push(format!(
+                    "{label}: {}.{field} missing from current run",
+                    base.name
+                ));
+                continue;
+            };
+            let floor = base_v * (1.0 - tol);
+            let verdict = if *cur_v < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "  {label} {:<12} {:<40} base {:>8.4} cur {:>8.4} floor {:>8.4} {verdict}",
+                base.name, field, base_v, cur_v, floor
+            );
+            if *cur_v < floor {
+                failures.push(format!(
+                    "{label}: {}.{field} regressed: {cur_v:.4} < floor {floor:.4} \
+                     (baseline {base_v:.4}, tolerance {tol})",
+                    base.name
+                ));
+            }
+        }
+        for (field, base_v) in &base.exact {
+            let Some((_, cur_v)) = cur.exact.iter().find(|(f, _)| f == field) else {
+                failures.push(format!(
+                    "{label}: {}.{field} missing from current run",
+                    base.name
+                ));
+                continue;
+            };
+            if cur_v != base_v {
+                failures.push(format!(
+                    "{label}: {}.{field} changed exactly-compared value: \
+                     baseline {base_v} vs current {cur_v}",
+                    base.name
+                ));
+            }
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|b| b.name == cur.name) {
+            println!(
+                "  {label} {:<12} new scenario (not in baseline) — accepted",
+                cur.name
+            );
+        }
+    }
+    failures
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tol = match flag_value(&args, "--tolerance") {
+        None => DEFAULT_TOLERANCE,
+        Some(s) => match s.parse::<f64>() {
+            Ok(t) if (0.0..1.0).contains(&t) => t,
+            _ => {
+                eprintln!("bench_sentinel: --tolerance expects a number in [0, 1), got {s:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let pairs = [
+        (
+            "hotpath",
+            flag_value(&args, "--hotpath").unwrap_or("BENCH_hotpath.json"),
+            flag_value(&args, "--baseline-hotpath").unwrap_or("baselines/BENCH_hotpath.json"),
+        ),
+        (
+            "stream",
+            flag_value(&args, "--stream").unwrap_or("BENCH_stream.json"),
+            flag_value(&args, "--baseline-stream").unwrap_or("baselines/BENCH_stream.json"),
+        ),
+    ];
+
+    println!("bench_sentinel: tolerance {tol} (ratios may shrink this fraction)");
+    let mut failures: Vec<String> = Vec::new();
+    for (label, cur_path, base_path) in pairs {
+        let current = match load(cur_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_sentinel: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = match load(base_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench_sentinel: {e}");
+                std::process::exit(2);
+            }
+        };
+        println!("{label}: {cur_path} vs {base_path}");
+        failures.extend(compare(label, &current, &baseline, tol));
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nbench_sentinel: {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nbench_sentinel: no regressions OK");
+}

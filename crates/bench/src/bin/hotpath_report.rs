@@ -25,7 +25,6 @@ use sma_core::{
     track_all_parallel, track_all_sequential, track_all_simd, track_all_simd_parallel, MotionModel,
     SmaConfig,
 };
-use sma_obs::json::MetricsDoc;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -298,43 +297,11 @@ fn main() {
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     println!("\nwrote BENCH_hotpath.json");
 
-    // Shared metrics document: one *counted* pass per driver on the
-    // gate scenario (timing above ran at the ambient SMA_OBS level —
-    // off by default — so the wall-clock numbers are unperturbed).
-    if std::env::var("SMA_OBS").is_err() {
-        sma_obs::set_level(sma_obs::ObsLevel::Summary);
-    }
-    {
-        let cfg = config_for(gate_scenario);
-        let frames = shifted_frames(gate_scenario.side, gate_scenario.side, 1.0, 0.0, &cfg);
-        let region = Region::Interior {
-            margin: cfg.margin(),
-        };
-        black_box(track_all_sequential(&frames, &cfg, region)).expect("track");
-        black_box(track_all_integral(&frames, &cfg, region)).expect("track");
-        black_box(track_all_simd(&frames, &cfg, region)).expect("track");
-    }
-    let mut doc = MetricsDoc::capture("hotpath_report");
-    for r in &rows {
-        doc.set_gauge(
-            &format!("hotpath.{}.exact_sequential_s", r.name),
-            r.exact_seq,
-        );
-        doc.set_gauge(&format!("hotpath.{}.exact_parallel_s", r.name), r.exact_par);
-        doc.set_gauge(
-            &format!("hotpath.{}.integral_sequential_s", r.name),
-            r.integral_seq,
-        );
-        doc.set_gauge(
-            &format!("hotpath.{}.integral_parallel_s", r.name),
-            r.integral_par,
-        );
-        doc.set_gauge(&format!("hotpath.{}.simd_sequential_s", r.name), r.simd_seq);
-        doc.set_gauge(&format!("hotpath.{}.simd_parallel_s", r.name), r.simd_par);
-    }
-    std::fs::write("METRICS_hotpath_report.json", doc.to_json())
-        .expect("write METRICS_hotpath_report.json");
-    println!("wrote METRICS_hotpath_report.json");
+    // The timing rows above are the report's only artifact:
+    // `BENCH_hotpath.json` holds the per-scenario wall-clock numbers,
+    // and `METRICS_hotpath.json` (counters + gauges) is owned by
+    // `obs_report` — one canonical schema per file, no near-duplicate
+    // `METRICS_hotpath_report.json`.
 
     // Acceptance gates. Full mode: the integral fast path must clear
     // 10x over the exact kernels on medium, and the SIMD family must

@@ -19,19 +19,28 @@
 //!
 //! If `SMA_OBS` is unset the level defaults to `summary` so the report
 //! is useful out of the box; set `SMA_OBS=spans` or `trace` for live
-//! span printing. Exits nonzero if any counter disagrees with the
+//! span printing. With `SMA_TRACE=PATH` the flight recorder captures
+//! the whole run — all nine driver variants — and the report writes a
+//! Chrome trace-event JSON to `PATH` (open in Perfetto), validates its
+//! structure, and prints per-stage p50/p95/p99 latency.
+//! Exits nonzero if any counter disagrees with the
 //! analytic model or the measured per-PE memory high-water exceeds the
 //! §4.3 [`MemoryBudget`](maspar_sim::memory::MemoryBudget) prediction.
 
 use maspar_sim::machine::{MachineConfig, MasPar, ReadoutScheme};
 use sma_bench::wavy;
-use sma_core::fastpath::track_all_integral;
+use sma_core::fastpath::{
+    track_all_integral, track_all_integral_parallel, track_all_integral_segmented,
+};
 use sma_core::maspar_driver::track_on_maspar;
 use sma_core::motion::SmaFrames;
 use sma_core::precompute::track_all_segmented;
 use sma_core::sequential::Region;
 use sma_core::timing::SmaWorkload;
-use sma_core::{track_all_sequential, MotionModel, SmaConfig};
+use sma_core::{
+    track_all_parallel, track_all_sequential, track_all_simd, track_all_simd_parallel, MotionModel,
+    SmaConfig,
+};
 use sma_grid::pyramid::Pyramid;
 use sma_grid::warp::translate;
 use sma_grid::BorderPolicy;
@@ -160,29 +169,57 @@ fn main() {
             want: workload.hyp_terms,
         });
 
-        // Phase: the segmented-precompute and integral-image drivers on
-        // the interior (their counters feed the report, not the checks).
+        // Phase: every remaining driver variant on the interior (their
+        // counters and spans feed the report and the flight recorder;
+        // only the sequential Full run feeds the analytic checks). The
+        // exact family owes the reference bit identity; the integral and
+        // SIMD families reassociate floating-point sums, so they are
+        // numerically (not bit-) identical: same winner, same
+        // displacement.
         let region = Region::Interior {
             margin: cfg.margin(),
         };
-        let seg = track_all_segmented(&frames, &cfg, region, 2).expect("segmented");
-        let fast = track_all_integral(&frames, &cfg, region).expect("fastpath");
+        let exact_runs = [
+            ("parallel", track_all_parallel(&frames, &cfg, region)),
+            ("segmented", track_all_segmented(&frames, &cfg, region, 2)),
+        ];
+        let integral_runs = [
+            ("fastpath", track_all_integral(&frames, &cfg, region)),
+            (
+                "fastpath_par",
+                track_all_integral_parallel(&frames, &cfg, region),
+            ),
+            (
+                "fastpath_seg",
+                track_all_integral_segmented(&frames, &cfg, region, 2),
+            ),
+            ("fastpath_simd_seq", track_all_simd(&frames, &cfg, region)),
+            (
+                "fastpath_simd_par",
+                track_all_simd_parallel(&frames, &cfg, region),
+            ),
+        ];
         let bounds = region.bounds(side, side).expect("non-empty interior");
-        for (x, y) in bounds.pixels() {
-            assert_eq!(
-                seq.estimates.at(x, y),
-                seg.estimates.at(x, y),
-                "segmented driver diverged at ({x},{y})"
-            );
-            // The integral path reassociates floating-point sums, so it
-            // is numerically (not bit-) identical: same winner, same
-            // displacement.
-            let (s, f) = (seq.estimates.at(x, y), fast.estimates.at(x, y));
-            assert_eq!(s.valid, f.valid, "integral validity diverged at ({x},{y})");
-            assert_eq!(
-                s.displacement, f.displacement,
-                "integral displacement diverged at ({x},{y})"
-            );
+        for (name, run) in &exact_runs {
+            let r = run.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+            for (x, y) in bounds.pixels() {
+                assert_eq!(
+                    seq.estimates.at(x, y),
+                    r.estimates.at(x, y),
+                    "{name} driver diverged at ({x},{y})"
+                );
+            }
+        }
+        for (name, run) in &integral_runs {
+            let r = run.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+            for (x, y) in bounds.pixels() {
+                let (s, f) = (seq.estimates.at(x, y), r.estimates.at(x, y));
+                assert_eq!(s.valid, f.valid, "{name} validity diverged at ({x},{y})");
+                assert_eq!(
+                    s.displacement, f.displacement,
+                    "{name} displacement diverged at ({x},{y})"
+                );
+            }
         }
 
         // Phase: the simulated MP-2 run, with its §4.3 budget check.
@@ -280,6 +317,46 @@ fn main() {
     }
     std::fs::write(out_path, doc.to_json()).expect("write metrics document");
     println!("\nwrote {out_path}");
+
+    // Flight-recorder export: with SMA_TRACE=PATH set the whole run was
+    // recorded; render the Chrome trace, self-validate its structure,
+    // and print the per-stage latency distribution.
+    let lat = sma_obs::trace::latency_summary();
+    match sma_obs::trace::export_to_env() {
+        Ok(None) => {}
+        Ok(Some(path)) => {
+            let json = std::fs::read_to_string(&path).expect("re-read exported trace");
+            match sma_obs::trace::validate_chrome_json(&json) {
+                Ok(check) => println!(
+                    "trace: wrote {path} ({} events, {} spans, {} threads, depth {}, {} dropped)",
+                    check.events,
+                    check.spans,
+                    check.threads,
+                    check.max_depth,
+                    sma_obs::trace::events_dropped(),
+                ),
+                Err(e) => {
+                    eprintln!("obs_report: exported trace is structurally invalid: {e}");
+                    std::process::exit(1);
+                }
+            }
+            println!("\nper-stage latency (recorded spans):");
+            println!(
+                "  {:<44} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                "path", "count", "p50_us", "p95_us", "p99_us", "max_us"
+            );
+            for s in &lat {
+                println!(
+                    "  {:<44} {:>7} {:>10} {:>10} {:>10} {:>10}",
+                    s.path, s.count, s.p50_us, s.p95_us, s.p99_us, s.max_us
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("obs_report: trace export failed: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if failed {
         eprintln!("obs_report: counter validation FAILED");

@@ -143,7 +143,8 @@ fn main() {
                                 RuntimeCombo {
                                     obs: false,
                                     faults_armed: false,
-                                    simd: true
+                                    simd: true,
+                                    trace: false
                                 }
                                 .name(),
                                 combo.name(),

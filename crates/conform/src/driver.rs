@@ -184,36 +184,51 @@ pub struct RuntimeCombo {
     pub faults_armed: bool,
     /// Lane-kernel SIMD layer enabled (the default) vs forced scalar.
     pub simd: bool,
+    /// Flight-recorder span/counter capture on vs off.
+    pub trace: bool,
 }
 
-/// The five runtime combinations every driver is replayed under: the
-/// obs x faults square with the SIMD kernels on (their default), plus a
-/// forced-scalar run pinning the kernels' bit-identity claim.
-pub const ALL_COMBOS: [RuntimeCombo; 5] = [
+/// The six runtime combinations every driver is replayed under: the
+/// obs x faults square with the SIMD kernels on (their default), a
+/// forced-scalar run pinning the kernels' bit-identity claim, and an
+/// obs run with the flight recorder capturing — tracing must not change
+/// a single output bit either.
+pub const ALL_COMBOS: [RuntimeCombo; 6] = [
     RuntimeCombo {
         obs: false,
         faults_armed: false,
         simd: true,
+        trace: false,
     },
     RuntimeCombo {
         obs: true,
         faults_armed: false,
         simd: true,
+        trace: false,
     },
     RuntimeCombo {
         obs: false,
         faults_armed: true,
         simd: true,
+        trace: false,
     },
     RuntimeCombo {
         obs: true,
         faults_armed: true,
         simd: true,
+        trace: false,
     },
     RuntimeCombo {
         obs: false,
         faults_armed: false,
         simd: false,
+        trace: false,
+    },
+    RuntimeCombo {
+        obs: true,
+        faults_armed: false,
+        simd: true,
+        trace: true,
     },
 ];
 
@@ -224,6 +239,18 @@ pub const COMBO_FAULT_SEED: u64 = 42;
 impl RuntimeCombo {
     /// Stable display name, e.g. `obs+faults0`.
     pub fn name(self) -> &'static str {
+        if self.trace {
+            return match (self.obs, self.faults_armed, self.simd) {
+                (false, false, true) => "trace",
+                (true, false, true) => "obs+trace",
+                (false, true, true) => "faults0+trace",
+                (true, true, true) => "obs+faults0+trace",
+                (false, false, false) => "scalar+trace",
+                (true, false, false) => "obs+scalar+trace",
+                (false, true, false) => "faults0+scalar+trace",
+                (true, true, false) => "obs+faults0+scalar+trace",
+            };
+        }
         match (self.obs, self.faults_armed, self.simd) {
             (false, false, true) => "plain",
             (true, false, true) => "obs",
@@ -242,12 +269,14 @@ impl RuntimeCombo {
     pub fn with<T>(self, f: impl FnOnce() -> T) -> T {
         let prev = sma_obs::level();
         let prev_simd = sma_grid::simd::enabled();
+        let prev_trace = sma_obs::trace::recording();
         sma_obs::set_level(if self.obs {
             sma_obs::ObsLevel::Summary
         } else {
             sma_obs::ObsLevel::Off
         });
         sma_grid::simd::set_enabled(self.simd);
+        sma_obs::trace::set_recording(self.trace);
         if self.faults_armed {
             sma_fault::install(COMBO_FAULT_SEED, 0.0);
         } else {
@@ -255,6 +284,7 @@ impl RuntimeCombo {
         }
         let out = f();
         sma_fault::disarm();
+        sma_obs::trace::set_recording(prev_trace);
         sma_grid::simd::set_enabled(prev_simd);
         sma_obs::set_level(prev);
         out

@@ -359,6 +359,7 @@ fn track_integral_impl(
         .filter(|&(x, y)| !template.fits_at(x, y, w, h))
         .collect();
     BORDER_FALLBACK.add(border.len() as u64);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::BorderFallback, &border);
     let mut poisoned: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     if sma_fault::enabled() {
         for (x, y) in bounds.pixels() {
@@ -376,6 +377,9 @@ fn track_integral_impl(
         rerouted.sort_unstable();
         border.extend(rerouted);
     }
+    // Border pixels (and poisoned-plane re-routes) are served by the
+    // exact kernel: both dispatch planes of the telemetry atlas.
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchExact, &border);
     if parallel {
         let tracked: Vec<((usize, usize), MotionEstimate)> = border
             .par_iter()
@@ -395,6 +399,7 @@ fn track_integral_impl(
         .filter(|&(x, y)| template.fits_at(x, y, w, h) && !poisoned.contains(&(x, y)))
         .collect();
     INTERIOR_FAST.add(interior.len() as u64);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchIntegral, &interior);
     if interior.is_empty() {
         return Ok(SmaResult {
             estimates: best,
@@ -510,6 +515,10 @@ fn track_integral_impl(
         .filter(|&(x, y)| best.at(x, y).valid && near_tie(best.at(x, y).error, second.at(x, y)))
         .collect();
     NEAR_TIE_REROUTE.add(ties.len() as u64);
+    // Re-routed ties are ultimately served by the exact kernel, so they
+    // land in both the near-tie density and exact-dispatch planes.
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::NearTie, &ties);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchExact, &ties);
     if parallel {
         let rerun: Vec<((usize, usize), MotionEstimate)> = ties
             .par_iter()

@@ -165,6 +165,13 @@ pub fn track_on_maspar(
     // be re-run after an injected fault restarts from the estimates
     // already accumulated, never from scratch.
     let bounds = region.bounds_checked(w, h)?;
+    sma_obs::atlas::mark_rect(
+        sma_obs::atlas::AtlasChannel::DispatchExact,
+        bounds.x0,
+        bounds.y0,
+        bounds.x1,
+        bounds.y1,
+    );
     let ns = cfg.nzs as isize;
     let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
     let mut segment_retries = 0usize;

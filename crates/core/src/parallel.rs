@@ -29,6 +29,13 @@ pub fn track_all_parallel(
     let _span = sma_obs::span("track_parallel");
     let (w, h) = frames.dims();
     let bounds = region.bounds_checked(w, h)?;
+    sma_obs::atlas::mark_rect(
+        sma_obs::atlas::AtlasChannel::DispatchExact,
+        bounds.x0,
+        bounds.y0,
+        bounds.x1,
+        bounds.y1,
+    );
 
     let tracked_rows: Vec<(usize, Vec<MotionEstimate>)> = (bounds.y0..=bounds.y1)
         .into_par_iter()

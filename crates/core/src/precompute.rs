@@ -136,6 +136,13 @@ pub fn track_all_segmented(
     let _span = sma_obs::span("track_segmented");
     let (w, h) = frames.dims();
     let bounds = region.bounds_checked(w, h)?;
+    sma_obs::atlas::mark_rect(
+        sma_obs::atlas::AtlasChannel::DispatchExact,
+        bounds.x0,
+        bounds.y0,
+        bounds.x1,
+        bounds.y1,
+    );
     let ns = cfg.nzs as isize;
     let nt = cfg.nzt as isize;
 

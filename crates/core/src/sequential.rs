@@ -137,6 +137,14 @@ pub fn track_all_sequential(
     let _span = sma_obs::span("track_sequential");
     let (w, h) = frames.dims();
     let bounds = region.bounds_checked(w, h)?;
+    // Every pixel of the region is served by the exact kernel.
+    sma_obs::atlas::mark_rect(
+        sma_obs::atlas::AtlasChannel::DispatchExact,
+        bounds.x0,
+        bounds.y0,
+        bounds.x1,
+        bounds.y1,
+    );
     let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
     for (x, y) in bounds.pixels() {
         estimates.set(x, y, track_pixel(frames, cfg, x, y));

@@ -269,6 +269,7 @@ fn track_simd_impl(
         .filter(|&(x, y)| !template.fits_at(x, y, w, h))
         .collect();
     SIMD_BORDER.add(border.len() as u64);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::BorderFallback, &border);
     let mut poisoned: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     if sma_fault::enabled() {
         for (x, y) in bounds.pixels() {
@@ -285,6 +286,7 @@ fn track_simd_impl(
         rerouted.sort_unstable();
         border.extend(rerouted);
     }
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchExact, &border);
     if parallel {
         let tracked: Vec<((usize, usize), MotionEstimate)> = border
             .par_iter()
@@ -304,6 +306,7 @@ fn track_simd_impl(
         .filter(|&(x, y)| template.fits_at(x, y, w, h) && !poisoned.contains(&(x, y)))
         .collect();
     SIMD_INTERIOR.add(interior.len() as u64);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchSimd, &interior);
     if interior.is_empty() {
         return Ok(SmaResult {
             estimates: best,
@@ -474,6 +477,8 @@ fn track_simd_impl(
         .map(|(&p, _)| p)
         .collect();
     SIMD_NEAR_TIE.add(ties.len() as u64);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::NearTie, &ties);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchExact, &ties);
     if parallel {
         let rerun: Vec<((usize, usize), MotionEstimate)> = ties
             .par_iter()

@@ -49,16 +49,19 @@ pub(crate) fn record_injected(site: FaultSite) {
     SITE_INJECTED[site.idx()].fetch_add(1, Ordering::Relaxed);
     OBS_INJECTED.incr();
     OBS_SITE[site.idx()].incr();
+    sma_obs::trace::instant_with("fault.injected", site.name());
 }
 
-pub(crate) fn record_recovered(_site: FaultSite) {
+pub(crate) fn record_recovered(site: FaultSite) {
     RECOVERED.fetch_add(1, Ordering::Relaxed);
     OBS_RECOVERED.incr();
+    sma_obs::trace::instant_with("fault.recovered", site.name());
 }
 
-pub(crate) fn record_degraded(_site: FaultSite) {
+pub(crate) fn record_degraded(site: FaultSite) {
     DEGRADED.fetch_add(1, Ordering::Relaxed);
     OBS_DEGRADED.incr();
+    sma_obs::trace::instant_with("fault.degraded", site.name());
 }
 
 /// Record a degradation caused by the *input itself* (singular system

@@ -175,6 +175,8 @@ pub fn quarantine(img: &Grid<f32>) -> (Grid<f32>, ValidityMask, u64) {
     if bad.is_empty() {
         return (img.clone(), mask, 0);
     }
+    // The telemetry atlas records *where* inputs were untrustworthy.
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::Quarantine, &bad);
 
     // Repair from the original plane so the result is independent of
     // repair order; a bad pixel whose whole neighborhood is bad gets 0.

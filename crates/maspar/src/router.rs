@@ -38,6 +38,7 @@ fn publish_routing(messages: usize, degrees: &[usize]) {
     let collisions: usize = degrees.iter().map(|&d| d.saturating_sub(1)).sum();
     ROUTER_COLLISIONS.add(collisions as u64);
     ROUTER_IN_DEGREE.record(degrees.iter().copied().max().unwrap_or(0) as u64);
+    sma_obs::trace::counter("maspar.router.collisions", collisions as u64);
 }
 
 /// Outcome of a router operation: delivered values plus the contention

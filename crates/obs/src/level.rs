@@ -19,13 +19,22 @@ pub enum ObsLevel {
 
 impl ObsLevel {
     /// Parse an `SMA_OBS` value. Unrecognised strings read as `Off` so a
-    /// typo can never turn a production run into a tracing run.
+    /// typo can never turn a production run into a tracing run; callers
+    /// that want to *report* the typo use [`ObsLevel::try_parse`].
     pub fn parse(s: &str) -> ObsLevel {
+        ObsLevel::try_parse(s).unwrap_or(ObsLevel::Off)
+    }
+
+    /// Strict parse: `None` for anything that is not one of the accepted
+    /// spellings (`off|summary|spans|trace` or `0`–`3`, case-insensitive,
+    /// surrounding whitespace ignored; the empty string reads as `Off`).
+    pub fn try_parse(s: &str) -> Option<ObsLevel> {
         match s.trim().to_ascii_lowercase().as_str() {
-            "summary" | "1" => ObsLevel::Summary,
-            "spans" | "2" => ObsLevel::Spans,
-            "trace" | "3" => ObsLevel::Trace,
-            _ => ObsLevel::Off,
+            "off" | "0" | "" => Some(ObsLevel::Off),
+            "summary" | "1" => Some(ObsLevel::Summary),
+            "spans" | "2" => Some(ObsLevel::Spans),
+            "trace" | "3" => Some(ObsLevel::Trace),
+            _ => None,
         }
     }
 
@@ -70,9 +79,25 @@ pub fn level() -> ObsLevel {
 #[cfg(feature = "enabled")]
 #[cold]
 fn init_from_env() -> ObsLevel {
-    let l = std::env::var("SMA_OBS")
-        .map(|s| ObsLevel::parse(&s))
-        .unwrap_or(ObsLevel::Off);
+    let l = match std::env::var("SMA_OBS") {
+        Ok(s) => match ObsLevel::try_parse(&s) {
+            Some(l) => l,
+            None => {
+                // A typo must not silently disable the run's telemetry:
+                // warn exactly once, naming the accepted spellings, then
+                // fall back to Off as documented.
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "[sma-obs] unrecognized SMA_OBS value {s:?}; accepted values are \
+                         off|summary|spans|trace (or 0|1|2|3) — observability stays off"
+                    );
+                });
+                ObsLevel::Off
+            }
+        },
+        Err(_) => ObsLevel::Off,
+    };
     // A concurrent set_level may have raced us; only fill in if still
     // uninitialised, then re-read whatever won.
     let _ = LEVEL.compare_exchange(UNINIT, l as u8, Ordering::Relaxed, Ordering::Relaxed);
@@ -102,6 +127,17 @@ mod tests {
         assert_eq!(ObsLevel::parse("3"), ObsLevel::Trace);
         assert_eq!(ObsLevel::parse("bogus"), ObsLevel::Off);
         assert_eq!(ObsLevel::parse(""), ObsLevel::Off);
+    }
+
+    #[test]
+    fn try_parse_distinguishes_typos_from_off() {
+        assert_eq!(ObsLevel::try_parse("off"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::try_parse("0"), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::try_parse(""), Some(ObsLevel::Off));
+        assert_eq!(ObsLevel::try_parse(" Trace "), Some(ObsLevel::Trace));
+        assert_eq!(ObsLevel::try_parse("bogus"), None);
+        assert_eq!(ObsLevel::try_parse("summry"), None);
+        assert_eq!(ObsLevel::try_parse("4"), None);
     }
 
     #[test]

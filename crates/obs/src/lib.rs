@@ -22,6 +22,14 @@
 //! * **Exporters** ([`report::render`], [`json::MetricsDoc`]): a
 //!   human-readable nested timing tree, and a versioned `METRICS_*.json`
 //!   schema shared by every bench binary (see [`json::SCHEMA_VERSION`]).
+//! * **Flight recorder** ([`trace`]): bounded per-thread ring buffers of
+//!   closed spans, counter samples and instants, exported as Chrome
+//!   trace-event / Perfetto JSON (`SMA_TRACE=out.json`) with per-stage
+//!   p50/p95/p99 latency built on the histogram buckets.
+//! * **Telemetry atlas** ([`atlas`]): per-tile spatial planes (near-tie
+//!   density, border fallback, exact/integral/SIMD dispatch, quarantine
+//!   sites, per-frame cache hit/miss) feeding the adaptive-planner cost
+//!   model and the `trace_report` heatmaps.
 //!
 //! Runtime verbosity is env-filtered via `SMA_OBS`:
 //!
@@ -40,11 +48,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atlas;
 pub mod json;
 mod level;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use level::{level, set_level, ObsLevel};
 pub use metrics::{Counter, HighWater, Histogram};

@@ -137,7 +137,28 @@ impl HighWater {
 
 /// Power-of-two bucket count: values land in bucket
 /// `ceil(log2(v + 1))`, capped. Bucket 0 holds zeros.
-const HIST_BUCKETS: usize = 33;
+pub const HIST_BUCKETS: usize = 33;
+
+/// Bucket index for one observation: bucket `b >= 1` covers
+/// `[2^(b-1), 2^b - 1]`, bucket 0 holds zeros, and the last bucket is an
+/// open-ended overflow bin for everything at or above `2^(HIST_BUCKETS-2)`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper edge of a non-overflow bucket; `u64::MAX` for the
+/// overflow bucket (callers clamp with the recorded max instead).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
 
 /// A histogram over `u64` observations with power-of-two buckets plus
 /// exact count/sum/max (e.g. router in-degrees).
@@ -192,8 +213,7 @@ impl Histogram {
             }
             self.registered
                 .call_once(|| registry().lock().unwrap().push(MetricRef::Histogram(self)));
-            let bucket = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
-            self.buckets[bucket].fetch_add(1, Relaxed);
+            self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
             self.count.fetch_add(1, Relaxed);
             self.sum.fetch_add(v, Relaxed);
             self.max.fetch_max(v, Relaxed);
@@ -208,6 +228,111 @@ impl Histogram {
             count: self.count.load(Relaxed),
             sum: self.sum.load(Relaxed),
             max: self.max.load(Relaxed),
+        }
+    }
+
+    /// Full-fidelity copy of the buckets plus count/sum/max. Updates are
+    /// relaxed, so a snapshot taken while observers are recording may be
+    /// mid-update (bucket landed, count not yet); a snapshot taken after
+    /// the observers are quiesced is exact.
+    pub fn snapshot_buckets(&self) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::empty();
+        for (i, b) in self.buckets.iter().enumerate() {
+            s.buckets[i] = b.load(Relaxed);
+        }
+        s.count = self.count.load(Relaxed);
+        s.sum = self.sum.load(Relaxed);
+        s.max = self.max.load(Relaxed);
+        s
+    }
+}
+
+/// An owned, mergeable histogram with the same power-of-two buckets as
+/// [`Histogram`]. Serves two roles: a point-in-time copy of a static
+/// histogram (via [`Histogram::snapshot_buckets`]) and a local
+/// accumulator that never touches the global registry (the trace
+/// exporter builds per-stage latency distributions this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; bucket `b >= 1` covers
+    /// `[2^(b-1), 2^b - 1]`, bucket 0 holds zeros, last bucket overflows.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations (wrapping, like the live histogram).
+    pub sum: u64,
+    /// Largest observation (0 if empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (all buckets zero).
+    pub const fn empty() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one observation locally (no atomics, no registry, no level
+    /// check — this is plain owned data).
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another snapshot into this one (e.g. merging per-thread
+    /// distributions for one stage).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) as the inclusive
+    /// upper edge of the bucket holding the `ceil(q * count)`-th smallest
+    /// observation, clamped to the recorded max. With power-of-two
+    /// buckets the estimate `e` of a true quantile `w > 0` satisfies
+    /// `w <= e < 2 * w` whenever `w` is below the overflow threshold
+    /// `2^(HIST_BUCKETS - 2)` (and `e == 0` iff `w == 0`); inside the
+    /// open-ended overflow bucket the clamp only guarantees
+    /// `w <= e <= max`. Both bounds are pinned by the histogram test
+    /// suite. Returns 0 for an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The count/sum/max triple, for parity with [`Histogram::stats`].
+    pub fn stats(&self) -> HistogramStats {
+        HistogramStats {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
         }
     }
 }

@@ -63,6 +63,8 @@ thread_local! {
 pub struct SpanGuard {
     #[cfg(feature = "enabled")]
     start: Option<std::time::Instant>,
+    #[cfg(feature = "enabled")]
+    name: &'static str,
 }
 
 /// Open a span named `name`. Timing starts now and is recorded when the
@@ -74,7 +76,7 @@ pub fn span(name: &'static str) -> SpanGuard {
     {
         let level = crate::level();
         if level == ObsLevel::Off {
-            return SpanGuard { start: None };
+            return SpanGuard { start: None, name };
         }
         let depth = STACK.with(|s| {
             let mut s = s.borrow_mut();
@@ -86,6 +88,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         }
         SpanGuard {
             start: Some(std::time::Instant::now()),
+            name,
         }
     }
     #[cfg(not(feature = "enabled"))]
@@ -109,6 +112,7 @@ impl Drop for SpanGuard {
             s.pop();
             (path, depth)
         });
+        crate::trace::record_span(self.name, start, depth);
         if crate::level() >= ObsLevel::Spans {
             eprintln!(
                 "[sma-obs] {:indent$}< {path} {:.3?}",

@@ -1,0 +1,161 @@
+//! Histogram gates: overflow-bucket behaviour, the power-of-two
+//! percentile error bound, and merge/snapshot consistency under
+//! concurrent observers.
+
+#![cfg(feature = "enabled")]
+
+use sma_obs::metrics::{Histogram, HistogramSnapshot, HIST_BUCKETS};
+use sma_obs::{set_level, ObsLevel};
+
+#[test]
+fn overflow_bucket_captures_huge_values() {
+    static H: Histogram = Histogram::new("test.histogram.overflow");
+    set_level(ObsLevel::Summary);
+    // Largest non-overflow bucket is HIST_BUCKETS - 2 = 31, covering
+    // [2^30, 2^31 - 1]; everything >= 2^31 lands in the open-ended last
+    // bucket.
+    H.record((1u64 << 31) - 1); // top regular bucket
+    H.record(1u64 << 31); // first overflow value
+    H.record(1u64 << 62);
+    H.record(u64::MAX);
+    let s = H.snapshot_buckets();
+    assert_eq!(s.buckets[HIST_BUCKETS - 2], 1, "top regular bucket");
+    assert_eq!(s.buckets[HIST_BUCKETS - 1], 3, "overflow bucket");
+    assert_eq!(s.count, 4);
+    assert_eq!(s.max, u64::MAX);
+    // Percentiles inside the overflow bucket clamp to the recorded max
+    // instead of reporting the bucket's unbounded upper edge.
+    assert_eq!(s.percentile(1.0), u64::MAX);
+    // p25 is the top regular bucket's upper edge: exactly the value.
+    assert_eq!(s.percentile(0.25), (1u64 << 31) - 1);
+}
+
+/// Deterministic xorshift so the test needs no RNG crate.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[test]
+fn percentile_estimate_is_within_factor_two() {
+    // For any data set of values below the overflow threshold (2^31)
+    // and any quantile q, the estimate e of the true q-th smallest value
+    // w must satisfy w <= e < 2w (w > 0), and e == 0 iff w == 0: the
+    // estimate is the upper edge of w's power-of-two bucket, clamped to
+    // the global max. (Inside the open-ended overflow bucket only
+    // `w <= e <= max` holds — pinned in the overflow test above.)
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for round in 0..50 {
+        let n = 1 + (xorshift(&mut state) % 200) as usize;
+        let mut values: Vec<u64> = (0..n)
+            .map(|_| {
+                // Spread magnitudes roughly uniformly in log2 space,
+                // always below 2^31 so no value overflows.
+                let shift = 33 + xorshift(&mut state) % 31;
+                xorshift(&mut state) >> shift
+            })
+            .collect();
+        let mut snap = HistogramSnapshot::empty();
+        for &v in &values {
+            snap.observe(v);
+        }
+        values.sort_unstable();
+        for &q in &[0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let w = values[rank - 1];
+            let e = snap.percentile(q);
+            if w == 0 {
+                assert_eq!(e, 0, "round {round}: q={q} w=0 but e={e}");
+            } else {
+                assert!(
+                    e >= w && e < 2 * w,
+                    "round {round}: q={q} true={w} estimate={e} violates [w, 2w)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn percentile_handles_empty_and_single_value() {
+    let mut snap = HistogramSnapshot::empty();
+    assert_eq!(snap.percentile(0.5), 0);
+    snap.observe(1000);
+    // 1000's bucket is [512, 1023]; the estimate is clamped to max.
+    assert_eq!(snap.percentile(0.5), 1000);
+    assert_eq!(snap.percentile(0.0), 1000);
+}
+
+#[test]
+fn merge_equals_combined_observation() {
+    let mut state = 0xD1B54A32D192ED03u64;
+    let mut a = HistogramSnapshot::empty();
+    let mut b = HistogramSnapshot::empty();
+    let mut all = HistogramSnapshot::empty();
+    for i in 0..500 {
+        let v = xorshift(&mut state) >> (i % 48);
+        if i % 2 == 0 {
+            a.observe(v);
+        } else {
+            b.observe(v);
+        }
+        all.observe(v);
+    }
+    let mut merged = a;
+    merged.merge(&b);
+    assert_eq!(merged, all, "merge must equal observing the union");
+    assert_eq!(merged.stats().count, 500);
+}
+
+#[test]
+fn concurrent_observers_never_corrupt_the_final_snapshot() {
+    static H: Histogram = Histogram::new("test.histogram.concurrent");
+    set_level(ObsLevel::Summary);
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let before = H.snapshot_buckets();
+    let observers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Values 1..=1024 across buckets 1..=11.
+                    H.record(1 + (t * PER_THREAD + i) % 1024);
+                }
+            })
+        })
+        .collect();
+    // Mid-flight snapshots: per-bucket counts must be monotone
+    // nondecreasing between consecutive snapshots (relaxed atomics never
+    // lose an increment), and never exceed the final total.
+    let mut prev = before;
+    for _ in 0..50 {
+        let s = H.snapshot_buckets();
+        for (i, (&now, &was)) in s.buckets.iter().zip(prev.buckets.iter()).enumerate() {
+            assert!(now >= was, "bucket {i} went backwards: {was} -> {now}");
+        }
+        let landed: u64 = s.buckets.iter().sum::<u64>() - before.buckets.iter().sum::<u64>();
+        assert!(
+            landed <= THREADS * PER_THREAD,
+            "phantom observations: {landed}"
+        );
+        prev = s;
+        std::thread::yield_now();
+    }
+    for o in observers {
+        o.join().expect("observer join");
+    }
+    // Quiesced: the delta snapshot is exact and internally consistent.
+    let after = H.snapshot_buckets();
+    let count = after.count - before.count;
+    let bucket_sum: u64 = after.buckets.iter().sum::<u64>() - before.buckets.iter().sum::<u64>();
+    assert_eq!(count, THREADS * PER_THREAD);
+    assert_eq!(bucket_sum, count, "bucket totals must equal the count");
+    assert!(after.max >= 1024);
+    // Sum is exact too: each thread contributes sum over its sequence.
+    let expected_sum: u64 = (0..THREADS * PER_THREAD).map(|k| 1 + k % 1024).sum();
+    assert_eq!(after.sum - before.sum, expected_sum);
+}

@@ -96,6 +96,7 @@ pub fn match_hierarchical(left: &Grid<f32>, right: &Grid<f32>, params: MatchPara
         let _level_span = sma_obs::span("refine_level");
         LEVELS_REFINED.incr();
         PIXELS_MATCHED.add((l.width() * l.height()) as u64);
+        sma_obs::trace::counter("stereo.level_pixels", (l.width() * l.height()) as u64);
         disparity = refine_level(l, r, &disparity, range, params);
     }
     disparity

@@ -189,19 +189,22 @@ impl ArtifactCache {
             self.entries.push(entry);
             self.stats.hits += 1;
             CACHE_HITS.incr();
+            sma_obs::atlas::cache_event(frame, true);
             return Some(out);
         }
         self.stats.misses += 1;
         CACHE_MISSES.incr();
+        sma_obs::atlas::cache_event(frame, false);
         None
     }
 
     /// Record an artifact computation that bypassed [`ArtifactCache::get`]
     /// (the pipelined prefetch builds artifacts before anything looks
     /// them up); keeps `misses` equal to the number of `prepare` calls.
-    pub fn note_prefetch_build(&mut self) {
+    pub fn note_prefetch_build(&mut self, frame: usize) {
         self.stats.misses += 1;
         CACHE_MISSES.incr();
+        sma_obs::atlas::cache_event(frame, false);
     }
 
     /// Insert an artifact for `frame`, evicting least-recently-used

@@ -273,7 +273,7 @@ impl<'a> StreamEngine<'a> {
                 });
                 match prefetched {
                     Ok(Ok(a)) => {
-                        self.cache.note_prefetch_build();
+                        self.cache.note_prefetch_build(t + 2);
                         self.cache.insert(t + 2, CachedArtifact::Frame(Arc::new(a)));
                     }
                     Ok(Err(e)) => return Err(e),

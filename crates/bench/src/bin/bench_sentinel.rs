@@ -1,9 +1,15 @@
 //! Bench sentinel: diff the current `BENCH_hotpath.json` /
-//! `BENCH_stream.json` against the committed baselines and fail on
-//! regression.
+//! `BENCH_stream.json` / `BENCH_serve.json` against the committed
+//! baselines and fail on regression.
 //!
 //! Usage: `bench_sentinel [--tolerance R] [--hotpath FILE]
-//! [--stream FILE] [--baseline-hotpath FILE] [--baseline-stream FILE]`
+//! [--stream FILE] [--serve FILE] [--baseline-hotpath FILE]
+//! [--baseline-stream FILE] [--baseline-serve FILE]`
+//!
+//! The serve pair is optional: `serve_report` lives in a different CI
+//! job than the hotpath/stream reports, so a missing current
+//! `BENCH_serve.json` is skipped with a note rather than failed —
+//! but if the current file exists the baseline must too.
 //!
 //! Wall-clock seconds are machine-dependent, so the sentinel never
 //! compares them. It compares the *speedup ratios* each report derives
@@ -179,17 +185,29 @@ fn main() {
             "hotpath",
             flag_value(&args, "--hotpath").unwrap_or("BENCH_hotpath.json"),
             flag_value(&args, "--baseline-hotpath").unwrap_or("baselines/BENCH_hotpath.json"),
+            false,
         ),
         (
             "stream",
             flag_value(&args, "--stream").unwrap_or("BENCH_stream.json"),
             flag_value(&args, "--baseline-stream").unwrap_or("baselines/BENCH_stream.json"),
+            false,
+        ),
+        (
+            "serve",
+            flag_value(&args, "--serve").unwrap_or("BENCH_serve.json"),
+            flag_value(&args, "--baseline-serve").unwrap_or("baselines/BENCH_serve.json"),
+            true,
         ),
     ];
 
     println!("bench_sentinel: tolerance {tol} (ratios may shrink this fraction)");
     let mut failures: Vec<String> = Vec::new();
-    for (label, cur_path, base_path) in pairs {
+    for (label, cur_path, base_path, optional) in pairs {
+        if optional && !std::path::Path::new(cur_path).exists() {
+            println!("{label}: {cur_path} absent — skipped (produced by a separate job)");
+            continue;
+        }
         let current = match load(cur_path) {
             Ok(s) => s,
             Err(e) => {

@@ -342,6 +342,7 @@ fn track_integral_impl(
     let _span = sma_obs::span("track_integral");
     let (w, h) = frames.dims();
     let bounds = region.bounds_checked(w, h)?;
+    crate::cancel::checkpoint()?;
     let ns = cfg.nzs as isize;
     let nt = cfg.nzt;
     let template = cfg.template_window();
@@ -380,6 +381,7 @@ fn track_integral_impl(
     // Border pixels (and poisoned-plane re-routes) are served by the
     // exact kernel: both dispatch planes of the telemetry atlas.
     sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchExact, &border);
+    crate::cancel::checkpoint()?;
     if parallel {
         let tracked: Vec<((usize, usize), MotionEstimate)> = border
             .par_iter()
@@ -423,6 +425,7 @@ fn track_integral_impl(
     // the unsegmented drivers: a single segment).
     let mut row0 = -ns;
     while row0 <= ns {
+        crate::cancel::checkpoint()?;
         let row1 = (row0 + z_rows as isize - 1).min(ns);
         let offsets: Vec<(isize, isize)> = (row0..=row1)
             .flat_map(|oy| (-ns..=ns).map(move |ox| (ox, oy)))
@@ -519,6 +522,7 @@ fn track_integral_impl(
     // land in both the near-tie density and exact-dispatch planes.
     sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::NearTie, &ties);
     sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchExact, &ties);
+    crate::cancel::checkpoint()?;
     if parallel {
         let rerun: Vec<((usize, usize), MotionEstimate)> = ties
             .par_iter()
@@ -530,6 +534,102 @@ fn track_integral_impl(
     } else {
         for &(x, y) in &ties {
             best.set(x, y, track_pixel(frames, cfg, x, y));
+        }
+    }
+
+    Ok(SmaResult {
+        estimates: best,
+        region: bounds,
+    })
+}
+
+/// Interior pixels served by the translation-only shed level.
+static TRANSLATION_PIXELS: sma_obs::Counter = sma_obs::Counter::new("fastpath.translation_pixels");
+
+/// The bottom rung of the load-shedding ladder: translation-only
+/// `Fcont` matching on the moment planes.
+///
+/// Instead of solving the full 6 x 6 affine system per hypothesis, the
+/// parameter vector is fixed to the diagonal translation solution
+/// `a_k = atb[4] / S5`, `b_k = atb[5] / S11` (the same closed form the
+/// armed-mode singular fallback uses), and the hypothesis error is the
+/// usual least-squares identity evaluated at that vector. One moment
+/// plane is resident at a time, no 6 x 6 solves, no near-tie exact
+/// re-route — this is a **documented degraded mode** for saturated
+/// tenants, not a conformance driver: border pixels (whose template
+/// window crosses the frame edge) are left invalid rather than routed
+/// through the exact kernel, and results are comparable but not
+/// bit-identical to the full ladder. Deterministic for fixed inputs,
+/// like every other driver.
+///
+/// # Errors
+/// [`sma_fault::GridError::EmptyRegion`] if the region is empty for the
+/// frame size; [`SmaError::DeadlineExceeded`] at a cancellation point.
+pub fn track_all_translation_only(
+    frames: &SmaFrames,
+    cfg: &SmaConfig,
+    region: Region,
+) -> Result<SmaResult, SmaError> {
+    let _span = sma_obs::span("track_translation_only");
+    let (w, h) = frames.dims();
+    let bounds = region.bounds_checked(w, h)?;
+    crate::cancel::checkpoint()?;
+    let ns = cfg.nzs as isize;
+    let nt = cfg.nzt;
+    let template = cfg.template_window();
+
+    let mut best: Grid<MotionEstimate> = Grid::filled(w, h, MotionEstimate::invalid());
+    let interior: Vec<(usize, usize)> = bounds
+        .pixels()
+        .filter(|&(x, y)| template.fits_at(x, y, w, h))
+        .collect();
+    TRANSLATION_PIXELS.add(interior.len() as u64);
+    sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchIntegral, &interior);
+    if interior.is_empty() {
+        return Ok(SmaResult {
+            estimates: best,
+            region: bounds,
+        });
+    }
+
+    let stat = {
+        let _span = sma_obs::span("static_moments");
+        StaticMoments::compute(frames)
+    };
+
+    for oy in -ns..=ns {
+        crate::cancel::checkpoint()?;
+        for ox in -ns..=ns {
+            OFFSET_PLANES.incr();
+            let plane = offset_moments(frames, cfg, &stat, ox, oy);
+            for &(x, y) in &interior {
+                HYPOTHESES.incr();
+                CORNER_LOOKUPS.add(8);
+                let s = stat.sat.window_sum(x, y, nt);
+                let t = plane.window_sum(x, y, nt);
+                if s[5] <= 0.0 || s[11] <= 0.0 {
+                    continue;
+                }
+                let ata = ata_from_static(&s);
+                let atb = atb_from_moments(&s, &t);
+                let btb = btb_from_moments(&s, &t);
+                let sol = [0.0, 0.0, 0.0, 0.0, atb[4] / s[5], atb[5] / s[11]];
+                let error = moment_error(&ata, &atb, btb, &sol);
+                if error.is_finite() && error < best.at(x, y).error {
+                    let (rx, ry) = refined_displacement(frames, cfg, x, y, ox, oy);
+                    let z0 = surface_delta(frames, x, y, rx, ry);
+                    best.set(
+                        x,
+                        y,
+                        MotionEstimate {
+                            displacement: Vec2::new(rx as f32, ry as f32),
+                            affine: LocalAffine::from_params(&sol, rx as f64, ry as f64, z0),
+                            error,
+                            valid: true,
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -648,6 +748,62 @@ mod tests {
         for k in 0..12 {
             assert!((ch[k] - expected[k]).abs() < 1e-12, "channel {k}");
         }
+    }
+
+    #[test]
+    fn translation_only_recovers_uniform_shift() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let f = frames_for_shift(1.0, 1.0, &cfg);
+        let region = Region::Interior { margin: 10 };
+        let shed = track_all_translation_only(&f, &cfg, region).expect("translation-only");
+        let mut right = 0usize;
+        let mut total = 0usize;
+        for (x, y) in shed.region.pixels() {
+            let e = shed.estimates.at(x, y);
+            assert!(e.valid, "interior pixel ({x},{y}) must track");
+            total += 1;
+            if (e.displacement.u - 1.0).abs() < 0.51 && (e.displacement.v - 1.0).abs() < 0.51 {
+                right += 1;
+            }
+        }
+        // A degraded mode, not an exact one: most pixels still land on
+        // the true displacement for a pure translation.
+        assert!(
+            right * 10 >= total * 9,
+            "translation-only found the shift at {right}/{total} pixels"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_aborts_drivers_with_deadline_error() {
+        let cfg = SmaConfig::small_test(MotionModel::Continuous);
+        let f = frames_for_shift(1.0, 0.0, &cfg);
+        let region = Region::Interior { margin: 10 };
+        let token = crate::cancel::CancelToken::new();
+        token.cancel(7, 3);
+        let _g = crate::cancel::install(token);
+        let expected = Err(SmaError::DeadlineExceeded {
+            elapsed_ms: 7,
+            budget_ms: 3,
+        });
+        assert_eq!(track_all_integral(&f, &cfg, region).map(|_| ()), expected);
+        assert_eq!(
+            track_all_translation_only(&f, &cfg, region).map(|_| ()),
+            expected
+        );
+        assert_eq!(track_all_sequential(&f, &cfg, region).map(|_| ()), expected);
+        assert_eq!(
+            crate::simd::track_all_simd(&f, &cfg, region).map(|_| ()),
+            expected
+        );
+        assert_eq!(
+            crate::parallel::track_all_parallel(&f, &cfg, region).map(|_| ()),
+            expected
+        );
+        assert_eq!(
+            crate::precompute::track_all_segmented(&f, &cfg, region, 2).map(|_| ()),
+            expected
+        );
     }
 
     #[test]

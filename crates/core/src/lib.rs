@@ -56,6 +56,7 @@
 
 pub mod affine;
 pub mod analysis;
+pub mod cancel;
 pub mod config;
 pub mod ext;
 pub mod fastpath;
@@ -70,7 +71,10 @@ pub mod timing;
 
 pub use affine::LocalAffine;
 pub use config::{MotionModel, SmaConfig};
-pub use fastpath::{track_all_integral, track_all_integral_parallel, track_all_integral_segmented};
+pub use fastpath::{
+    track_all_integral, track_all_integral_parallel, track_all_integral_segmented,
+    track_all_translation_only,
+};
 pub use motion::{FrameArtifacts, MotionEstimate, SmaFrames};
 pub use parallel::track_all_parallel;
 pub use sequential::track_all_sequential;

@@ -184,6 +184,7 @@ pub fn track_on_maspar(
         let mut seg = 0u64;
         let mut row0 = -ns;
         while row0 <= ns {
+            crate::cancel::checkpoint()?;
             let row1 = (row0 + z_rows as isize - 1).min(ns);
             // Fault gate for this (layer, segment) unit: an injected PE
             // fault or memory breach voids the attempt; retry with a

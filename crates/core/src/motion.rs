@@ -139,10 +139,17 @@ impl FrameArtifacts {
     /// f32 planes, the validity bitmap, and the geometry field's seven
     /// f64 variables per pixel.
     pub fn resident_bytes(&self) -> usize {
-        let (w, h) = self.dims();
-        let px = w * h;
-        // GeomVars: zx, zy, e, g, ni, nj, nk — 7 f64 per pixel.
-        px * (3 * 4 + 1 + 7 * 8)
+        Self::estimate_bytes(self.dims().0, self.dims().1)
+    }
+
+    /// [`resident_bytes`](Self::resident_bytes) as a pure function of
+    /// the frame dimensions, so admission control can cost a sequence
+    /// *before* preparing any of its frames.
+    pub fn estimate_bytes(w: usize, h: usize) -> usize {
+        // GeomVars: zx, zy, e, g, ni, nj, nk — 7 f64 per pixel, plus the
+        // intensity + surface + discriminant f32 planes and the validity
+        // bitmap.
+        w * h * (3 * 4 + 1 + 7 * 8)
     }
 }
 

@@ -37,15 +37,25 @@ pub fn track_all_parallel(
         bounds.y1,
     );
 
+    crate::cancel::checkpoint()?;
+    // Captured once: worker threads may not see the spawner's
+    // thread-local token, and a cancelled run must stop producing rows.
+    let cancel = crate::cancel::current();
     let tracked_rows: Vec<(usize, Vec<MotionEstimate>)> = (bounds.y0..=bounds.y1)
         .into_par_iter()
         .map(|y| {
+            if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                return (y, Vec::new());
+            }
             let row: Vec<MotionEstimate> = (bounds.x0..=bounds.x1)
                 .map(|x| track_pixel(frames, cfg, x, y))
                 .collect();
             (y, row)
         })
         .collect();
+    if let Some(t) = cancel.filter(|t| t.is_cancelled()) {
+        return Err(t.error());
+    }
 
     let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
     for (y, row) in tracked_rows {

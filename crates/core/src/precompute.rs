@@ -151,6 +151,7 @@ pub fn track_all_segmented(
     // Segment loop over hypothesis rows.
     let mut row0 = -ns;
     while row0 <= ns {
+        crate::cancel::checkpoint()?;
         let row1 = (row0 + z_rows as isize - 1).min(ns);
         let store = SegmentStore::compute(frames, cfg, row0, row1);
 

@@ -147,6 +147,9 @@ pub fn track_all_sequential(
     );
     let mut estimates = Grid::filled(w, h, MotionEstimate::invalid());
     for (x, y) in bounds.pixels() {
+        if x == bounds.x0 {
+            crate::cancel::checkpoint()?;
+        }
         estimates.set(x, y, track_pixel(frames, cfg, x, y));
     }
     Ok(SmaResult {

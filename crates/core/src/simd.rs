@@ -255,6 +255,7 @@ fn track_simd_impl(
     let _span = sma_obs::span("track_simd");
     let (w, h) = frames.dims();
     let bounds = region.bounds_checked(w, h)?;
+    crate::cancel::checkpoint()?;
     let ns = cfg.nzs as isize;
     let nt = cfg.nzt;
     let template = cfg.template_window();
@@ -287,6 +288,7 @@ fn track_simd_impl(
         border.extend(rerouted);
     }
     sma_obs::atlas::mark_batch(sma_obs::atlas::AtlasChannel::DispatchExact, &border);
+    crate::cancel::checkpoint()?;
     if parallel {
         let tracked: Vec<((usize, usize), MotionEstimate)> = border
             .par_iter()
@@ -372,6 +374,7 @@ fn track_simd_impl(
     let mut gx_row = vec![0.0f64; w];
     let mut gy_row = vec![0.0f64; w];
     for oy in -ns..=ns {
+        crate::cancel::checkpoint()?;
         for ox in -ns..=ns {
             {
                 let _plane_span = sma_obs::span("simd_offset_planes");

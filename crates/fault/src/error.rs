@@ -148,6 +148,34 @@ pub enum SmaError {
     /// An invalid [`SmaConfig`](https://docs.rs/sma-core) — carried as
     /// the message `SmaConfig::validate` produces.
     Config(String),
+    /// The service declined to admit a sequence: the §4.3-derived host
+    /// byte budget or the queue-depth model says it does not fit.
+    Overloaded {
+        /// Bytes the sequence needs resident to make progress.
+        needed_bytes: usize,
+        /// Bytes its fair share of the host budget would grant.
+        available_bytes: usize,
+        /// Frame pairs already queued across all tenants.
+        queued_pairs: usize,
+        /// Queue capacity in frame pairs.
+        queue_capacity: usize,
+    },
+    /// A frame overran its per-frame deadline budget and was cancelled
+    /// by the watchdog at a driver cancellation point.
+    DeadlineExceeded {
+        /// Milliseconds elapsed when the cancel was observed.
+        elapsed_ms: u64,
+        /// The deadline budget in milliseconds.
+        budget_ms: u64,
+    },
+    /// A tenant's circuit breaker is open: the tenant was quarantined
+    /// after consecutive failures and is only probed, not served.
+    CircuitOpen {
+        /// The quarantined tenant id.
+        tenant: usize,
+        /// Consecutive failures that tripped the breaker.
+        consecutive_failures: u32,
+    },
 }
 
 impl fmt::Display for SmaError {
@@ -158,6 +186,30 @@ impl fmt::Display for SmaError {
             SmaError::Stereo(e) => write!(f, "stereo error: {e}"),
             SmaError::MasPar(e) => write!(f, "maspar error: {e}"),
             SmaError::Config(msg) => write!(f, "invalid SMA configuration: {msg}"),
+            SmaError::Overloaded {
+                needed_bytes,
+                available_bytes,
+                queued_pairs,
+                queue_capacity,
+            } => write!(
+                f,
+                "service overloaded: need {needed_bytes} B (fair share {available_bytes} B), \
+                 queue {queued_pairs}/{queue_capacity} pairs"
+            ),
+            SmaError::DeadlineExceeded {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "frame deadline exceeded: {elapsed_ms} ms elapsed of a {budget_ms} ms budget"
+            ),
+            SmaError::CircuitOpen {
+                tenant,
+                consecutive_failures,
+            } => write!(
+                f,
+                "tenant {tenant} circuit open after {consecutive_failures} consecutive failures"
+            ),
         }
     }
 }
@@ -169,7 +221,10 @@ impl std::error::Error for SmaError {
             SmaError::Grid(e) => Some(e),
             SmaError::Stereo(e) => Some(e),
             SmaError::MasPar(e) => Some(e),
-            SmaError::Config(_) => None,
+            SmaError::Config(_)
+            | SmaError::Overloaded { .. }
+            | SmaError::DeadlineExceeded { .. }
+            | SmaError::CircuitOpen { .. } => None,
         }
     }
 }
@@ -220,6 +275,39 @@ mod tests {
             attempts: 3,
         });
         assert!(m.to_string().contains("after 3 attempts"));
+    }
+
+    #[test]
+    fn service_variants_display_and_compare() {
+        let o = SmaError::Overloaded {
+            needed_bytes: 1024,
+            available_bytes: 512,
+            queued_pairs: 7,
+            queue_capacity: 8,
+        };
+        assert!(o.to_string().contains("need 1024 B"));
+        assert!(o.to_string().contains("7/8 pairs"));
+        assert!(std::error::Error::source(&o).is_none());
+
+        let d = SmaError::DeadlineExceeded {
+            elapsed_ms: 12,
+            budget_ms: 5,
+        };
+        assert!(d.to_string().contains("12 ms elapsed of a 5 ms budget"));
+
+        let c = SmaError::CircuitOpen {
+            tenant: 3,
+            consecutive_failures: 4,
+        };
+        assert!(c.to_string().contains("tenant 3"));
+        assert_eq!(
+            c,
+            SmaError::CircuitOpen {
+                tenant: 3,
+                consecutive_failures: 4
+            }
+        );
+        assert_ne!(o, d);
     }
 
     #[test]

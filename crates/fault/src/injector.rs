@@ -31,11 +31,17 @@ pub enum FaultSite {
     MomentPlane,
     /// An input-layer pixel block drops out in `satdata` (sensor gap).
     InputDropout,
+    /// A frame's deadline budget is (simulated as) overrun: the service
+    /// treats the attempt as cancelled by the watchdog.
+    DeadlineOverrun,
+    /// A service worker dies mid-frame; the frame is retried on the
+    /// pool.
+    WorkerDeath,
 }
 
 impl FaultSite {
     /// Every site, in ledger order.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::RouterSend,
         FaultSite::RouterFetch,
         FaultSite::XnetFetch,
@@ -43,6 +49,8 @@ impl FaultSite {
         FaultSite::PeFault,
         FaultSite::MomentPlane,
         FaultSite::InputDropout,
+        FaultSite::DeadlineOverrun,
+        FaultSite::WorkerDeath,
     ];
 
     /// Stable index into per-site ledger slots.
@@ -55,6 +63,8 @@ impl FaultSite {
             FaultSite::PeFault => 4,
             FaultSite::MomentPlane => 5,
             FaultSite::InputDropout => 6,
+            FaultSite::DeadlineOverrun => 7,
+            FaultSite::WorkerDeath => 8,
         }
     }
 
@@ -69,6 +79,8 @@ impl FaultSite {
             FaultSite::PeFault => "pe_fault",
             FaultSite::MomentPlane => "moment_plane",
             FaultSite::InputDropout => "input_dropout",
+            FaultSite::DeadlineOverrun => "deadline_overrun",
+            FaultSite::WorkerDeath => "worker_death",
         }
     }
 
@@ -83,6 +95,8 @@ impl FaultSite {
             FaultSite::PeFault => 0xa076_1d64_78bd_642f,
             FaultSite::MomentPlane => 0xe703_7ed1_a0b4_28db,
             FaultSite::InputDropout => 0x8ebc_6af0_9c88_c6e3,
+            FaultSite::DeadlineOverrun => 0xc2b2_ae3d_27d4_eb4f,
+            FaultSite::WorkerDeath => 0x1656_67b1_9e37_79f9,
         }
     }
 }
@@ -105,13 +119,29 @@ fn init_from_env() {
         if ARMED.load(Ordering::Acquire) != STATE_UNINIT {
             return;
         }
-        match std::env::var("SMA_FAULTS").ok().and_then(|v| parse(&v)) {
-            Some((seed, fault_rate)) => {
-                SEED.store(seed, Ordering::Relaxed);
-                RATE_BITS.store(fault_rate.to_bits(), Ordering::Relaxed);
-                ARMED.store(STATE_ARMED, Ordering::Release);
-            }
-            None => ARMED.store(STATE_DISARMED, Ordering::Release),
+        match std::env::var("SMA_FAULTS") {
+            Ok(v) => match parse(&v) {
+                Some((seed, fault_rate)) => {
+                    SEED.store(seed, Ordering::Relaxed);
+                    RATE_BITS.store(fault_rate.to_bits(), Ordering::Relaxed);
+                    ARMED.store(STATE_ARMED, Ordering::Release);
+                }
+                None => {
+                    // A typo'd knob must not silently disarm a fault
+                    // sweep: say so once, then stay disarmed as
+                    // documented. The empty string reads as unset.
+                    if !v.trim().is_empty() {
+                        sma_obs::env::warn_misparse(
+                            "SMA_FAULTS",
+                            &v,
+                            "<seed>[:<rate>] (decimal u64 seed, rate in [0,1])",
+                            "fault injection stays disarmed",
+                        );
+                    }
+                    ARMED.store(STATE_DISARMED, Ordering::Release);
+                }
+            },
+            Err(_) => ARMED.store(STATE_DISARMED, Ordering::Release),
         }
     });
 }

@@ -25,6 +25,8 @@ static SITE_INJECTED: [AtomicU64; SITES] = [
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
 ];
 
 // sma-obs mirrors. These no-op unless the obs runtime is enabled; the
@@ -42,6 +44,8 @@ static OBS_SITE: [sma_obs::Counter; SITES] = [
     sma_obs::Counter::new("fault.site.pe_fault"),
     sma_obs::Counter::new("fault.site.moment_plane"),
     sma_obs::Counter::new("fault.site.input_dropout"),
+    sma_obs::Counter::new("fault.site.deadline_overrun"),
+    sma_obs::Counter::new("fault.site.worker_death"),
 ];
 
 pub(crate) fn record_injected(site: FaultSite) {

@@ -41,18 +41,33 @@ static STATE: AtomicU8 = AtomicU8::new(0);
 
 /// True when the lane-chunked kernels are enabled (the default).
 ///
-/// First call consults the `SMA_SIMD` environment variable: `off` or `0`
-/// disables the kernels, anything else (or unset) enables them.
+/// First call consults the `SMA_SIMD` environment variable: `off`/`0`
+/// disables the kernels, `on`/`1` (or unset) enables them
+/// (case-insensitive, surrounding whitespace ignored). Anything else
+/// warns once on stderr and keeps the default — a typo must not
+/// silently change which kernels a run used.
 #[inline]
 pub fn enabled() -> bool {
     match STATE.load(Ordering::Relaxed) {
         1 => false,
         2 => true,
         _ => {
-            let on = !matches!(
-                std::env::var("SMA_SIMD").as_deref(),
-                Ok("off") | Ok("0") | Ok("OFF")
-            );
+            let on = match std::env::var("SMA_SIMD") {
+                Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                    "off" | "0" => false,
+                    "on" | "1" | "" => true,
+                    _ => {
+                        sma_obs::env::warn_misparse(
+                            "SMA_SIMD",
+                            &v,
+                            "on|off (or 1|0)",
+                            "SIMD kernels stay on",
+                        );
+                        true
+                    }
+                },
+                Err(_) => true,
+            };
             STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
             on
         }

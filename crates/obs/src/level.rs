@@ -86,13 +86,12 @@ fn init_from_env() -> ObsLevel {
                 // A typo must not silently disable the run's telemetry:
                 // warn exactly once, naming the accepted spellings, then
                 // fall back to Off as documented.
-                static WARNED: std::sync::Once = std::sync::Once::new();
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "[sma-obs] unrecognized SMA_OBS value {s:?}; accepted values are \
-                         off|summary|spans|trace (or 0|1|2|3) — observability stays off"
-                    );
-                });
+                crate::env::warn_misparse(
+                    "SMA_OBS",
+                    &s,
+                    "off|summary|spans|trace (or 0|1|2|3)",
+                    "observability stays off",
+                );
                 ObsLevel::Off
             }
         },

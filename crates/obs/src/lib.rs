@@ -49,10 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod atlas;
+pub mod env;
 pub mod json;
 mod level;
 pub mod metrics;
 pub mod report;
+pub mod scoped;
 pub mod span;
 pub mod trace;
 

@@ -1,0 +1,129 @@
+//! Dynamically-keyed counters for per-tenant (per-shard, per-stream)
+//! scoping.
+//!
+//! The static [`Counter`](crate::metrics::Counter) registry is ideal for
+//! fixed pipeline stages but cannot name a counter per *tenant* — tenant
+//! ids only exist at runtime. This module keeps a process-global map
+//! keyed `(scope, id, field)` (e.g. `("serve.tenant", 3, "completed")`)
+//! that renders as `serve.tenant.3.completed` in snapshots and
+//! `METRICS_*.json` exports. Like the static metrics, recording is
+//! gated on the runtime [`level`](crate::level): with `SMA_OBS` off the
+//! map is never touched.
+//!
+//! With the `enabled` feature off every entry point compiles to an empty
+//! body.
+
+#[cfg(feature = "enabled")]
+use std::collections::BTreeMap;
+#[cfg(feature = "enabled")]
+use std::sync::Mutex;
+
+#[cfg(feature = "enabled")]
+static SCOPED: Mutex<BTreeMap<(&'static str, usize, &'static str), u64>> =
+    Mutex::new(BTreeMap::new());
+
+/// Add `n` to the scoped counter `(scope, id, field)`.
+#[inline]
+pub fn add(scope: &'static str, id: usize, field: &'static str, n: u64) {
+    #[cfg(feature = "enabled")]
+    {
+        if crate::level() == crate::ObsLevel::Off || n == 0 {
+            return;
+        }
+        let mut map = SCOPED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *map.entry((scope, id, field)).or_insert(0) += n;
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (scope, id, field, n);
+    }
+}
+
+/// Increment the scoped counter `(scope, id, field)` by one.
+#[inline]
+pub fn incr(scope: &'static str, id: usize, field: &'static str) {
+    add(scope, id, field, 1);
+}
+
+/// Raise the scoped counter to at least `v` (high-water semantics).
+#[inline]
+pub fn set_max(scope: &'static str, id: usize, field: &'static str, v: u64) {
+    #[cfg(feature = "enabled")]
+    {
+        if crate::level() == crate::ObsLevel::Off {
+            return;
+        }
+        let mut map = SCOPED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let slot = map.entry((scope, id, field)).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = (scope, id, field, v);
+    }
+}
+
+/// Snapshot all scoped counters as `("scope.id.field", value)` rows in
+/// key order. Empty with the feature off.
+pub fn snapshot() -> Vec<(String, u64)> {
+    #[cfg(feature = "enabled")]
+    {
+        let map = SCOPED
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.iter()
+            .map(|((scope, id, field), v)| (format!("{scope}.{id}.{field}"), *v))
+            .collect()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Zero and forget every scoped counter (tests and report binaries).
+pub fn reset() {
+    #[cfg(feature = "enabled")]
+    SCOPED
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
+}
+
+/// Export every scoped counter into a metrics document.
+pub fn export_into(doc: &mut crate::json::MetricsDoc) {
+    for (name, v) in snapshot() {
+        doc.set_counter(&name, v);
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_counters_render_with_ids() {
+        let prev = crate::level();
+        crate::set_level(crate::ObsLevel::Summary);
+        reset();
+        incr("test.tenant", 0, "completed");
+        add("test.tenant", 7, "completed", 3);
+        set_max("test.tenant", 7, "depth_high_water", 5);
+        set_max("test.tenant", 7, "depth_high_water", 2);
+        let rows = snapshot();
+        let get = |k: &str| rows.iter().find(|(n, _)| n == k).map(|(_, v)| *v);
+        assert_eq!(get("test.tenant.0.completed"), Some(1));
+        assert_eq!(get("test.tenant.7.completed"), Some(3));
+        assert_eq!(get("test.tenant.7.depth_high_water"), Some(5));
+
+        let mut doc = crate::json::MetricsDoc::new("scoped_test");
+        export_into(&mut doc);
+        assert_eq!(doc.counter("test.tenant.7.completed"), 3);
+        reset();
+        crate::set_level(prev);
+    }
+}

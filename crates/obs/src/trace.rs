@@ -202,7 +202,20 @@ pub fn recording() -> bool {
 #[cfg(feature = "enabled")]
 #[cold]
 fn init_from_env() -> bool {
-    let armed = std::env::var("SMA_TRACE").is_ok_and(|v| !v.trim().is_empty());
+    let var = std::env::var("SMA_TRACE").ok();
+    let armed = var.as_deref().is_some_and(|v| !v.trim().is_empty());
+    if let Some(v) = var.as_deref() {
+        // Set-but-blank is the one unparseable spelling this knob has: it
+        // looks armed in the environment but records nothing.
+        if v.trim().is_empty() {
+            crate::env::warn_misparse(
+                "SMA_TRACE",
+                v,
+                "a non-empty output path (e.g. trace.json)",
+                "flight recorder stays off",
+            );
+        }
+    }
     if armed {
         let _ = epoch();
     }

@@ -1,0 +1,141 @@
+//! Per-tenant circuit breaking.
+//!
+//! A tenant whose pairs keep failing non-transiently (poisoned frames,
+//! a fault storm past the retry budget) is quarantined so its failures
+//! stop consuming worker time: after `k` consecutive failures the
+//! circuit *opens* and the scheduler skips the tenant's pairs. After a
+//! cooldown — measured in scheduling polls, not wall-clock, so breaker
+//! traces are deterministic — the circuit goes *half-open*: exactly one
+//! probe pair runs. Success closes the circuit; failure reopens it for
+//! a full cooldown.
+
+/// Breaker position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy; failures are being counted.
+    Closed,
+    /// Quarantined; polls are skipped while the cooldown drains.
+    Open,
+    /// Cooldown drained; the next poll is the probe.
+    HalfOpen,
+}
+
+/// One tenant's circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    k: u32,
+    cooldown_polls: u32,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker opening after `k` consecutive failures, with
+    /// `cooldown_polls` skipped polls before the half-open probe.
+    pub fn new(k: u32, cooldown_polls: u32) -> Self {
+        Self {
+            k: k.max(1),
+            cooldown_polls,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Consecutive non-transient failures seen while closed (reported
+    /// in [`SmaError::CircuitOpen`](sma_fault::SmaError::CircuitOpen)).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Scheduler poll: may this tenant's next pair run now? `false`
+    /// means skip the pair (circuit open); each skip drains one
+    /// cooldown tick, and the poll after the last tick is the half-open
+    /// probe.
+    pub fn poll(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.cooldown_left > 0 {
+                    self.cooldown_left -= 1;
+                }
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                }
+                false
+            }
+        }
+    }
+
+    /// A pair completed: close the circuit and clear the failure run.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// A pair failed non-transiently. A half-open probe failure reopens
+    /// immediately; a closed breaker opens at `k` consecutive failures.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.cooldown_left = self.cooldown_polls;
+            }
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.k {
+                    self.state = BreakerState::Open;
+                    self.cooldown_left = self.cooldown_polls;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_k_failures_and_probes_after_cooldown() {
+        let mut b = CircuitBreaker::new(3, 2);
+        for _ in 0..2 {
+            assert!(b.poll());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.poll());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Two skipped polls drain the cooldown.
+        assert!(!b.poll());
+        assert!(!b.poll());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe runs and succeeds: closed again.
+        assert!(b.poll());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_a_full_cooldown() {
+        let mut b = CircuitBreaker::new(1, 1);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.poll());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.poll());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.poll());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

@@ -17,11 +17,12 @@
 //! cannot be reused). The resident total therefore never exceeds the
 //! budget, which the high-water gauge and a regression test assert.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use sma_core::FrameArtifacts;
+use sma_core::{FrameArtifacts, SmaConfig, SmaError};
 use sma_grid::pyramid::Pyramid;
-use sma_grid::ValidityMask;
+use sma_grid::{Grid, ValidityMask};
 use sma_stereo::ViewTables;
 
 static CACHE_HITS: sma_obs::Counter = sma_obs::Counter::new("stream.cache_hits");
@@ -106,6 +107,49 @@ impl CachedArtifact {
     }
 }
 
+/// Host-level resident-byte accounting shared by every cache shard.
+///
+/// The service layer gives each tenant its own [`ArtifactCache`] shard
+/// but budgets them against *one* host figure (the §4.3 aggregate
+/// slack). Every shard attached via [`ArtifactCache::with_meter`]
+/// reports its admissions and evictions here, so
+/// [`UsageMeter::resident_bytes`] is the true cross-tenant total and
+/// [`UsageMeter::high_water_bytes`] is the figure the zero-breach
+/// acceptance gate checks. Updates are atomic add-then-max, so the high
+/// water is a real point-in-time total even when two shards admit
+/// simultaneously.
+#[derive(Debug, Default)]
+pub struct UsageMeter {
+    bytes: AtomicUsize,
+    high: AtomicUsize,
+}
+
+impl UsageMeter {
+    /// A fresh meter at zero, ready to share across shards.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn add(&self, n: usize) {
+        let now = self.bytes.fetch_add(n, Ordering::Relaxed) + n;
+        self.high.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, n: usize) {
+        self.bytes.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Bytes currently resident across all attached shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Largest cross-shard resident total ever reached.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
 /// Point-in-time cache statistics. Kept by the cache itself (not read
 /// back from the obs registry) so behaviour-sensitive callers — the
 /// report's acceptance gates, the identity tests — see the same numbers
@@ -144,6 +188,7 @@ pub struct ArtifactCache {
     entries: Vec<((usize, ArtifactKind), CachedArtifact, usize)>,
     resident_bytes: usize,
     stats: CacheStats,
+    meter: Option<Arc<UsageMeter>>,
 }
 
 impl ArtifactCache {
@@ -154,12 +199,53 @@ impl ArtifactCache {
             entries: Vec::new(),
             resident_bytes: 0,
             stats: CacheStats::default(),
+            meter: None,
         }
+    }
+
+    /// Attach a shared [`UsageMeter`]: this cache becomes a shard whose
+    /// admissions and evictions roll up into the meter's host total.
+    pub fn with_meter(mut self, meter: Arc<UsageMeter>) -> Self {
+        self.meter = Some(meter);
+        self
     }
 
     /// The configured byte budget.
     pub fn budget_bytes(&self) -> usize {
         self.budget_bytes
+    }
+
+    /// Shrink (or grow) the byte budget in place, evicting
+    /// least-recently-used entries until the resident total fits the
+    /// new figure. The service layer calls this when a later admission
+    /// tightens every tenant's fair share.
+    pub fn resize_budget(&mut self, budget_bytes: usize) {
+        self.budget_bytes = budget_bytes;
+        while self.resident_bytes > self.budget_bytes {
+            self.evict_front();
+        }
+    }
+
+    /// Drop every entry (budget unchanged). Called when a tenant's
+    /// sequence finishes, releasing its shard's bytes back to the host
+    /// meter. Lifecycle clears are not LRU pressure, so the eviction
+    /// statistic is untouched.
+    pub fn clear(&mut self) {
+        if let Some(m) = &self.meter {
+            m.sub(self.resident_bytes);
+        }
+        self.entries.clear();
+        self.resident_bytes = 0;
+    }
+
+    fn evict_front(&mut self) {
+        let (_, evicted, evicted_bytes) = self.entries.remove(0);
+        self.resident_bytes -= evicted_bytes;
+        if let Some(m) = &self.meter {
+            m.sub(evicted_bytes);
+        }
+        self.stats.evictions += 1;
+        PLANES_EVICTED.add(evicted.plane_count());
     }
 
     /// Bytes currently resident.
@@ -216,23 +302,91 @@ impl ArtifactCache {
         if let Some(pos) = self.entries.iter().position(|(k, _, _)| *k == key) {
             let (_, _, old_bytes) = self.entries.remove(pos);
             self.resident_bytes -= old_bytes;
+            if let Some(m) = &self.meter {
+                m.sub(old_bytes);
+            }
         }
         let bytes = artifact.charged_bytes();
         if bytes > self.budget_bytes {
             return;
         }
         while self.resident_bytes + bytes > self.budget_bytes {
-            let (_, evicted, evicted_bytes) = self.entries.remove(0);
-            self.resident_bytes -= evicted_bytes;
-            self.stats.evictions += 1;
-            PLANES_EVICTED.add(evicted.plane_count());
+            self.evict_front();
         }
         self.entries.push((key, artifact, bytes));
         self.resident_bytes += bytes;
+        if let Some(m) = &self.meter {
+            m.add(bytes);
+        }
         if self.resident_bytes > self.stats.high_water_bytes {
             self.stats.high_water_bytes = self.resident_bytes;
         }
         CACHE_BYTES_HIGH_WATER.record(self.resident_bytes as u64);
+    }
+}
+
+/// Frame `t`'s [`FrameArtifacts`] from `cache`, computing (and caching)
+/// them on a miss. This is the one preparation path shared by
+/// [`StreamEngine`](crate::engine::StreamEngine) and the service layer's
+/// per-tenant shards — both therefore execute byte-for-byte the same
+/// code as pairwise [`sma_core::SmaFrames::prepare`], which is what
+/// keeps streamed and served output bit-identical to the solo replay.
+///
+/// # Errors
+/// Propagates [`FrameArtifacts::prepare`] failures.
+pub fn cached_frame_artifacts(
+    cache: &mut ArtifactCache,
+    t: usize,
+    intensity: &Grid<f32>,
+    surface: &Grid<f32>,
+    cfg: &SmaConfig,
+) -> Result<Arc<FrameArtifacts>, SmaError> {
+    if let Some(CachedArtifact::Frame(a)) = cache.get(t, ArtifactKind::Frame) {
+        return Ok(a);
+    }
+    let a = Arc::new(FrameArtifacts::prepare(intensity, surface, cfg)?);
+    cache.insert(t, CachedArtifact::Frame(Arc::clone(&a)));
+    Ok(a)
+}
+
+/// A mutex-wrapped [`ArtifactCache`] shard, clonable across the worker
+/// pool. Workers hold the lock only for lookups and admissions (the
+/// artifact computation itself runs outside it), and a poisoned lock is
+/// recovered rather than propagated — cache state is Arc-shared planes
+/// plus counters, all valid at every instruction boundary.
+#[derive(Debug, Clone)]
+pub struct SharedArtifactCache {
+    inner: Arc<Mutex<ArtifactCache>>,
+}
+
+impl SharedArtifactCache {
+    /// Wrap `cache` for shared access.
+    pub fn new(cache: ArtifactCache) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(cache)),
+        }
+    }
+
+    /// Lock the shard. Recovers a poisoned lock (see type docs).
+    pub fn lock(&self) -> MutexGuard<'_, ArtifactCache> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// [`cached_frame_artifacts`] under this shard's lock. The lock is
+    /// held across the preparation so a shard never computes one frame
+    /// twice; cross-shard parallelism is unaffected (each tenant owns
+    /// its shard).
+    ///
+    /// # Errors
+    /// Propagates [`FrameArtifacts::prepare`] failures.
+    pub fn frame_artifacts(
+        &self,
+        t: usize,
+        intensity: &Grid<f32>,
+        surface: &Grid<f32>,
+        cfg: &SmaConfig,
+    ) -> Result<Arc<FrameArtifacts>, SmaError> {
+        cached_frame_artifacts(&mut self.lock(), t, intensity, surface, cfg)
     }
 }
 

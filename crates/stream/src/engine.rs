@@ -89,12 +89,22 @@ impl<'a> StreamEngine<'a> {
     /// # Panics
     /// Panics if the sequence has fewer than two frames.
     pub fn new(frames: Vec<FrameSource<'a>>, cfg: SmaConfig, budget_bytes: usize) -> Self {
+        Self::with_cache(frames, cfg, ArtifactCache::new(budget_bytes))
+    }
+
+    /// An engine over `frames` reusing an existing cache — e.g. a shard
+    /// attached to a host [`crate::cache::UsageMeter`]. Pipelining
+    /// defaults as in [`StreamEngine::new`].
+    ///
+    /// # Panics
+    /// Panics if the sequence has fewer than two frames.
+    pub fn with_cache(frames: Vec<FrameSource<'a>>, cfg: SmaConfig, cache: ArtifactCache) -> Self {
         assert!(frames.len() >= 2, "a motion sequence needs two frames");
         let parallel_host = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
         Self {
             frames,
             cfg,
-            cache: ArtifactCache::new(budget_bytes),
+            cache,
             pipelined: parallel_host,
         }
     }
@@ -147,17 +157,14 @@ impl<'a> StreamEngine<'a> {
     /// # Errors
     /// Propagates [`FrameArtifacts::prepare`] failures.
     pub fn artifacts(&mut self, t: usize) -> Result<Arc<FrameArtifacts>, SmaError> {
-        if let Some(CachedArtifact::Frame(a)) = self.cache.get(t, ArtifactKind::Frame) {
-            return Ok(a);
-        }
         let src = self.frames[t];
-        let a = Arc::new(FrameArtifacts::prepare(
+        crate::cache::cached_frame_artifacts(
+            &mut self.cache,
+            t,
             src.intensity,
             src.surface,
             &self.cfg,
-        )?);
-        self.cache.insert(t, CachedArtifact::Frame(Arc::clone(&a)));
-        Ok(a)
+        )
     }
 
     /// The assembled pair `(t, t+1)` — pointer copies once both frames'

@@ -33,5 +33,8 @@
 pub mod cache;
 pub mod engine;
 
-pub use cache::{ArtifactCache, ArtifactKind, CacheStats, CachedArtifact};
+pub use cache::{
+    cached_frame_artifacts, ArtifactCache, ArtifactKind, CacheStats, CachedArtifact,
+    SharedArtifactCache, UsageMeter,
+};
 pub use engine::{goddard_cache_budget, sequence_frames, FrameSource, StreamEngine};

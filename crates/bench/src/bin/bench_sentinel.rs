@@ -203,9 +203,13 @@ fn main() {
 
     println!("bench_sentinel: tolerance {tol} (ratios may shrink this fraction)");
     let mut failures: Vec<String> = Vec::new();
+    let mut skipped: Vec<&str> = Vec::new();
     for (label, cur_path, base_path, optional) in pairs {
         if optional && !std::path::Path::new(cur_path).exists() {
-            println!("{label}: {cur_path} absent — skipped (produced by a separate job)");
+            // Loud on purpose: an optional pair that silently vanished
+            // would let a report-wiring regression masquerade as green.
+            println!("SKIPPED {label}: {cur_path} absent (produced by a separate job)");
+            skipped.push(label);
             continue;
         }
         let current = match load(cur_path) {
@@ -233,5 +237,13 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("\nbench_sentinel: no regressions OK");
+    if skipped.is_empty() {
+        println!("\nbench_sentinel: no regressions OK (0 pairs skipped)");
+    } else {
+        println!(
+            "\nbench_sentinel: no regressions OK ({} pair(s) skipped: {})",
+            skipped.len(),
+            skipped.join(", ")
+        );
+    }
 }

@@ -22,8 +22,8 @@ use sma_core::fastpath::{track_all_integral, track_all_integral_parallel};
 use sma_core::motion::SmaFrames;
 use sma_core::sequential::Region;
 use sma_core::{
-    track_all_parallel, track_all_sequential, track_all_simd, track_all_simd_parallel, MotionModel,
-    SmaConfig,
+    track_all_parallel, track_all_planner, track_all_sequential, track_all_simd,
+    track_all_simd_parallel, MotionModel, SmaConfig,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -64,6 +64,7 @@ struct Row {
     integral_par: f64,
     simd_seq: f64,
     simd_par: f64,
+    planner: f64,
 }
 
 impl Row {
@@ -87,6 +88,30 @@ impl Row {
     /// driver against parallel driver (the acceptance ratio).
     fn speedup_simd(&self) -> f64 {
         self.integral_par / self.simd_par
+    }
+
+    /// The fastest static driver's time on this scenario — the bar the
+    /// adaptive planner is gated against.
+    fn best_static(&self) -> f64 {
+        [
+            self.exact_seq,
+            self.exact_par,
+            self.integral_seq,
+            self.integral_par,
+            self.simd_seq,
+            self.simd_par,
+        ]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Adaptive planner vs the best static driver. The planner's
+    /// interior plan resolves to the fastest admitted family and a
+    /// uniform plan collapses to one wholesale driver call, so this
+    /// ratio should sit at ~1.0 — the gate allows a small slice of
+    /// timer jitter below parity, nothing structural.
+    fn speedup_planner(&self) -> f64 {
+        self.best_static() / self.planner
     }
 }
 
@@ -127,6 +152,9 @@ fn run_scenario(s: &Scenario) -> Row {
     let simd_par = time_best(|| {
         black_box(track_all_simd_parallel(black_box(&frames), &cfg, region)).expect("track");
     });
+    let planner = time_best(|| {
+        black_box(track_all_planner(black_box(&frames), &cfg, region)).expect("track");
+    });
     Row {
         name: s.name,
         frame: s.side,
@@ -138,6 +166,7 @@ fn run_scenario(s: &Scenario) -> Row {
         integral_par,
         simd_seq,
         simd_par,
+        planner,
     }
 }
 
@@ -198,9 +227,9 @@ fn main() {
         ]
     };
 
-    println!("SMA hot path: exact vs moment-plane integral vs SIMD lane kernels");
+    println!("SMA hot path: exact vs moment-plane integral vs SIMD lane kernels vs planner");
     println!(
-        "  {:<12} {:>7} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8}",
+        "  {:<12} {:>7} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8}",
         "scenario",
         "frame",
         "template",
@@ -210,15 +239,17 @@ fn main() {
         "int_par",
         "simd_seq",
         "simd_par",
+        "planner",
         "int_x",
-        "simd_x"
+        "simd_x",
+        "pln_x"
     );
 
     let mut rows = Vec::new();
     for s in scenarios {
         let r = run_scenario(s);
         println!(
-            "  {:<12} {:>4}^2 {:>6}^2 {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>7.1}x {:>7.1}x",
+            "  {:<12} {:>4}^2 {:>6}^2 {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>7.1}x {:>7.1}x {:>7.2}x",
             r.name,
             r.frame,
             r.template_side,
@@ -228,8 +259,10 @@ fn main() {
             r.integral_par,
             r.simd_seq,
             r.simd_par,
+            r.planner,
             r.speedup_parallel(),
-            r.speedup_simd()
+            r.speedup_simd(),
+            r.speedup_planner()
         );
         rows.push(r);
     }
@@ -262,9 +295,11 @@ fn main() {
                 "      \"integral_parallel\": {:.6},\n",
                 "      \"simd_sequential\": {:.6},\n",
                 "      \"simd_parallel\": {:.6},\n",
+                "      \"planner\": {:.6},\n",
                 "      \"speedup_integral_vs_exact_parallel\": {:.4},\n",
                 "      \"speedup_integral_vs_exact_sequential\": {:.4},\n",
-                "      \"speedup_simd_vs_integral_parallel\": {:.4}\n",
+                "      \"speedup_simd_vs_integral_parallel\": {:.4},\n",
+                "      \"speedup_planner_vs_best_static\": {:.4}\n",
                 "    }}{}\n"
             ),
             r.name,
@@ -277,9 +312,11 @@ fn main() {
             r.integral_par,
             r.simd_seq,
             r.simd_par,
+            r.planner,
             r.speedup_parallel(),
             r.speedup_sequential(),
             r.speedup_simd(),
+            r.speedup_planner(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -309,18 +346,27 @@ fn main() {
     // (--small): the same two ratios on the small scenario with relaxed
     // thresholds (the small frame spends proportionally more time in
     // fixed setup, and CI runners are noisy).
-    let (gate_name, int_need, simd_need) = if small_only {
-        ("small_t7", 3.0, 1.2)
+    // The planner gate is a parity bar, not a speedup bar: on these
+    // uniform interior scenarios the plan collapses to one wholesale
+    // call into the fastest admitted driver, so "never slower than the
+    // best static driver" means a ratio of ~1.0. The thresholds sit a
+    // few percent below 1.0 only to absorb best-of-reps timer jitter —
+    // any structural slowdown (a planner that re-plans per pixel, or
+    // mosaics a uniform region) lands far below them.
+    let (gate_name, int_need, simd_need, planner_need) = if small_only {
+        ("small_t7", 3.0, 1.2, 0.9)
     } else {
-        ("medium_t21", 10.0, 3.0)
+        ("medium_t21", 10.0, 3.0, 0.95)
     };
     let gate = rows.iter().find(|r| r.name == gate_name).expect("gate row");
     let mut ok = true;
     let int_x = gate.speedup_parallel();
     let simd_x = gate.speedup_simd();
+    let planner_x = gate.speedup_planner();
     for (label, got, need) in [
         ("integral vs exact (parallel)", int_x, int_need),
         ("simd vs integral (parallel)", simd_x, simd_need),
+        ("planner vs best static", planner_x, planner_need),
     ] {
         if got >= need {
             println!("acceptance: {gate_name} {label} = {got:.1}x (>= {need}x) OK");

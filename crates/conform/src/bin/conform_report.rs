@@ -371,6 +371,7 @@ fn print_matrix(verdicts: &[PairVerdict]) {
         DriverKind::FastpathSegmented => "fsg",
         DriverKind::FastpathSimd => "sim",
         DriverKind::FastpathSimdParallel => "smp",
+        DriverKind::PlannerAuto => "pln",
     };
     print!("  matrix:      ");
     for d in ALL_DRIVERS {

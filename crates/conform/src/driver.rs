@@ -46,10 +46,15 @@ pub enum DriverKind {
     FastpathSimd,
     /// SIMD fast path, Rayon row-parallel.
     FastpathSimdParallel,
+    /// Adaptive execution planner (`sma_core::plan`): tiles the region
+    /// and picks a per-tile strategy from the §4.3 memory budget and
+    /// border geometry. Registered with default knobs and no telemetry
+    /// feedback, so its plan is a pure function of the case.
+    PlannerAuto,
 }
 
 /// Every driver variant, in matrix order (the reference first).
-pub const ALL_DRIVERS: [DriverKind; 9] = [
+pub const ALL_DRIVERS: [DriverKind; 10] = [
     DriverKind::Sequential,
     DriverKind::Parallel,
     DriverKind::Segmented,
@@ -59,6 +64,7 @@ pub const ALL_DRIVERS: [DriverKind; 9] = [
     DriverKind::FastpathSegmented,
     DriverKind::FastpathSimd,
     DriverKind::FastpathSimdParallel,
+    DriverKind::PlannerAuto,
 ];
 
 /// Numerical family of a driver. Members of one family share per-pixel
@@ -76,6 +82,13 @@ pub enum Family {
     /// corpus, but the plane construction order differs, so the
     /// *declared* cross-family contract stays ULP-bounded.
     SimdIntegral,
+    /// The adaptive planner: mixes strategies from the other families
+    /// per tile, so it owes bit identity only to itself and carries the
+    /// ULP contract against everyone else. (With default knobs it is
+    /// empirically bit-identical to `SimdIntegral` — the interior plan
+    /// resolves to the SIMD fast path and border tiles to the same
+    /// exact fallback — but the declared contract stays ULP-bounded.)
+    Adaptive,
 }
 
 impl DriverKind {
@@ -91,6 +104,7 @@ impl DriverKind {
             DriverKind::FastpathSegmented => "fastpath_seg",
             DriverKind::FastpathSimd => "fastpath_simd_seq",
             DriverKind::FastpathSimdParallel => "fastpath_simd_par",
+            DriverKind::PlannerAuto => "planner_auto",
         }
     }
 
@@ -105,6 +119,7 @@ impl DriverKind {
                 Family::Integral
             }
             DriverKind::FastpathSimd | DriverKind::FastpathSimdParallel => Family::SimdIntegral,
+            DriverKind::PlannerAuto => Family::Adaptive,
         }
     }
 
@@ -140,6 +155,9 @@ impl DriverKind {
             DriverKind::FastpathSimd => track_all_simd(frames, &case.cfg, case.region),
             DriverKind::FastpathSimdParallel => {
                 track_all_simd_parallel(frames, &case.cfg, case.region)
+            }
+            DriverKind::PlannerAuto => {
+                sma_core::plan::track_all_planner(frames, &case.cfg, case.region)
             }
         }
     }

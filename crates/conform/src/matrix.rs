@@ -251,6 +251,29 @@ mod tests {
         assert!(D::FastpathSimdParallel.is_fastpath());
     }
 
+    /// Pin the adaptive planner's declared contracts: its plan mixes
+    /// strategies from the other families per tile, so it owes bit
+    /// identity only to itself and carries the fast-path ULP bound
+    /// against every other driver.
+    #[test]
+    fn planner_auto_contracts_are_pinned() {
+        assert_eq!(
+            contract_for(D::PlannerAuto, D::PlannerAuto),
+            Contract::BitIdentical
+        );
+        for other in crate::driver::ALL_DRIVERS {
+            if other == D::PlannerAuto {
+                continue;
+            }
+            assert_eq!(
+                contract_for(D::PlannerAuto, other),
+                Contract::UlpBounded(FASTPATH_BOUND),
+                "vs {other:?}"
+            );
+        }
+        assert!(D::PlannerAuto.is_fastpath());
+    }
+
     #[test]
     fn within_handles_zero_and_nan() {
         assert!(within(1e-9, 1e-6, 0.0, 0.0));

@@ -49,7 +49,11 @@
 //!   bit-identical to [`fastpath`] on every tested scene, ≥3× faster
 //!   on the medium bench scenario;
 //! * [`timing`] — the calibrated workload/rate model that regenerates
-//!   the paper's Tables 2 and 4, Fig. 4 and the speed-up headlines.
+//!   the paper's Tables 2 and 4, Fig. 4 and the speed-up headlines;
+//! * [`plan`] — the adaptive execution planner: every entry point above
+//!   behind one [`plan::Driver`] trait, plus a cost-model-driven
+//!   per-tile strategy picker registered in the conformance matrix as
+//!   `planner_auto`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,6 +67,7 @@ pub mod fastpath;
 pub mod maspar_driver;
 pub mod motion;
 pub mod parallel;
+pub mod plan;
 pub mod precompute;
 pub mod sequential;
 pub mod simd;
@@ -77,6 +82,7 @@ pub use fastpath::{
 };
 pub use motion::{FrameArtifacts, MotionEstimate, SmaFrames};
 pub use parallel::track_all_parallel;
+pub use plan::{track_all_planner, track_all_planner_with, ExecutionPlanner, PlannerKnobs};
 pub use sequential::track_all_sequential;
 pub use simd::{track_all_simd, track_all_simd_parallel};
 pub use sma_fault::{GridError, LedgerSnapshot, MasParError, SmaError, StereoError};

@@ -1,12 +1,21 @@
 //! The load-shedding degrade ladder.
 //!
-//! A saturated tenant's frames step down the PR 3 driver ladder before
-//! any frame is dropped: the SIMD lane kernels first give way to the
-//! integral fast path (bit-identical output, less lane bookkeeping,
-//! same memory), then to the translation-only Fcont driver (a strict
-//! subset of the hypothesis space — cheaper by the affine-refinement
-//! factor, comparable but not bit-identical output). Only past the
-//! bottom rung are pairs shed outright.
+//! A saturated tenant's frames step down the ladder before any frame is
+//! dropped: the SIMD lane kernels first give way to the integral fast
+//! path (bit-identical output, less lane bookkeeping, same memory),
+//! then to the translation-only Fcont driver (a strict subset of the
+//! hypothesis space — cheaper by the affine-refinement factor,
+//! comparable but not bit-identical output). Only past the bottom rung
+//! are pairs shed outright.
+//!
+//! Since the adaptive planner landed, a rung no longer hand-picks a
+//! driver enum: each level maps to a set of [`PlannerKnobs`] (top rung
+//! allows the SIMD family, one down forbids it, the bottom forces
+//! translation-only) and every attempt goes through
+//! [`sma_core::plan::track_all_planner_with`]. The planner resolves
+//! those knobs to the same drivers the ladder used to call directly, so
+//! output bits per rung are unchanged — but budget-driven segmentation
+//! and border handling now come along for free.
 //!
 //! Pressure is *byte* pressure: the tenant's fair-share cache shard
 //! relative to what a resident pair needs. That signal is fixed at
@@ -14,9 +23,10 @@
 //! scheduling — so a tenant's degrade level (and therefore its output
 //! bits) is reproducible run to run.
 
+use sma_core::plan::track_all_planner_with;
 use sma_core::sequential::Region;
 use sma_core::sequential::SmaResult;
-use sma_core::{SmaConfig, SmaError, SmaFrames};
+use sma_core::{PlannerKnobs, SmaConfig, SmaError, SmaFrames};
 
 /// One rung of the degrade ladder, top first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +69,32 @@ impl DegradeLevel {
         }
     }
 
-    /// Run the driver this rung maps to.
+    /// The planner knobs this rung targets. Worker threads run one pair
+    /// each, so every rung plans the sequential (non-Rayon) variants —
+    /// the same drivers the ladder called directly before the planner
+    /// existed, keeping per-rung output bits unchanged.
+    pub fn knobs(self) -> PlannerKnobs {
+        let base = PlannerKnobs {
+            parallel: false,
+            ..PlannerKnobs::default()
+        };
+        match self {
+            DegradeLevel::Simd => base,
+            DegradeLevel::Integral => PlannerKnobs {
+                allow_simd: false,
+                ..base
+            },
+            DegradeLevel::TranslationOnly => PlannerKnobs {
+                translation_only: true,
+                ..base
+            },
+        }
+    }
+
+    /// Run this rung's plan.
     ///
     /// # Errors
-    /// Propagates the driver's error, including
+    /// Propagates the planner's error, including
     /// [`SmaError::DeadlineExceeded`] from a cancellation point.
     pub fn run(
         self,
@@ -70,13 +102,7 @@ impl DegradeLevel {
         cfg: &SmaConfig,
         region: Region,
     ) -> Result<SmaResult, SmaError> {
-        match self {
-            DegradeLevel::Simd => sma_core::track_all_simd(frames, cfg, region),
-            DegradeLevel::Integral => sma_core::track_all_integral(frames, cfg, region),
-            DegradeLevel::TranslationOnly => {
-                sma_core::track_all_translation_only(frames, cfg, region)
-            }
-        }
+        track_all_planner_with(frames, cfg, region, self.knobs())
     }
 }
 
@@ -139,6 +165,20 @@ mod tests {
             level_for_pressure(base, 100, 20),
             (DegradeLevel::TranslationOnly, true)
         );
+    }
+
+    #[test]
+    fn rungs_map_to_planner_knobs() {
+        // Top rung: SIMD family allowed, sequential execution.
+        let top = DegradeLevel::Simd.knobs();
+        assert!(top.allow_simd && top.allow_integral);
+        assert!(!top.translation_only && !top.parallel);
+        // One down: SIMD forbidden, integral family still allowed.
+        let mid = DegradeLevel::Integral.knobs();
+        assert!(!mid.allow_simd && mid.allow_integral);
+        assert!(!mid.translation_only);
+        // Bottom: translation-only shedding mode.
+        assert!(DegradeLevel::TranslationOnly.knobs().translation_only);
     }
 
     #[test]

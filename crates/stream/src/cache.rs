@@ -483,4 +483,45 @@ mod tests {
         c.insert(0, CachedArtifact::Frame(a));
         assert_eq!(c.resident_bytes(), bytes);
     }
+
+    /// Regression: re-admitting a `(frame, kind)` key whose recomputed
+    /// artifact differs in size must re-charge the *delta* against the
+    /// attached [`UsageMeter`] — shrink must release bytes, growing
+    /// back must charge them again, and cache and meter must agree at
+    /// every step.
+    #[test]
+    fn reinsert_recharges_size_delta_against_meter() {
+        fn sized_artifacts(edge: usize) -> Arc<FrameArtifacts> {
+            let img = Grid::from_fn(edge, edge, |x, y| {
+                (x as f32 * 0.3).sin() + (y as f32 * 0.2).cos()
+            });
+            let cfg = SmaConfig::small_test(MotionModel::Continuous);
+            Arc::new(FrameArtifacts::prepare(&img, &img, &cfg).expect("prepare"))
+        }
+        let big = sized_artifacts(32);
+        let small = sized_artifacts(20);
+        let (big_bytes, small_bytes) = (big.resident_bytes(), small.resident_bytes());
+        assert!(small_bytes < big_bytes, "sizes must differ for the test");
+
+        let meter = UsageMeter::new();
+        let mut c = ArtifactCache::new(10 * big_bytes).with_meter(Arc::clone(&meter));
+
+        c.insert(0, CachedArtifact::Frame(Arc::clone(&big)));
+        assert_eq!(c.resident_bytes(), big_bytes);
+        assert_eq!(meter.resident_bytes(), big_bytes);
+
+        // Shrink: the old charge must be fully released first.
+        c.insert(0, CachedArtifact::Frame(small));
+        assert_eq!(c.resident_bytes(), small_bytes);
+        assert_eq!(meter.resident_bytes(), small_bytes);
+
+        // Grow back: the delta is re-charged, no stale residue either way.
+        c.insert(0, CachedArtifact::Frame(big));
+        assert_eq!(c.resident_bytes(), big_bytes);
+        assert_eq!(meter.resident_bytes(), big_bytes);
+
+        // The meter never saw a double charge: high water is the single
+        // biggest entry, not old + new coexisting.
+        assert_eq!(meter.high_water_bytes(), big_bytes);
+    }
 }

@@ -1,15 +1,29 @@
 //! Hot-path wall-clock report: exact kernels vs the integral-image fast
-//! path vs the SIMD lane-kernel drivers, emitted as `BENCH_hotpath.json`
-//! (plus a stdout table).
+//! path vs the SIMD lane-kernel drivers vs the pruned-search family,
+//! emitted as `BENCH_hotpath.json` (plus a stdout table).
 //!
 //! The medium configuration is the acceptance scenario: a 64 x 64 frame
 //! with a 21 x 21 template and 9 x 9 search, where the O(T^2) per-sample
 //! accumulation pays 441 multiply-add rows per hypothesis, the
 //! moment-plane path pays four corner lookups per moment, and the SIMD
 //! path additionally amortizes the 6 x 6 factorization per pixel and
-//! hoists the gradient divisions out of the offset loop. The large
-//! configuration (96 x 96, 31 x 31 template, 11 x 11 search) exercises
-//! the same kernels at a realistic satellite-window scale.
+//! hoists the gradient divisions out of the offset loop. The pruned
+//! driver then orders the hypothesis sweep from a decimated-lattice seed
+//! and rejects most candidates against an admissible lower bound before
+//! their offset moment planes are ever built. The large configuration
+//! (96 x 96, 31 x 31 template, 11 x 11 search) exercises the same
+//! kernels at a realistic satellite-window scale — and gives the pruned
+//! driver a 121-hypothesis sweep to cut down.
+//!
+//! Timing methodology: within a scenario all drivers are measured
+//! **interleaved round-robin** — each round runs every driver once and
+//! each driver reports its best-of-rounds. Measuring drivers
+//! back-to-back in blocks lets slow environmental drift (thermal
+//! throttling, frequency steps, cache pressure from a neighbouring job)
+//! land on whichever driver happens to run in the last block; the
+//! planner, always measured last, once read ~0.87x against the best
+//! static driver on the large scenario from block order alone.
+//! Round-robin spreads any drift evenly across all drivers.
 //!
 //! Usage: `hotpath_report [--small]`
 //!
@@ -22,26 +36,55 @@ use sma_core::fastpath::{track_all_integral, track_all_integral_parallel};
 use sma_core::motion::SmaFrames;
 use sma_core::sequential::Region;
 use sma_core::{
-    track_all_parallel, track_all_planner, track_all_sequential, track_all_simd,
-    track_all_simd_parallel, MotionModel, SmaConfig,
+    track_all_parallel, track_all_planner, track_all_pruned, track_all_pruned_parallel,
+    track_all_sequential, track_all_simd, track_all_simd_parallel, MotionModel, SmaConfig,
 };
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Best-of-reps wall-clock seconds for one driver invocation.
-fn time_best(mut f: impl FnMut()) -> f64 {
-    // Warm-up run (page-in, allocator steady state).
-    f();
-    let mut best = f64::INFINITY;
-    let mut reps = 0usize;
-    let mut spent = 0.0f64;
-    while reps < 3 || (spent < 0.2 && reps < 50) {
-        let t = Instant::now();
+/// Invocations per driver per round. A burst keeps the second and
+/// third runs warm (branch predictors trained, caches resident on that
+/// driver's working set) so the per-burst minimum measures the driver's
+/// steady state, while the round-robin rotation between bursts spreads
+/// environmental drift across all drivers.
+const BURST: usize = 3;
+
+/// Best-of-rounds wall-clock seconds for a set of drivers, measured
+/// interleaved: each round invokes every still-sampling driver
+/// [`BURST`] times back-to-back, so environmental drift is shared
+/// instead of charged to the last block (see module docs) while each
+/// sample still reflects a warmed driver. Per driver the sampling
+/// budget matches the old per-driver loop: at least 3 invocations, then
+/// until 0.2 s of accumulated time or 50 invocations.
+fn time_interleaved(drivers: &mut [Box<dyn FnMut() + '_>]) -> Vec<f64> {
+    // Warm-up round (page-in, allocator steady state).
+    for f in drivers.iter_mut() {
         f();
-        let dt = t.elapsed().as_secs_f64();
-        best = best.min(dt);
-        spent += dt;
-        reps += 1;
+    }
+    let n = drivers.len();
+    let mut best = vec![f64::INFINITY; n];
+    let mut spent = vec![0.0f64; n];
+    let mut reps = vec![0usize; n];
+    loop {
+        let sampling: Vec<bool> = (0..n)
+            .map(|i| reps[i] < 3 || (spent[i] < 0.2 && reps[i] < 50))
+            .collect();
+        if !sampling.iter().any(|&s| s) {
+            break;
+        }
+        for (i, f) in drivers.iter_mut().enumerate() {
+            if !sampling[i] {
+                continue;
+            }
+            for _ in 0..BURST {
+                let t = Instant::now();
+                f();
+                let dt = t.elapsed().as_secs_f64();
+                best[i] = best[i].min(dt);
+                spent[i] += dt;
+                reps[i] += 1;
+            }
+        }
     }
     best
 }
@@ -64,6 +107,8 @@ struct Row {
     integral_par: f64,
     simd_seq: f64,
     simd_par: f64,
+    pruned_seq: f64,
+    pruned_par: f64,
     planner: f64,
 }
 
@@ -84,10 +129,32 @@ impl Row {
         self.exact_seq / self.integral_seq
     }
 
-    /// SIMD-family speedup over the scalar integral baseline, parallel
-    /// driver against parallel driver (the acceptance ratio).
+    /// SIMD-family speedup over the scalar integral baseline,
+    /// sequential driver against sequential driver (the acceptance
+    /// ratio). The sequential pair is the clean family comparison: the
+    /// "parallel" drivers run through the vendored sequential rayon
+    /// shim, whose per-chunk dispatch adds a fixed overhead that lands
+    /// much harder on the cheap SIMD rows than on the integral rows —
+    /// gating on the parallel pair measured that shim asymmetry, not
+    /// the lane kernels.
     fn speedup_simd(&self) -> f64 {
+        self.integral_seq / self.simd_seq
+    }
+
+    /// The same family ratio over the parallel pair, carried in the
+    /// JSON for the sentinel to tolerance-track (the shim dispatch
+    /// overhead should stay roughly constant; a collapse here means the
+    /// parallel wrappers themselves regressed).
+    fn speedup_simd_parallel(&self) -> f64 {
         self.integral_par / self.simd_par
+    }
+
+    /// Pruned-search speedup over the exhaustive SIMD sweep, sequential
+    /// against sequential (the pruned family's acceptance ratio: same
+    /// kernels, bit-identical output, fewer candidate evaluations and
+    /// fewer offset-plane builds).
+    fn speedup_pruned(&self) -> f64 {
+        self.simd_seq / self.pruned_seq
     }
 
     /// The fastest static driver's time on this scenario — the bar the
@@ -100,6 +167,8 @@ impl Row {
             self.integral_par,
             self.simd_seq,
             self.simd_par,
+            self.pruned_seq,
+            self.pruned_par,
         ]
         .into_iter()
         .fold(f64::INFINITY, f64::min)
@@ -129,44 +198,59 @@ fn run_scenario(s: &Scenario) -> Row {
     let region = Region::Interior {
         margin: cfg.margin(),
     };
-    let exact_seq = time_best(|| {
-        black_box(track_all_sequential(black_box(&frames), &cfg, region)).expect("track");
-    });
-    let exact_par = time_best(|| {
-        black_box(track_all_parallel(black_box(&frames), &cfg, region)).expect("track");
-    });
-    let integral_seq = time_best(|| {
-        black_box(track_all_integral(black_box(&frames), &cfg, region)).expect("track");
-    });
-    let integral_par = time_best(|| {
-        black_box(track_all_integral_parallel(
-            black_box(&frames),
-            &cfg,
-            region,
-        ))
-        .expect("track");
-    });
-    let simd_seq = time_best(|| {
-        black_box(track_all_simd(black_box(&frames), &cfg, region)).expect("track");
-    });
-    let simd_par = time_best(|| {
-        black_box(track_all_simd_parallel(black_box(&frames), &cfg, region)).expect("track");
-    });
-    let planner = time_best(|| {
-        black_box(track_all_planner(black_box(&frames), &cfg, region)).expect("track");
-    });
+    // One closure per driver, all measured round-robin (see module
+    // docs). Order here is only the Row field order, not a measurement
+    // order — every round touches every driver.
+    let mut drivers: Vec<Box<dyn FnMut() + '_>> = vec![
+        Box::new(|| {
+            black_box(track_all_sequential(black_box(&frames), &cfg, region)).expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_parallel(black_box(&frames), &cfg, region)).expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_integral(black_box(&frames), &cfg, region)).expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_integral_parallel(
+                black_box(&frames),
+                &cfg,
+                region,
+            ))
+            .expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_simd(black_box(&frames), &cfg, region)).expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_simd_parallel(black_box(&frames), &cfg, region)).expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_pruned(black_box(&frames), &cfg, region)).expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_pruned_parallel(black_box(&frames), &cfg, region)).expect("track");
+        }),
+        Box::new(|| {
+            black_box(track_all_planner(black_box(&frames), &cfg, region)).expect("track");
+        }),
+    ];
+    let t = time_interleaved(&mut drivers);
+    drop(drivers);
     Row {
         name: s.name,
         frame: s.side,
         template_side: 2 * s.nzt + 1,
         search_side: 2 * s.nzs + 1,
-        exact_seq,
-        exact_par,
-        integral_seq,
-        integral_par,
-        simd_seq,
-        simd_par,
-        planner,
+        exact_seq: t[0],
+        exact_par: t[1],
+        integral_seq: t[2],
+        integral_par: t[3],
+        simd_seq: t[4],
+        simd_par: t[5],
+        pruned_seq: t[6],
+        pruned_par: t[7],
+        planner: t[8],
     }
 }
 
@@ -187,12 +271,47 @@ fn kernel_breakdown(s: &Scenario) -> Vec<(String, u64, f64)> {
     black_box(track_all_sequential(&frames, &cfg, region)).expect("track");
     black_box(track_all_integral(&frames, &cfg, region)).expect("track");
     black_box(track_all_simd(&frames, &cfg, region)).expect("track");
+    black_box(track_all_pruned(&frames, &cfg, region)).expect("track");
     let rows = sma_obs::span::snapshot()
         .into_iter()
         .map(|r| (r.path, r.calls, r.total.as_secs_f64()))
         .collect();
     sma_obs::set_level(prev);
     rows
+}
+
+/// Prune-rate counters from one pruned run on the gate scenario:
+/// candidates skipped against the admissible bound, raw bound rejects,
+/// offset planes actually built, and interior pixels swept — the
+/// non-vacuity evidence behind the speedup headline, carried in the
+/// JSON document so a regression to "prunes nothing" is visible even
+/// when wall-clock noise masks it.
+fn prune_counters(s: &Scenario) -> [(&'static str, u64); 4] {
+    let cfg = config_for(s);
+    let frames = shifted_frames(s.side, s.side, 1.0, 0.0, &cfg);
+    let region = Region::Interior {
+        margin: cfg.margin(),
+    };
+    let prev = sma_obs::level();
+    sma_obs::set_level(sma_obs::ObsLevel::Summary);
+    let names = [
+        "prune.candidates_skipped",
+        "prune.bound_rejects",
+        "pruned.offset_planes_built",
+        "pruned.interior_pixels",
+    ];
+    let before: Vec<u64> = {
+        let snap = sma_obs::metrics::snapshot();
+        names.iter().map(|n| snap.counter(n)).collect()
+    };
+    black_box(track_all_pruned(&frames, &cfg, region)).expect("track");
+    let snap = sma_obs::metrics::snapshot();
+    let mut out = [("", 0u64); 4];
+    for (i, n) in names.iter().enumerate() {
+        out[i] = (*n, snap.counter(n).saturating_sub(before[i]));
+    }
+    sma_obs::set_level(prev);
+    out
 }
 
 fn main() {
@@ -227,9 +346,9 @@ fn main() {
         ]
     };
 
-    println!("SMA hot path: exact vs moment-plane integral vs SIMD lane kernels vs planner");
+    println!("SMA hot path: exact vs integral vs SIMD lane kernels vs pruned search vs planner");
     println!(
-        "  {:<12} {:>7} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8}",
+        "  {:<12} {:>7} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8} {:>8} {:>8}",
         "scenario",
         "frame",
         "template",
@@ -239,9 +358,12 @@ fn main() {
         "int_par",
         "simd_seq",
         "simd_par",
+        "prune_seq",
+        "prune_par",
         "planner",
         "int_x",
         "simd_x",
+        "prune_x",
         "pln_x"
     );
 
@@ -249,7 +371,7 @@ fn main() {
     for s in scenarios {
         let r = run_scenario(s);
         println!(
-            "  {:<12} {:>4}^2 {:>6}^2 {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>7.1}x {:>7.1}x {:>7.2}x",
+            "  {:<12} {:>4}^2 {:>6}^2 {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>10.4}s {:>7.1}x {:>7.1}x {:>7.2}x {:>7.2}x",
             r.name,
             r.frame,
             r.template_side,
@@ -259,22 +381,26 @@ fn main() {
             r.integral_par,
             r.simd_seq,
             r.simd_par,
+            r.pruned_seq,
+            r.pruned_par,
             r.planner,
             r.speedup_parallel(),
             r.speedup_simd(),
+            r.speedup_pruned(),
             r.speedup_planner()
         );
         rows.push(r);
     }
 
-    // Per-kernel span breakdown on the gate scenario (the last one:
-    // medium/large in full mode, small in smoke mode).
+    // Per-kernel span breakdown and prune-rate counters on the gate
+    // scenario (medium in full mode, small in smoke mode).
     let gate_scenario = if small_only {
         &scenarios[0]
     } else {
         &scenarios[1]
     };
     let kernels = kernel_breakdown(gate_scenario);
+    let prune = prune_counters(gate_scenario);
 
     // Hand-formatted JSON (no serde in the workspace).
     let mut json = format!(
@@ -295,10 +421,14 @@ fn main() {
                 "      \"integral_parallel\": {:.6},\n",
                 "      \"simd_sequential\": {:.6},\n",
                 "      \"simd_parallel\": {:.6},\n",
+                "      \"pruned_sequential\": {:.6},\n",
+                "      \"pruned_parallel\": {:.6},\n",
                 "      \"planner\": {:.6},\n",
                 "      \"speedup_integral_vs_exact_parallel\": {:.4},\n",
                 "      \"speedup_integral_vs_exact_sequential\": {:.4},\n",
+                "      \"speedup_simd_vs_integral_sequential\": {:.4},\n",
                 "      \"speedup_simd_vs_integral_parallel\": {:.4},\n",
+                "      \"speedup_pruned_vs_simd_sequential\": {:.4},\n",
                 "      \"speedup_planner_vs_best_static\": {:.4}\n",
                 "    }}{}\n"
             ),
@@ -312,10 +442,14 @@ fn main() {
             r.integral_par,
             r.simd_seq,
             r.simd_par,
+            r.pruned_seq,
+            r.pruned_par,
             r.planner,
             r.speedup_parallel(),
             r.speedup_sequential(),
             r.speedup_simd(),
+            r.speedup_simd_parallel(),
+            r.speedup_pruned(),
             r.speedup_planner(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -330,7 +464,14 @@ fn main() {
             if i + 1 < kernels.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"prune\": {\n");
+    for (i, (name, value)) in prune.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{name}\": {value}{}\n",
+            if i + 1 < prune.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
     std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
     println!("\nwrote BENCH_hotpath.json");
 
@@ -341,37 +482,107 @@ fn main() {
     // `METRICS_hotpath_report.json`.
 
     // Acceptance gates. Full mode: the integral fast path must clear
-    // 10x over the exact kernels on medium, and the SIMD family must
-    // clear 3x over the scalar integral baseline on medium. Smoke mode
-    // (--small): the same two ratios on the small scenario with relaxed
-    // thresholds (the small frame spends proportionally more time in
-    // fixed setup, and CI runners are noisy).
-    // The planner gate is a parity bar, not a speedup bar: on these
-    // uniform interior scenarios the plan collapses to one wholesale
-    // call into the fastest admitted driver, so "never slower than the
-    // best static driver" means a ratio of ~1.0. The thresholds sit a
-    // few percent below 1.0 only to absorb best-of-reps timer jitter —
-    // any structural slowdown (a planner that re-plans per pixel, or
-    // mosaics a uniform region) lands far below them.
-    let (gate_name, int_need, simd_need, planner_need) = if small_only {
-        ("small_t7", 3.0, 1.2, 0.9)
+    // 10x over the exact kernels on medium, the SIMD family must clear
+    // 3x over the scalar integral baseline on medium (sequential pair —
+    // see [`Row::speedup_simd`] for why the parallel pair is not the
+    // gate basis), and the pruned search must clear 1.5x over the
+    // exhaustive SIMD sweep on medium and 2x on large — the larger
+    // sweep (121 hypotheses vs 81) gives the bound more to reject, so
+    // the bar rises with the scenario.
+    // Smoke mode (--small): relaxed thresholds on the small scenario
+    // (the small frame spends proportionally more time in fixed setup
+    // and CI runners are noisy); its 5 x 5 sweep is also below the
+    // pruning cutover that makes the screen worthwhile, so the pruned
+    // gate there is a no-regression parity bar, not a speedup bar.
+    // The planner gate is a parity bar on every gated scenario: on
+    // these uniform interior scenarios the plan collapses to one
+    // wholesale call into the fastest admitted driver, so "never slower
+    // than the best static driver" means a ratio of ~1.0. The
+    // thresholds sit a few percent below 1.0 only to absorb
+    // best-of-rounds timer jitter — any structural slowdown (a planner
+    // that re-plans per pixel, or mosaics a uniform region) lands far
+    // below them. The large-scenario planner gate pins the ratio where
+    // a block-ordered measurement once under-read the planner at
+    // ~0.87x; round-robin interleaving keeps it honest.
+    let mut checks: Vec<(&str, &str, f64, f64)> = Vec::new();
+    if small_only {
+        let g = &rows[0];
+        checks.push((
+            "small_t7",
+            "integral vs exact (parallel)",
+            g.speedup_parallel(),
+            3.0,
+        ));
+        checks.push((
+            "small_t7",
+            "simd vs integral (sequential)",
+            g.speedup_simd(),
+            1.2,
+        ));
+        checks.push((
+            "small_t7",
+            "pruned vs simd (sequential)",
+            g.speedup_pruned(),
+            0.8,
+        ));
+        checks.push((
+            "small_t7",
+            "planner vs best static",
+            g.speedup_planner(),
+            0.9,
+        ));
     } else {
-        ("medium_t21", 10.0, 3.0, 0.95)
-    };
-    let gate = rows.iter().find(|r| r.name == gate_name).expect("gate row");
+        let medium = rows
+            .iter()
+            .find(|r| r.name == "medium_t21")
+            .expect("medium row");
+        let large = rows
+            .iter()
+            .find(|r| r.name == "large_t31")
+            .expect("large row");
+        checks.push((
+            "medium_t21",
+            "integral vs exact (parallel)",
+            medium.speedup_parallel(),
+            10.0,
+        ));
+        checks.push((
+            "medium_t21",
+            "simd vs integral (sequential)",
+            medium.speedup_simd(),
+            3.0,
+        ));
+        checks.push((
+            "medium_t21",
+            "pruned vs simd (sequential)",
+            medium.speedup_pruned(),
+            1.5,
+        ));
+        checks.push((
+            "large_t31",
+            "pruned vs simd (sequential)",
+            large.speedup_pruned(),
+            2.0,
+        ));
+        checks.push((
+            "medium_t21",
+            "planner vs best static",
+            medium.speedup_planner(),
+            0.95,
+        ));
+        checks.push((
+            "large_t31",
+            "planner vs best static",
+            large.speedup_planner(),
+            0.9,
+        ));
+    }
     let mut ok = true;
-    let int_x = gate.speedup_parallel();
-    let simd_x = gate.speedup_simd();
-    let planner_x = gate.speedup_planner();
-    for (label, got, need) in [
-        ("integral vs exact (parallel)", int_x, int_need),
-        ("simd vs integral (parallel)", simd_x, simd_need),
-        ("planner vs best static", planner_x, planner_need),
-    ] {
+    for (scenario, label, got, need) in checks {
         if got >= need {
-            println!("acceptance: {gate_name} {label} = {got:.1}x (>= {need}x) OK");
+            println!("acceptance: {scenario} {label} = {got:.2}x (>= {need}x) OK");
         } else {
-            println!("acceptance: {gate_name} {label} = {got:.1}x (< {need}x) FAIL");
+            println!("acceptance: {scenario} {label} = {got:.2}x (< {need}x) FAIL");
             ok = false;
         }
     }

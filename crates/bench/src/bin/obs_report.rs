@@ -20,7 +20,7 @@
 //! If `SMA_OBS` is unset the level defaults to `summary` so the report
 //! is useful out of the box; set `SMA_OBS=spans` or `trace` for live
 //! span printing. With `SMA_TRACE=PATH` the flight recorder captures
-//! the whole run — all nine driver variants — and the report writes a
+//! the whole run — all eleven driver variants — and the report writes a
 //! Chrome trace-event JSON to `PATH` (open in Perfetto), validates its
 //! structure, and prints per-stage p50/p95/p99 latency.
 //! Exits nonzero if any counter disagrees with the
@@ -38,8 +38,8 @@ use sma_core::precompute::track_all_segmented;
 use sma_core::sequential::Region;
 use sma_core::timing::SmaWorkload;
 use sma_core::{
-    track_all_parallel, track_all_sequential, track_all_simd, track_all_simd_parallel, MotionModel,
-    SmaConfig,
+    track_all_parallel, track_all_pruned, track_all_pruned_parallel, track_all_sequential,
+    track_all_simd, track_all_simd_parallel, MotionModel, SmaConfig,
 };
 use sma_grid::pyramid::Pyramid;
 use sma_grid::warp::translate;
@@ -197,6 +197,14 @@ fn main() {
             (
                 "fastpath_simd_par",
                 track_all_simd_parallel(&frames, &cfg, region),
+            ),
+            (
+                "fastpath_pruned_seq",
+                track_all_pruned(&frames, &cfg, region),
+            ),
+            (
+                "fastpath_pruned_par",
+                track_all_pruned_parallel(&frames, &cfg, region),
             ),
         ];
         let bounds = region.bounds(side, side).expect("non-empty interior");

@@ -371,6 +371,8 @@ fn print_matrix(verdicts: &[PairVerdict]) {
         DriverKind::FastpathSegmented => "fsg",
         DriverKind::FastpathSimd => "sim",
         DriverKind::FastpathSimdParallel => "smp",
+        DriverKind::FastpathPruned => "prn",
+        DriverKind::FastpathPrunedParallel => "prp",
         DriverKind::PlannerAuto => "pln",
     };
     print!("  matrix:      ");

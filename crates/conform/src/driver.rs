@@ -46,6 +46,11 @@ pub enum DriverKind {
     FastpathSimd,
     /// SIMD fast path, Rayon row-parallel.
     FastpathSimdParallel,
+    /// Pruned-search fast path (coarse-lattice candidate ordering plus
+    /// admissible early termination over the SIMD kernels), sequential.
+    FastpathPruned,
+    /// Pruned-search fast path, Rayon row-parallel.
+    FastpathPrunedParallel,
     /// Adaptive execution planner (`sma_core::plan`): tiles the region
     /// and picks a per-tile strategy from the §4.3 memory budget and
     /// border geometry. Registered with default knobs and no telemetry
@@ -54,7 +59,7 @@ pub enum DriverKind {
 }
 
 /// Every driver variant, in matrix order (the reference first).
-pub const ALL_DRIVERS: [DriverKind; 10] = [
+pub const ALL_DRIVERS: [DriverKind; 12] = [
     DriverKind::Sequential,
     DriverKind::Parallel,
     DriverKind::Segmented,
@@ -64,6 +69,8 @@ pub const ALL_DRIVERS: [DriverKind; 10] = [
     DriverKind::FastpathSegmented,
     DriverKind::FastpathSimd,
     DriverKind::FastpathSimdParallel,
+    DriverKind::FastpathPruned,
+    DriverKind::FastpathPrunedParallel,
     DriverKind::PlannerAuto,
 ];
 
@@ -82,6 +89,14 @@ pub enum Family {
     /// corpus, but the plane construction order differs, so the
     /// *declared* cross-family contract stays ULP-bounded.
     SimdIntegral,
+    /// Pruned-search fast path: candidate ordering plus admissible early
+    /// termination over the SIMD kernels. Bit-identical to
+    /// `SimdIntegral` *by construction* (every evaluated candidate runs
+    /// the same lane kernels in the same per-candidate order, and
+    /// skipped candidates are provably outside the near-tie band), but
+    /// the declared cross-family contract stays ULP-bounded, matching
+    /// how the SIMD family itself is pinned against `Integral`.
+    Pruned,
     /// The adaptive planner: mixes strategies from the other families
     /// per tile, so it owes bit identity only to itself and carries the
     /// ULP contract against everyone else. (With default knobs it is
@@ -104,6 +119,8 @@ impl DriverKind {
             DriverKind::FastpathSegmented => "fastpath_seg",
             DriverKind::FastpathSimd => "fastpath_simd_seq",
             DriverKind::FastpathSimdParallel => "fastpath_simd_par",
+            DriverKind::FastpathPruned => "fastpath_pruned_seq",
+            DriverKind::FastpathPrunedParallel => "fastpath_pruned_par",
             DriverKind::PlannerAuto => "planner_auto",
         }
     }
@@ -119,6 +136,7 @@ impl DriverKind {
                 Family::Integral
             }
             DriverKind::FastpathSimd | DriverKind::FastpathSimdParallel => Family::SimdIntegral,
+            DriverKind::FastpathPruned | DriverKind::FastpathPrunedParallel => Family::Pruned,
             DriverKind::PlannerAuto => Family::Adaptive,
         }
     }
@@ -155,6 +173,12 @@ impl DriverKind {
             DriverKind::FastpathSimd => track_all_simd(frames, &case.cfg, case.region),
             DriverKind::FastpathSimdParallel => {
                 track_all_simd_parallel(frames, &case.cfg, case.region)
+            }
+            DriverKind::FastpathPruned => {
+                sma_core::track_all_pruned(frames, &case.cfg, case.region)
+            }
+            DriverKind::FastpathPrunedParallel => {
+                sma_core::track_all_pruned_parallel(frames, &case.cfg, case.region)
             }
             DriverKind::PlannerAuto => {
                 sma_core::plan::track_all_planner(frames, &case.cfg, case.region)

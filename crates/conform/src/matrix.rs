@@ -251,6 +251,31 @@ mod tests {
         assert!(D::FastpathSimdParallel.is_fastpath());
     }
 
+    /// Pin the pruned drivers' declared contracts: bit-identical to
+    /// each other, ULP-bounded against everyone else — the same shape
+    /// as the SIMD family they are built on. (The pruned drivers are
+    /// bit-identical to the SIMD family by construction; the declared
+    /// contract deliberately does not lean on that stronger claim.)
+    #[test]
+    fn pruned_driver_contracts_are_pinned() {
+        assert_eq!(
+            contract_for(D::FastpathPruned, D::FastpathPrunedParallel),
+            Contract::BitIdentical
+        );
+        for other in crate::driver::ALL_DRIVERS {
+            if matches!(other, D::FastpathPruned | D::FastpathPrunedParallel) {
+                continue;
+            }
+            assert_eq!(
+                contract_for(D::FastpathPruned, other),
+                Contract::UlpBounded(FASTPATH_BOUND),
+                "vs {other:?}"
+            );
+        }
+        assert!(D::FastpathPruned.is_fastpath());
+        assert!(D::FastpathPrunedParallel.is_fastpath());
+    }
+
     /// Pin the adaptive planner's declared contracts: its plan mixes
     /// strategies from the other families per tile, so it owes bit
     /// identity only to itself and carries the fast-path ULP bound

@@ -116,7 +116,7 @@ pub(crate) struct StaticMoments {
 /// S6 = zx^2 ig^2   S7 = zx zy ig^2   S8 = zx ig^2
 /// S9 = zy^2 ig^2   S10 = zy ig^2     S11 = ig^2
 /// ```
-fn static_channels(factors: &[f64; 6], zx: f64, zy: f64) -> [f64; STATIC_CHANNELS] {
+pub(crate) fn static_channels(factors: &[f64; 6], zx: f64, zy: f64) -> [f64; STATIC_CHANNELS] {
     let [zx_e2, zy_e2, ie2, zx_g2, zy_g2, ig2] = *factors;
     [
         zx * zx_e2,

@@ -48,6 +48,11 @@
 //!   one resident 8-channel offset plane per hypothesis offset —
 //!   bit-identical to [`fastpath`] on every tested scene, ≥3× faster
 //!   on the medium bench scenario;
+//! * [`pruned`] — the pruned-search family: candidates ordered from a
+//!   coarse decimated-lattice seed and rejected early by an admissible
+//!   lower bound on the hypothesis error, with full offset planes built
+//!   lazily only where a candidate survives — bit-identical to the
+//!   SIMD/integral block by construction;
 //! * [`timing`] — the calibrated workload/rate model that regenerates
 //!   the paper's Tables 2 and 4, Fig. 4 and the speed-up headlines;
 //! * [`plan`] — the adaptive execution planner: every entry point above
@@ -69,6 +74,7 @@ pub mod motion;
 pub mod parallel;
 pub mod plan;
 pub mod precompute;
+pub mod pruned;
 pub mod sequential;
 pub mod simd;
 pub mod template_map;
@@ -83,6 +89,7 @@ pub use fastpath::{
 pub use motion::{FrameArtifacts, MotionEstimate, SmaFrames};
 pub use parallel::track_all_parallel;
 pub use plan::{track_all_planner, track_all_planner_with, ExecutionPlanner, PlannerKnobs};
+pub use pruned::{track_all_pruned, track_all_pruned_parallel};
 pub use sequential::track_all_sequential;
 pub use simd::{track_all_simd, track_all_simd_parallel};
 pub use sma_fault::{GridError, LedgerSnapshot, MasParError, SmaError, StereoError};

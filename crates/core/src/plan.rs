@@ -61,7 +61,7 @@ use sma_fault::{GridError, SmaError};
 use sma_grid::{Grid, WindowBounds};
 use sma_obs::atlas::{AtlasChannel, AtlasSnapshot};
 
-use crate::config::SmaConfig;
+use crate::config::{MotionModel, SmaConfig};
 use crate::fastpath::{
     track_all_integral, track_all_integral_parallel, track_all_integral_segmented,
     track_all_translation_only,
@@ -85,6 +85,16 @@ pub const GODDARD_PE_EDGE: usize = 128;
 /// parallel/sequential pair of every family is bit-identical, so the
 /// cutover affects wall-clock only, never output bits.
 pub const PARALLEL_MIN_AREA: usize = 1 << 15;
+
+/// Minimum hypothesis count (`(2 nzs + 1)^2`) for the pruned-search
+/// strategy to be worth its screening overhead: the coarse bound pass
+/// costs roughly one extra decimated SAT per offset, which only pays
+/// for itself when there are enough candidates to reject. The hotpath
+/// bench puts the cutover below a 5 x 5 sweep — the pruned driver is
+/// ~2.5x faster than the exhaustive SIMD sweep even on the small
+/// 25-hypothesis scenario, since most of a ring's planes never build —
+/// so only genuinely tiny sweeps (3 x 3) keep the plain SIMD strategy.
+pub const PRUNE_MIN_HYPOTHESES: usize = 25;
 
 /// One uniform execution strategy — a name for each static driver entry
 /// point, so a plan is plain data.
@@ -116,6 +126,14 @@ pub enum Strategy {
     /// SIMD fast path, Rayon row-parallel
     /// ([`track_all_simd_parallel`]).
     SimdParallel,
+    /// Pruned-search fast path, sequential
+    /// ([`crate::pruned::track_all_pruned`]): SIMD kernels plus
+    /// coarse-lattice candidate ordering and admissible early
+    /// termination. Bit-identical to the SIMD family by construction.
+    Pruned,
+    /// Pruned-search fast path, Rayon row-parallel
+    /// ([`crate::pruned::track_all_pruned_parallel`]).
+    PrunedParallel,
     /// Translation-only Fcont degraded mode
     /// ([`track_all_translation_only`]).
     TranslationOnly,
@@ -133,6 +151,8 @@ impl Strategy {
             Strategy::IntegralSegmented { .. } => "integral_seg",
             Strategy::Simd => "simd",
             Strategy::SimdParallel => "simd_par",
+            Strategy::Pruned => "pruned",
+            Strategy::PrunedParallel => "pruned_par",
             Strategy::TranslationOnly => "translation_only",
         }
     }
@@ -191,6 +211,10 @@ impl Driver for Strategy {
             }
             Strategy::Simd => track_all_simd(frames, cfg, region),
             Strategy::SimdParallel => track_all_simd_parallel(frames, cfg, region),
+            Strategy::Pruned => crate::pruned::track_all_pruned(frames, cfg, region),
+            Strategy::PrunedParallel => {
+                crate::pruned::track_all_pruned_parallel(frames, cfg, region)
+            }
             Strategy::TranslationOnly => track_all_translation_only(frames, cfg, region),
         }
     }
@@ -261,6 +285,12 @@ pub struct PlannerKnobs {
     pub tile: usize,
     /// Permit the SIMD lane-kernel fast path.
     pub allow_simd: bool,
+    /// Permit the pruned-search fast path on top of the SIMD kernels
+    /// (candidate ordering + admissible early termination). Only
+    /// reachable when `allow_simd` is also on; the pruned family is
+    /// bit-identical to SIMD, so toggling this can never change output
+    /// bits — it is a pure wall-clock knob.
+    pub allow_pruned: bool,
     /// Permit the scalar integral fast path (also the segmented moment
     /// fallback when the budget forces chunking).
     pub allow_integral: bool,
@@ -286,6 +316,7 @@ impl Default for PlannerKnobs {
         Self {
             tile: 16,
             allow_simd: true,
+            allow_pruned: true,
             allow_integral: true,
             translation_only: false,
             parallel: true,
@@ -477,8 +508,24 @@ impl ExecutionPlanner {
             );
         }
         let parallel = self.use_parallel(area);
+        let search_span = 2 * cfg.nzs + 1;
         let s = if k.allow_simd {
-            if parallel {
+            // The pruned family rides on the SIMD kernels and only arms
+            // its screen under the continuous model, so it is preferred
+            // exactly where it can win: big-enough hypothesis
+            // neighborhoods on continuous-model configs. It is
+            // bit-identical to SIMD, so the preference is a pure
+            // wall-clock choice.
+            if k.allow_pruned
+                && cfg.model == MotionModel::Continuous
+                && search_span * search_span >= PRUNE_MIN_HYPOTHESES
+            {
+                if parallel {
+                    Strategy::PrunedParallel
+                } else {
+                    Strategy::Pruned
+                }
+            } else if parallel {
                 Strategy::SimdParallel
             } else {
                 Strategy::Simd
@@ -571,9 +618,8 @@ impl ExecutionPlanner {
         // All-border tile: no pixel's template fits, so every pixel
         // would take the fast path's exact fallback anyway — plan the
         // exact kernel directly and skip the moment machinery.
-        let overlaps_interior = interior.is_some_and(|i| {
-            tb.x0 <= i.x1 && i.x0 <= tb.x1 && tb.y0 <= i.y1 && i.y0 <= tb.y1
-        });
+        let overlaps_interior = interior
+            .is_some_and(|i| tb.x0 <= i.x1 && i.x0 <= tb.x1 && tb.y0 <= i.y1 && i.y0 <= tb.y1);
         if !overlaps_interior {
             return (Strategy::Sequential, PlanReason::AllBorder);
         }

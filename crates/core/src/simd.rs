@@ -64,20 +64,22 @@ static SIMD_NEAR_TIE: sma_obs::Counter = sma_obs::Counter::new("simd.near_tie_pi
 /// Per-pixel hypothesis-independent state: static window sums, the
 /// assembled `A^T A`, and its LU factorization (`None` = singular, which
 /// `solve6` would report for *every* hypothesis of this pixel).
-struct PixelSystem {
-    s: [f64; STATIC_CHANNELS],
-    ata: [f64; 36],
-    lu: Option<Lu6>,
+pub(crate) struct PixelSystem {
+    pub(crate) s: [f64; STATIC_CHANNELS],
+    pub(crate) ata: [f64; 36],
+    pub(crate) lu: Option<Lu6>,
 }
 
 /// Per-pixel running search state, carried across the offset loop.
+/// Shared with the pruned driver family ([`crate::pruned`]), which
+/// carries the same state through its reordered candidate visits.
 #[derive(Clone)]
-struct EvalState {
-    best: MotionEstimate,
+pub(crate) struct EvalState {
+    pub(crate) best: MotionEstimate,
     /// Runner-up error (`inf` = none yet, `-inf` = pixel already holds
     /// an exact-kernel result and skips the rest of the search).
-    second: f64,
-    done: bool,
+    pub(crate) second: f64,
+    pub(crate) done: bool,
 }
 
 /// One offset's eight moment channels as channel-major *padded* SATs:
@@ -86,13 +88,13 @@ struct EvalState {
 /// branches — the pad supplies the same literal `0.0` the scalar
 /// `rect_sum` substitutes. The buffer is built once and refilled per
 /// offset; only the pad cells persist between fills.
-struct OffsetPlanes {
+pub(crate) struct OffsetPlanes {
     tables: Vec<Vec<f64>>,
     w1: usize,
 }
 
 impl OffsetPlanes {
-    fn new(w: usize, h: usize) -> Self {
+    pub(crate) fn new(w: usize, h: usize) -> Self {
         Self {
             tables: vec![vec![0.0f64; (w + 1) * (h + 1)]; OFFSET_CHANNELS],
             w1: w + 1,
@@ -105,7 +107,7 @@ impl OffsetPlanes {
     /// prefix accumulation order match
     /// [`sma_grid::MomentIntegral::from_fn`] exactly.
     #[allow(clippy::too_many_arguments)] // hot-loop scratch threading
-    fn build(
+    pub(crate) fn build(
         &mut self,
         frames: &SmaFrames,
         cfg: &SmaConfig,
@@ -186,7 +188,7 @@ impl OffsetPlanes {
     /// caller guarantees `x >= nt`, `y >= nt`). Same corner grouping as
     /// the scalar `rect_sum`.
     #[inline]
-    fn window_sum(&self, x: usize, y: usize, nt: usize) -> [f64; OFFSET_CHANNELS] {
+    pub(crate) fn window_sum(&self, x: usize, y: usize, nt: usize) -> [f64; OFFSET_CHANNELS] {
         let w1 = self.w1;
         let top = (y - nt) * w1;
         let bot = (y + nt + 1) * w1;
@@ -202,7 +204,7 @@ impl OffsetPlanes {
 
 /// `dst[x] = src[clamp(x + ox)]`: contiguous interior copy, replicated
 /// edges — the lane-friendly form of a clamped shifted row read.
-fn shift_row(src: &[f64], ox: isize, dst: &mut [f64]) {
+pub(crate) fn shift_row(src: &[f64], ox: isize, dst: &mut [f64]) {
     let w = src.len();
     let lo = ((-ox).max(0) as usize).min(w);
     let hi = ((w as isize - ox).clamp(0, w as isize) as usize).max(lo);

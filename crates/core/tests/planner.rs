@@ -6,13 +6,11 @@
 //! alone — and, with default knobs, to the SIMD fast path wholesale.
 
 use sma_core::motion::SmaFrames;
-use sma_core::plan::{
-    Driver, ExecutionPlanner, PlanFeedback, PlanReason, PlannerKnobs, Strategy,
-};
+use sma_core::plan::{Driver, ExecutionPlanner, PlanFeedback, PlanReason, PlannerKnobs, Strategy};
 use sma_core::sequential::Region;
 use sma_core::{
-    track_all_planner, track_all_planner_with, track_all_sequential, track_all_simd,
-    MotionModel, SmaConfig, SmaError,
+    track_all_planner, track_all_planner_with, track_all_sequential, track_all_simd, MotionModel,
+    SmaConfig, SmaError,
 };
 use sma_grid::Grid;
 use sma_obs::atlas::{AtlasChannel, AtlasSnapshot};
@@ -69,7 +67,9 @@ fn default_knobs_match_simd_bitwise() {
     let frames = scene(&cfg);
     for region in [
         Region::Full,
-        Region::Interior { margin: cfg.margin() },
+        Region::Interior {
+            margin: cfg.margin(),
+        },
     ] {
         let planned = track_all_planner(&frames, &cfg, region).expect("planner");
         let simd = track_all_simd(&frames, &cfg, region).expect("simd");
@@ -193,7 +193,9 @@ fn non_dividing_tile_sizes_cover_the_region_exactly() {
 fn translation_only_knob_matches_the_degraded_driver() {
     let cfg = SmaConfig::small_test(MotionModel::Continuous);
     let frames = scene(&cfg);
-    let region = Region::Interior { margin: cfg.margin() };
+    let region = Region::Interior {
+        margin: cfg.margin(),
+    };
     let knobs = PlannerKnobs {
         translation_only: true,
         ..PlannerKnobs::default()
@@ -274,10 +276,12 @@ fn planner_driver_trait_names_and_census() {
     assert_eq!(Driver::name(&planner), "planner_auto");
     assert_eq!(Driver::name(&Strategy::SimdParallel), "simd_par");
     // Default 16px tiles on a 28^2 frame: every tile overlaps the
-    // interior rect, so the plan is uniform SIMD — sequential, because
-    // 784 tracked pixels sit far below the row-parallel cutover.
+    // interior rect, so the plan is uniform pruned search (the 5 x 5
+    // sweep of small_test clears PRUNE_MIN_HYPOTHESES) — sequential,
+    // because 784 tracked pixels sit far below the row-parallel
+    // cutover.
     let plan = planner.plan(&frames, &cfg, Region::Full).expect("plan");
-    assert_eq!(plan.uniform_strategy(), Some(Strategy::Simd));
+    assert_eq!(plan.uniform_strategy(), Some(Strategy::Pruned));
     // 3px tiles leave whole tiles inside the border band (nzt = 3), so
     // the census mixes exact border tiles with SIMD interior ones.
     let fine = ExecutionPlanner::with_knobs(PlannerKnobs {

@@ -15,6 +15,9 @@
 //!   central-difference gradients;
 //! * [`integral`] — summed-area tables for O(1) window sums (the NCC
 //!   fast path);
+//! * [`prune`] — decimated-lattice summed-area tables and 3 x 3
+//!   quadratic-minimum kernels backing the pruned-search drivers'
+//!   admissible candidate bounds;
 //! * [`pyramid`] — the multi-resolution image pyramid used by the ASA
 //!   stereo substrate's coarse-to-fine search;
 //! * [`validity`] — NaN/Inf input quarantine with per-pixel validity
@@ -40,6 +43,7 @@ pub mod flow;
 pub mod grid;
 pub mod integral;
 pub mod io;
+pub mod prune;
 pub mod pyramid;
 pub mod simd;
 pub mod validity;

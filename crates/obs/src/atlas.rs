@@ -42,6 +42,8 @@ pub enum AtlasChannel {
     DispatchIntegral,
     /// Pixels served by the SIMD lane-kernel fast path.
     DispatchSimd,
+    /// Pixels served by the pruned-search (bound-screened) fast path.
+    DispatchPruned,
     /// Border pixels the fast paths handed back to the exact kernel.
     BorderFallback,
     /// Near-tie argmin re-routes (winning margin inside the declared
@@ -53,10 +55,11 @@ pub enum AtlasChannel {
 
 impl AtlasChannel {
     /// Every channel, in export order.
-    pub const ALL: [AtlasChannel; 6] = [
+    pub const ALL: [AtlasChannel; 7] = [
         AtlasChannel::DispatchExact,
         AtlasChannel::DispatchIntegral,
         AtlasChannel::DispatchSimd,
+        AtlasChannel::DispatchPruned,
         AtlasChannel::BorderFallback,
         AtlasChannel::NearTie,
         AtlasChannel::Quarantine,
@@ -68,6 +71,7 @@ impl AtlasChannel {
             AtlasChannel::DispatchExact => "dispatch_exact",
             AtlasChannel::DispatchIntegral => "dispatch_integral",
             AtlasChannel::DispatchSimd => "dispatch_simd",
+            AtlasChannel::DispatchPruned => "dispatch_pruned",
             AtlasChannel::BorderFallback => "border_fallback",
             AtlasChannel::NearTie => "near_tie",
             AtlasChannel::Quarantine => "quarantine",
@@ -79,9 +83,10 @@ impl AtlasChannel {
             AtlasChannel::DispatchExact => 0,
             AtlasChannel::DispatchIntegral => 1,
             AtlasChannel::DispatchSimd => 2,
-            AtlasChannel::BorderFallback => 3,
-            AtlasChannel::NearTie => 4,
-            AtlasChannel::Quarantine => 5,
+            AtlasChannel::DispatchPruned => 3,
+            AtlasChannel::BorderFallback => 4,
+            AtlasChannel::NearTie => 5,
+            AtlasChannel::Quarantine => 6,
         }
     }
 }

@@ -12,7 +12,7 @@ use rayon::prelude::*;
 use sma_grid::pyramid::{upsample_to, Pyramid};
 use sma_grid::{BorderPolicy, Grid};
 
-use crate::ncc::best_disparity;
+use crate::ncc_pruned::best_disparity_pruned;
 
 static LEVELS_REFINED: sma_obs::Counter = sma_obs::Counter::new("stereo.levels_refined");
 static PIXELS_MATCHED: sma_obs::Counter = sma_obs::Counter::new("stereo.pixels_matched");
@@ -119,7 +119,8 @@ fn refine_level(
                 .map(|x| {
                     let p = prior.at(x, y);
                     let center = p.round() as isize;
-                    let m = best_disparity(left, right, x, y, center, range, params.template_n);
+                    let m =
+                        best_disparity_pruned(left, right, x, y, center, range, params.template_n);
                     if m.score >= params.min_score {
                         // Keep the sub-pixel fraction of the prior when the
                         // refinement only confirms the integer estimate.

@@ -1,0 +1,302 @@
+//! Partial-sum pruned NCC disparity search.
+//!
+//! [`crate::ncc::best_disparity`] pays a full `O(window^2)` score for
+//! every candidate disparity, even the hopeless ones. This variant
+//! keeps the reference arithmetic for every *surviving* candidate —
+//! the returned [`Match`] is bit-identical to the reference search —
+//! but abandons losing candidates early using partial sums:
+//!
+//! * **Zero-mean left template, once per call.** The left window's mean
+//!   and zero-mean residuals `a = l - ml` are shared by every
+//!   candidate; `sum(a) = 0`, so each candidate's covariance is
+//!   `sum(a * (r - c))` for *any* constant `c` — no per-candidate left
+//!   pass.
+//! * **Amortized right-window statistics.** Neighboring candidates'
+//!   right windows overlap column for column, so per-column sums of
+//!   `r` and `r^2` over the whole searched span are computed once and
+//!   prefix-summed; any candidate's window sum and variance then cost
+//!   `O(1)`.
+//! * **Column-incremental Cauchy-Schwarz abandonment.** A candidate's
+//!   covariance is accumulated column by column; the unseen remainder
+//!   is bounded by `sqrt(E_a_rem * E_r_rem)` (Cauchy-Schwarz over the
+//!   remaining columns, both energies `O(1)` from the precomputed
+//!   sums). When even that optimistic completion cannot reach the
+//!   running best score, the candidate is abandoned mid-window.
+//!
+//! Abandonment is *admissible*, not approximate: the bound is inflated
+//! by a guard dominating the floating-point drift between the bound
+//! algebra and the reference's two-pass arithmetic, a candidate is
+//! only dropped when its guarded upper bound is strictly below the
+//! running best (which the reference's `total_cmp` ordering would
+//! reject anyway), and the winner plus its parabolic-refinement
+//! neighbors are always scored by [`ncc_score`] itself. Degenerate
+//! inputs (textureless left window, near-threshold variances) delegate
+//! to the reference search outright.
+
+use crate::ncc::{best_disparity, ncc_score, Match, MIN_VARIANCE};
+use sma_grid::{BorderPolicy, Grid};
+
+/// Candidates abandoned mid-window by the partial-sum bound.
+static NCC_ABANDONED: sma_obs::Counter = sma_obs::Counter::new("stereo.ncc_disparities_abandoned");
+/// Candidates fully scored by the reference kernel (winner, survivors,
+/// gray-zone variances, and every candidate scanned before the first
+/// positive incumbent).
+static NCC_EVALUATED: sma_obs::Counter = sma_obs::Counter::new("stereo.ncc_disparities_evaluated");
+
+/// Absolute guard added to the covariance upper bound.
+const UB_GUARD_ABS: f64 = 1e-12;
+/// Relative guard, scaled by the window energies feeding the bound —
+/// orders of magnitude above the `n_terms * eps` drift of the f64
+/// accumulations, orders below any useful pruning margin.
+const UB_GUARD_REL: f64 = 1e-9;
+/// Variance factor bracketing the [`MIN_VARIANCE`] neutral branch: a
+/// bound-side variance below `MIN_VARIANCE / VAR_BRACKET` is certainly
+/// neutral in the reference too, above `MIN_VARIANCE * VAR_BRACKET`
+/// certainly not; the gray zone between is fully evaluated.
+const VAR_BRACKET: f64 = 2.0;
+
+/// [`best_disparity`], bit-identical output, with partial-sum early
+/// abandonment of losing candidates (see module docs).
+pub fn best_disparity_pruned(
+    left: &Grid<f32>,
+    right: &Grid<f32>,
+    x: usize,
+    y: usize,
+    center: isize,
+    range: usize,
+    n: usize,
+) -> Match {
+    let ni = n as isize;
+    let side = 2 * n + 1;
+    let count = (side * side) as f64;
+
+    // Left-window mean, accumulated in the reference's own visit order.
+    let mut sl = 0.0f64;
+    for dy in -ni..=ni {
+        for dx in -ni..=ni {
+            sl += left.at_clamped(x as isize + dx, y as isize + dy, BorderPolicy::Clamp) as f64;
+        }
+    }
+    let ml = sl / count;
+
+    // Zero-mean left residuals, column-major per-column energies, and
+    // the total energy (the algebraic left variance).
+    let mut a = vec![0.0f64; side * side];
+    let mut col_aa = vec![0.0f64; side];
+    for (ci, col) in a.chunks_mut(side).enumerate() {
+        let dx = ci as isize - ni;
+        for (ri, slot) in col.iter_mut().enumerate() {
+            let dy = ri as isize - ni;
+            let v =
+                left.at_clamped(x as isize + dx, y as isize + dy, BorderPolicy::Clamp) as f64 - ml;
+            *slot = v;
+            col_aa[ci] += v * v;
+        }
+    }
+    let vl: f64 = col_aa.iter().sum();
+    if vl < MIN_VARIANCE * VAR_BRACKET || vl.is_nan() {
+        // Textureless or gray-zone left window (every candidate is at
+        // or near the neutral branch) — nothing to prune; NaN inputs
+        // also delegate so the reference owns their handling.
+        return best_disparity(left, right, x, y, center, range, n);
+    }
+    // Suffix energies of the left residuals: `a_suffix[k]` is the
+    // energy of columns `k..`.
+    let mut a_suffix = vec![0.0f64; side + 1];
+    for k in (0..side).rev() {
+        a_suffix[k] = a_suffix[k + 1] + col_aa[k];
+    }
+
+    // Per-column right-view sums over the union of all candidate
+    // windows, then prefix sums so any candidate's window statistics
+    // are O(1). Sampling is `at_clamped`, exactly the reference's.
+    let span = 2 * (range + n) + 1;
+    let col0 = x as isize + center - range as isize - ni;
+    let mut pref_r = vec![0.0f64; span + 1];
+    let mut pref_rr = vec![0.0f64; span + 1];
+    for c in 0..span {
+        let cx = col0 + c as isize;
+        let mut s = 0.0f64;
+        let mut ss = 0.0f64;
+        for dy in -ni..=ni {
+            let v = right.at_clamped(cx, y as isize + dy, BorderPolicy::Clamp) as f64;
+            s += v;
+            ss += v * v;
+        }
+        pref_r[c + 1] = pref_r[c] + s;
+        pref_rr[c + 1] = pref_rr[c] + ss;
+    }
+
+    let mut best_d = center;
+    let mut best_s = f64::NEG_INFINITY;
+    for d in center - range as isize..=center + range as isize {
+        // This candidate's window covers union columns `base .. base + side`.
+        let base = (d - (center - range as isize)) as usize;
+        if best_s > 0.0 {
+            let sr = pref_r[base + side] - pref_r[base];
+            let srr = pref_rr[base + side] - pref_rr[base];
+            let mr = sr / count;
+            let vr = srr - sr * sr / count;
+            if vr < MIN_VARIANCE / VAR_BRACKET {
+                // Certainly the neutral branch in the reference:
+                // score 0 < best_s loses under `total_cmp`.
+                NCC_ABANDONED.incr();
+                continue;
+            }
+            if vr >= MIN_VARIANCE * VAR_BRACKET {
+                // Column-incremental covariance with a Cauchy-Schwarz
+                // tail bound; abandon as soon as even the optimistic
+                // completion cannot reach the incumbent.
+                let denom = (vl * vr).sqrt();
+                let guard = UB_GUARD_ABS + UB_GUARD_REL * (vl + vr);
+                let target = best_s * denom * (1.0 - UB_GUARD_REL) - guard;
+                let mut cov = 0.0f64;
+                let mut abandoned = false;
+                for k in 0..side {
+                    let cx = col0 + (base + k) as isize;
+                    let col = &a[k * side..(k + 1) * side];
+                    for (ri, &av) in col.iter().enumerate() {
+                        let dy = ri as isize - ni;
+                        let rv =
+                            right.at_clamped(cx, y as isize + dy, BorderPolicy::Clamp) as f64 - mr;
+                        cov += av * rv;
+                    }
+                    let er_rem = (pref_rr[base + side]
+                        - pref_rr[base + k + 1]
+                        - 2.0 * mr * (pref_r[base + side] - pref_r[base + k + 1])
+                        + ((side - k - 1) * side) as f64 * mr * mr)
+                        .max(0.0);
+                    let tail = (a_suffix[k + 1] * er_rem).sqrt();
+                    if cov + tail < target {
+                        abandoned = true;
+                        break;
+                    }
+                }
+                if abandoned {
+                    NCC_ABANDONED.incr();
+                    continue;
+                }
+            }
+            // Gray-zone variance or surviving candidate: full score.
+        }
+        NCC_EVALUATED.incr();
+        let s = ncc_score(left, right, x, y, d, n);
+        if s.total_cmp(&best_s).is_gt() {
+            best_s = s;
+            best_d = d;
+        }
+    }
+    if best_s <= 0.0 {
+        return Match {
+            disparity: center as f32,
+            score: 0.0,
+        };
+    }
+    // Parabolic refinement around the winner, exactly as the reference:
+    // only when both neighbors were inside the searched range. Their
+    // scores are recomputed by the reference kernel — `ncc_score` is
+    // pure, so recomputation reproduces the stored values bit for bit.
+    let lo = center - range as isize;
+    let hi = center + range as isize;
+    let disparity = if best_d > lo && best_d < hi {
+        let s_minus = ncc_score(left, right, x, y, best_d - 1, n);
+        let s_plus = ncc_score(left, right, x, y, best_d + 1, n);
+        let denom = s_minus - 2.0 * best_s + s_plus;
+        if denom.abs() > 1e-12 {
+            let offset = 0.5 * (s_minus - s_plus) / denom;
+            best_d as f32 + (offset as f32).clamp(-0.5, 0.5)
+        } else {
+            best_d as f32
+        }
+    } else {
+        best_d as f32
+    };
+    Match {
+        disparity,
+        score: best_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sma_grid::warp::translate;
+
+    fn textured(w: usize, h: usize) -> Grid<f32> {
+        let noise = Grid::from_fn(w, h, |x, y| {
+            let mut v = (x as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+            v ^= v >> 29;
+            v = v.wrapping_mul(0xBF58476D1CE4E5B9);
+            v ^= v >> 32;
+            (v % 1024) as f32 / 1024.0 * 8.0
+        });
+        let s = sma_grid::filter::binomial_smooth(&noise, BorderPolicy::Reflect);
+        sma_grid::filter::binomial_smooth(&s, BorderPolicy::Reflect)
+    }
+
+    #[test]
+    fn pruned_matches_reference_bit_for_bit() {
+        let left = textured(48, 48);
+        for shift in [-4.0f32, 0.0, 3.0] {
+            let right = translate(&left, shift, 0.0, BorderPolicy::Clamp);
+            for &(x, y) in &[
+                (24usize, 24usize),
+                (20, 16),
+                (8, 30),
+                (2, 2),   // border: clamped windows
+                (45, 45), // border on the far side
+            ] {
+                for center in [-2isize, 0, 5] {
+                    for range in [2usize, 6] {
+                        let reference = best_disparity(&left, &right, x, y, center, range, 3);
+                        let pruned = best_disparity_pruned(&left, &right, x, y, center, range, 3);
+                        assert_eq!(
+                            reference.disparity.to_bits(),
+                            pruned.disparity.to_bits(),
+                            "disparity at ({x},{y}) shift {shift} center {center} range {range}"
+                        );
+                        assert_eq!(
+                            reference.score.to_bits(),
+                            pruned.score.to_bits(),
+                            "score at ({x},{y}) shift {shift} center {center} range {range}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_windows_delegate_to_reference() {
+        let flat = Grid::filled(32, 32, 1.0f32);
+        let img = textured(32, 32);
+        for (l, r) in [(&flat, &img), (&img, &flat), (&flat, &flat)] {
+            let reference = best_disparity(l, r, 16, 16, 4, 3, 3);
+            let pruned = best_disparity_pruned(l, r, 16, 16, 4, 3, 3);
+            assert_eq!(reference, pruned);
+        }
+    }
+
+    #[test]
+    fn abandonment_is_not_vacuous() {
+        // A textured scene with one clear winner must actually abandon
+        // candidates — otherwise the partial-sum machinery is dead
+        // weight and the perf claim is meaningless.
+        sma_obs::set_level(sma_obs::ObsLevel::Summary);
+        let left = textured(64, 64);
+        let right = translate(&left, -5.0, 0.0, BorderPolicy::Clamp);
+        let before = sma_obs::metrics::snapshot().counter("stereo.ncc_disparities_abandoned");
+        for &(x, y) in &[(24usize, 24usize), (32, 32), (40, 20)] {
+            let m = best_disparity_pruned(&left, &right, x, y, 0, 8, 4);
+            assert!(
+                (m.disparity - 5.0).abs() < 0.3,
+                "({x},{y}): {}",
+                m.disparity
+            );
+        }
+        let abandoned =
+            sma_obs::metrics::snapshot().counter("stereo.ncc_disparities_abandoned") - before;
+        assert!(abandoned > 0, "no candidate was ever abandoned");
+    }
+}

@@ -21,7 +21,10 @@
 
 use sma_core::fastpath::track_all_integral;
 use sma_core::sequential::{Region, SmaResult};
-use sma_core::{track_all_sequential, MotionModel, SmaConfig, SmaError, SmaFrames};
+use sma_core::{
+    track_all_pruned, track_all_sequential, track_all_simd, MotionModel, SmaConfig, SmaError,
+    SmaFrames,
+};
 use sma_obs::json::MetricsDoc;
 use sma_satdata::{florida_thunderstorm_analog, hurricane_luis_analog, SceneSequence};
 use sma_stream::{goddard_cache_budget, sequence_frames, CacheStats, StreamEngine};
@@ -58,6 +61,8 @@ fn run_driver(
     match name {
         "sequential" => track_all_sequential(frames, cfg, region),
         "fastpath" => track_all_integral(frames, cfg, region),
+        "simd" => track_all_simd(frames, cfg, region),
+        "pruned" => track_all_pruned(frames, cfg, region),
         other => panic!("unknown driver {other}"),
     }
 }
@@ -218,6 +223,24 @@ fn main() {
             name: "short_luis",
             seq: hurricane_luis_analog(side, short_frames, 23),
             driver: "fastpath",
+            budget: Budget::Goddard,
+        },
+        // The matching-side driver families ride the same cache: the
+        // stream engine hands each pair the identical prepared
+        // artifacts, so both must stay bit-identical to their own naive
+        // replay. (Pruned runs its screen per pair; the bit-identity
+        // column is the cross-pair proof that cached artifacts feed the
+        // screen the same bounds a cold prepare would.)
+        Scenario {
+            name: "short_simd",
+            seq: florida_thunderstorm_analog(side, short_frames, 17),
+            driver: "simd",
+            budget: Budget::Goddard,
+        },
+        Scenario {
+            name: "short_pruned",
+            seq: florida_thunderstorm_analog(side, short_frames, 17),
+            driver: "pruned",
             budget: Budget::Goddard,
         },
         Scenario {

@@ -86,11 +86,39 @@ pub mod iter {
     impl<T: Iterator> ParallelIterator for T {}
 }
 
+/// Slice-specific parallel views, mirrored from `rayon::slice`.
+pub mod slice {
+    /// Shared chunk view (`slice.par_chunks(n)`), sequential here.
+    pub trait ParallelSlice<T> {
+        /// Iterate over `chunk_size`-sized chunks, sequentially.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Mutable chunk view (`slice.par_chunks_mut(n)`), sequential here.
+    pub trait ParallelSliceMut<T> {
+        /// Iterate over mutable `chunk_size`-sized chunks, sequentially.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
 /// The traits a `use rayon::prelude::*` pulls in.
 pub mod prelude {
     pub use crate::iter::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
     };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
 
 /// Run both closures (sequentially here) and return both results.

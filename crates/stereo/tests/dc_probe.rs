@@ -1,0 +1,56 @@
+use sma_grid::{BorderPolicy, Grid};
+use sma_stereo::{best_disparity, best_disparity_pruned};
+
+fn textured(w: usize, h: usize, dc: f32, amp: f32) -> Grid<f32> {
+    let noise = Grid::from_fn(w, h, |x, y| {
+        let mut v = (x as u64).wrapping_mul(0x9E3779B97F4A7C15)
+            ^ (y as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+        v ^= v >> 29;
+        v = v.wrapping_mul(0xBF58476D1CE4E5B9);
+        v ^= v >> 32;
+        dc + (v % 1024) as f32 / 1024.0 * amp
+    });
+    let s = sma_grid::filter::binomial_smooth(&noise, BorderPolicy::Reflect);
+    sma_grid::filter::binomial_smooth(&s, BorderPolicy::Reflect)
+}
+
+#[test]
+fn dc_offset_probe() {
+    let mut mismatches = 0usize;
+    let mut total = 0usize;
+    for &(dc, amp) in &[
+        (0.0f32, 8.0f32),
+        (1.0e4, 1.0),
+        (1.0e5, 1.0),
+        (1.0e6, 1.0),
+        (1.0e6, 0.05),
+        (3.0e6, 0.02),
+    ] {
+        let left = textured(48, 48, dc, amp);
+        let right = sma_grid::warp::translate(&left, -3.0, 0.0, BorderPolicy::Clamp);
+        for y in 8..40 {
+            for x in 8..40 {
+                for center in [-1isize, 0, 3] {
+                    for range in [4usize, 6] {
+                        total += 1;
+                        let a = best_disparity(&left, &right, x, y, center, range, 3);
+                        let b = best_disparity_pruned(&left, &right, x, y, center, range, 3);
+                        if a.disparity.to_bits() != b.disparity.to_bits()
+                            || a.score.to_bits() != b.score.to_bits()
+                        {
+                            mismatches += 1;
+                            if mismatches <= 5 {
+                                eprintln!(
+                                    "MISMATCH dc={dc} amp={amp} ({x},{y}) c={center} r={range}: ref=({}, {}) pruned=({}, {})",
+                                    a.disparity, a.score, b.disparity, b.score
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("total={total} mismatches={mismatches}");
+    assert_eq!(mismatches, 0, "pruned diverged from reference");
+}
